@@ -1,0 +1,310 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section V), one benchmark per artifact, plus micro-benchmarks of the
+// substrates. Each figure benchmark logs the reproduced rows/series on its
+// first iteration so `go test -bench . -v` doubles as the results report.
+//
+// Paper-scale experiments simulate minutes-to-hours of cluster time per
+// iteration; expect seconds of wall time each.
+package rcmp_test
+
+import (
+	"testing"
+	"time"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/core"
+	"rcmp/internal/des"
+	"rcmp/internal/dmr"
+	"rcmp/internal/engine"
+	"rcmp/internal/experiments"
+	"rcmp/internal/flow"
+	"rcmp/internal/mapreduce"
+	"rcmp/internal/workload"
+)
+
+func logOnce(b *testing.B, i int, text string) {
+	if i == 0 {
+		b.Log("\n" + text)
+	}
+}
+
+// ---- Figure benchmarks (one per paper artifact) ----
+
+func BenchmarkFig2FailureTraceCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig2().Text)
+	}
+}
+
+func BenchmarkFig8aNoFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig8a(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig8bSingleFailureEarly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig8b(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig8cSingleFailureLate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig8c(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig9DoubleFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig9(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig10ChainLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig10(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig11SpeedupVsNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig11(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig12MapperCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig12(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig13ReducerWaves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig13(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkFig14MapperWaves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Fig14(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkHybridEvery5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.Hybrid(experiments.ScalePaper).Text)
+	}
+}
+
+// ---- Ablations (DESIGN.md Section 5) ----
+
+func BenchmarkAblationScatterVsSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationScatterVsSplit(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationSplitRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationSplitRatio(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationMapReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationMapReuse(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationDetectionTimeout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationDetectionTimeout(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationIORatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationIORatio(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationReclamation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationReclamation(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationSpeculation(experiments.ScalePaper).Text)
+	}
+}
+
+func BenchmarkAblationLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.AblationLocality(experiments.ScalePaper).Text)
+	}
+}
+
+// BenchmarkCostModels prints the Section III-B provisioning and
+// replication-guesswork tables.
+func BenchmarkCostModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, experiments.CostModels().Text)
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkFlowRebalance measures the water-filler under a shuffle-like
+// load: 300 flows over 180 resources.
+func BenchmarkFlowRebalance(b *testing.B) {
+	sim := des.New()
+	net := flow.NewNetwork(sim)
+	const nodes = 60
+	disks := make([]*flow.Resource, nodes)
+	for i := range disks {
+		disks[i] = &flow.Resource{Name: "d", Capacity: 100, SeekPenalty: 0.35}
+	}
+	core := &flow.Resource{Name: "core", Capacity: 5000}
+	var flows []*flow.Flow
+	for i := 0; i < 300; i++ {
+		uses := []flow.Use{{R: disks[i%nodes], Weight: 1}, {R: core, Weight: 1}, {R: disks[(i+7)%nodes], Weight: 1}}
+		flows = append(flows, net.Start("f", 1e15, uses, 0, nil))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Adding and aborting a flow forces two full rebalances.
+		f := net.Start("probe", 1e15, []flow.Use{{R: disks[i%nodes], Weight: 1}}, 0, nil)
+		net.Abort(f)
+	}
+	b.StopTimer()
+	for _, f := range flows {
+		net.Abort(f)
+	}
+}
+
+// BenchmarkPlannerBuildPlan measures recovery planning on a 60-node,
+// 7-job lineage.
+func BenchmarkPlannerBuildPlan(b *testing.B) {
+	e, err := engine.New(engine.Config{
+		Nodes: 8, NumReducers: 8, Jobs: 7, RecordsPerNode: 64, RecordsPerBlock: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	fs := e.FS()
+	fs.FailNode(3)
+	failed := map[int]bool{3: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildPlan(e.Chain(), fs, 7, failed, core.Options{Split: true, AliveNodes: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitioner measures the shared key-routing hot path.
+func BenchmarkPartitioner(b *testing.B) {
+	key := workload.KeyBytes(0xdeadbeefcafe)
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		h := core.HashKey(key)
+		_ = core.ReducerOf(h, 60)
+		_ = core.SplitOf(h, 59)
+	}
+}
+
+// BenchmarkFunctionalChain measures the functional engine end to end:
+// a 4-job chain with a failure, recovery and verification-grade UDFs.
+func BenchmarkFunctionalChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := engine.New(engine.Config{
+			Nodes: 6, NumReducers: 6, Jobs: 4, RecordsPerNode: 300,
+			Split: true, Failures: []engine.Failure{{Before: 4, Node: 2}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedChainSTIC measures one paper-scale 7-job simulator run.
+func BenchmarkSimulatedChainSTIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := mapreduce.RunChain(cluster.STICConfig(1, 1), mapreduce.ChainConfig{
+			Mode: mapreduce.ModeRCMP, NumJobs: 7, NumReducers: 10,
+			InputPerNode: 4 * cluster.GB,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedChain measures the distributed runtime end to end on
+// loopback TCP: a 4-worker cluster, a 3-job chain, one worker killed after
+// job 2, heartbeat detection, cascading recomputation with splitting, and
+// output digest collection.
+func BenchmarkDistributedChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := dmr.StartMaster(dmr.MasterConfig{SlotsPerWorker: 2, Timing: dmr.TestTiming()}, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ws []*dmr.Worker
+		for w := 0; w < 4; w++ {
+			wk, err := dmr.StartWorker(dmr.WorkerConfig{ID: w, MasterAddr: m.Addr(), Timing: dmr.TestTiming()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws = append(ws, wk)
+		}
+		d, err := dmr.NewDriver(m, dmr.ChainConfig{
+			Jobs: 3, NumReducers: 6, RecordsPerPartition: 80, Seed: 1, Split: true,
+			AfterJob: func(job int) {
+				if job == 2 {
+					ws[1].Kill()
+					for !m.FailedNodes()[1] {
+						time.Sleep(time.Millisecond)
+					}
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.LoadInput(); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.RunChain(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.OutputDigests(); err != nil {
+			b.Fatal(err)
+		}
+		for _, wk := range ws {
+			wk.Kill()
+		}
+		m.Close()
+	}
+}
+
+// BenchmarkMapUDF measures the per-record mapper work (MD5 + byte-sum +
+// re-key), the paper's per-record correctness computation.
+func BenchmarkMapUDF(b *testing.B) {
+	recs := workload.Generate(1024, 1)
+	b.SetBytes(int64(workload.ValueSize))
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if err := workload.Map(r, func(workload.Record) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

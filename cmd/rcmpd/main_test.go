@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseKills(t *testing.T) {
+	kills, err := parseKills("job=2,worker=1;job=4,worker=3;job=2,worker=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kills[2]) != 2 || kills[2][0] != 1 || kills[2][1] != 0 {
+		t.Fatalf("kills[2] = %v", kills[2])
+	}
+	if len(kills[4]) != 1 || kills[4][0] != 3 {
+		t.Fatalf("kills[4] = %v", kills[4])
+	}
+
+	empty, err := parseKills("")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty spec: %v, %v", empty, err)
+	}
+
+	for _, bad := range []string{
+		"job=2",           // missing worker
+		"worker=1",        // missing job
+		"job=0,worker=1",  // job must be >= 1
+		"job=2,worker=-1", // worker must be >= 0
+		"job=x,worker=1",  // not a number
+		"job:2,worker:1",  // wrong separator
+		"job=2,node=1",    // unknown key
+	} {
+		if _, err := parseKills(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command rcmpsim runs the RCMP reproduction experiments and prints the
+// rows/series of each table and figure in the paper's evaluation.
+//
+// Usage:
+//
+//	rcmpsim -list
+//	rcmpsim -fig 8a            # one experiment at paper scale
+//	rcmpsim -fig all -quick    # everything, small scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcmp/internal/experiments"
+)
+
+var figures = []struct {
+	key  string
+	desc string
+	run  func(experiments.Scale) *experiments.Result
+}{
+	{"2", "failure-trace CDFs (STIC, SUG@R)", func(experiments.Scale) *experiments.Result { return experiments.Fig2() }},
+	{"8a", "no-failure slowdowns: RCMP vs REPL-2/3 vs OPTIMISTIC", experiments.Fig8a},
+	{"8b", "single failure early (job 2)", experiments.Fig8b},
+	{"8c", "single failure late (job 7)", experiments.Fig8c},
+	{"9", "double failures on STIC", experiments.Fig9},
+	{"10", "chain-length extrapolation", experiments.Fig10},
+	{"11", "recomputation speed-up vs nodes", experiments.Fig11},
+	{"12", "hot-spot mapper-time CDFs", experiments.Fig12},
+	{"13", "reducer-wave speed-up", experiments.Fig13},
+	{"14", "mapper-wave speed-up", experiments.Fig14},
+	{"hybrid", "hybrid replication every 5 jobs", experiments.Hybrid},
+	{"ablation-scatter", "split vs scatter-only vs none", experiments.AblationScatterVsSplit},
+	{"ablation-ratio", "split ratio sweep", experiments.AblationSplitRatio},
+	{"ablation-reuse", "map-output reuse on/off", experiments.AblationMapReuse},
+	{"ablation-timeout", "detection timeout sweep", experiments.AblationDetectionTimeout},
+	{"ablation-ioratio", "input/shuffle/output ratio shapes", experiments.AblationIORatio},
+	{"ablation-reclaim", "checkpoint storage reclamation", experiments.AblationReclamation},
+	{"ablation-speculation", "speculative execution with a straggler", experiments.AblationSpeculation},
+	{"ablation-locality", "data locality vs oversubscription", experiments.AblationLocality},
+	{"cost", "Section III-B provisioning and replication-guesswork models", func(experiments.Scale) *experiments.Result { return experiments.CostModels() }},
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure to run (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "run at reduced scale (fast)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *fig == "" {
+		fmt.Println("available experiments (-fig KEY):")
+		for _, f := range figures {
+			fmt.Printf("  %-17s %s\n", f.key, f.desc)
+		}
+		if *fig == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	scale := experiments.ScalePaper
+	if *quick {
+		scale = experiments.ScaleQuick
+	}
+	key := strings.ToLower(strings.TrimPrefix(*fig, "fig"))
+	ran := false
+	for _, f := range figures {
+		if key == "all" || f.key == key {
+			res := f.run(scale)
+			fmt.Println(res.Text)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rcmpsim: unknown figure %q (try -list)\n", *fig)
+		os.Exit(2)
+	}
+}

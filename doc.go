@@ -1,0 +1,22 @@
+// Package rcmp is a reproduction of "RCMP: Enabling Efficient
+// Recomputation Based Failure Resilience for Big Data Analytics"
+// (Dinu and Ng, IPDPS 2014).
+//
+// The implementation lives under internal/: a discrete-event cluster
+// simulator (des, flow, cluster), an HDFS-like metadata file system (dfs),
+// a MapReduce execution engine with Hadoop-replication and RCMP strategies
+// (mapreduce), the recomputation planner that is the paper's core
+// contribution (core, lineage), a functional data-plane engine used to
+// verify recovery correctness record by record (engine, workload), a
+// distributed master/worker runtime that runs the whole system over real
+// TCP sockets with heartbeat failure detection (wire, dmr), and the
+// per-figure experiment harnesses (experiments, analysis, failure, metrics,
+// textplot).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; `go run ./cmd/rcmpsim -fig all` prints them directly, and
+// `go run ./cmd/rcmpd demo` exercises failure recovery on the distributed
+// runtime.
+package rcmp

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the indirect costs of replication argued in Section
+// III-B, and the replication-factor guesswork of Section V-B ("More
+// failures"). The paper states these qualitatively; the models here make
+// the arguments quantitative so the benches can print concrete numbers.
+
+// ProvisioningInput describes a cluster sized to sustain a chain execution
+// rate, for the Section III-B provisioning-cost argument: every replica
+// beyond the first adds write I/O that must be bought as extra nodes or
+// disks.
+type ProvisioningInput struct {
+	// ChainsPerHour is the required completion rate of the multi-job chain.
+	ChainsPerHour float64
+	// JobsPerChain is the chain length.
+	JobsPerChain int
+	// BytesPerJob is the I/O a job moves with replication factor 1
+	// (input + shuffle + output for the paper's 1:1:1 job).
+	BytesPerJob float64
+	// NodeIOBytesPerHour is one node's sustainable I/O budget.
+	NodeIOBytesPerHour float64
+	// ReplWriteShare is the fraction of a job's I/O that is output writing
+	// (the part replication multiplies; 1/3 for the 1:1:1 job).
+	ReplWriteShare float64
+}
+
+// Validate reports parameter errors.
+func (p ProvisioningInput) Validate() error {
+	switch {
+	case p.ChainsPerHour <= 0 || p.JobsPerChain <= 0:
+		return fmt.Errorf("analysis: need positive rate and chain length, got %g and %d", p.ChainsPerHour, p.JobsPerChain)
+	case p.BytesPerJob <= 0 || p.NodeIOBytesPerHour <= 0:
+		return fmt.Errorf("analysis: need positive job and node I/O budgets")
+	case p.ReplWriteShare <= 0 || p.ReplWriteShare > 1:
+		return fmt.Errorf("analysis: ReplWriteShare %g outside (0,1]", p.ReplWriteShare)
+	}
+	return nil
+}
+
+// NodesNeeded returns the cluster size that sustains the chain rate at the
+// given output replication factor. Replication factor r turns each written
+// byte into r bytes, so a job's I/O becomes (1-w) + w*r of its factor-1
+// volume, where w is the write share.
+func (p ProvisioningInput) NodesNeeded(repl int) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if repl < 1 {
+		return 0, fmt.Errorf("analysis: replication factor %d", repl)
+	}
+	perJob := p.BytesPerJob * ((1 - p.ReplWriteShare) + p.ReplWriteShare*float64(repl))
+	demand := p.ChainsPerHour * float64(p.JobsPerChain) * perJob
+	return int(math.Ceil(demand / p.NodeIOBytesPerHour)), nil
+}
+
+// ProvisioningOverhead returns the fractional extra cluster capacity that
+// replication factor repl requires over factor 1 (e.g. 0.67 for REPL-3 on
+// the 1:1:1 job: writes triple, total I/O goes from 3 to 5 units).
+func (p ProvisioningInput) ProvisioningOverhead(repl int) (float64, error) {
+	base, err := p.NodesNeeded(1)
+	if err != nil {
+		return 0, err
+	}
+	with, err := p.NodesNeeded(repl)
+	if err != nil {
+		return 0, err
+	}
+	return float64(with-base) / float64(base), nil
+}
+
+// GuessworkInput frames the Section V-B argument: protecting against F
+// failures needs F+1 replicas; fewer actual failures waste the overhead,
+// more force a restart. RCMP needs no guess — it recomputes exactly what
+// each realized failure count costs.
+type GuessworkInput struct {
+	// FailureProb[k] is the probability of exactly k node failures during
+	// the chain (k from 0; the slice must sum to ~1).
+	FailureProb []float64
+	// BaseTotal is the chain total with replication factor 1 and no
+	// failures.
+	BaseTotal float64
+	// ReplSlowdownPerReplica is the fractional chain slowdown added by each
+	// replica beyond the first (Fig 8a: ~0.3 per extra replica on STIC).
+	ReplSlowdownPerReplica float64
+	// RecomputePerFailure is RCMP's average added time per failure
+	// (recovery episode cost, from the Fig 8b/8c measurements).
+	RecomputePerFailure float64
+	// RestartPenalty is the cost of restarting the chain when replication
+	// is overwhelmed (a full BaseTotal, degraded-cluster effects folded in
+	// by the caller if desired).
+	RestartPenalty float64
+}
+
+// Validate reports parameter errors.
+func (g GuessworkInput) Validate() error {
+	if len(g.FailureProb) == 0 {
+		return fmt.Errorf("analysis: empty failure distribution")
+	}
+	sum := 0.0
+	for _, p := range g.FailureProb {
+		if p < 0 {
+			return fmt.Errorf("analysis: negative probability %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("analysis: failure distribution sums to %g", sum)
+	}
+	if g.BaseTotal <= 0 || g.ReplSlowdownPerReplica < 0 || g.RecomputePerFailure < 0 || g.RestartPenalty < 0 {
+		return fmt.Errorf("analysis: negative cost parameters")
+	}
+	return nil
+}
+
+// ExpectedReplicationTotal returns the expected chain total when the user
+// guesses replication factor repl (protecting against repl-1 failures).
+// Every run pays the replication slowdown; runs with more failures than
+// covered also pay the restart penalty.
+func (g GuessworkInput) ExpectedReplicationTotal(repl int) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if repl < 1 {
+		return 0, fmt.Errorf("analysis: replication factor %d", repl)
+	}
+	total := g.BaseTotal * (1 + g.ReplSlowdownPerReplica*float64(repl-1))
+	pOverwhelmed := 0.0
+	for k, p := range g.FailureProb {
+		if k > repl-1 {
+			pOverwhelmed += p
+		}
+	}
+	return total + pOverwhelmed*g.RestartPenalty, nil
+}
+
+// ExpectedRCMPTotal returns RCMP's expected chain total: no standing
+// overhead, plus the recomputation cost of however many failures occur.
+func (g GuessworkInput) ExpectedRCMPTotal() (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	total := g.BaseTotal
+	for k, p := range g.FailureProb {
+		total += p * float64(k) * g.RecomputePerFailure
+	}
+	return total, nil
+}
+
+// BestReplicationFactor returns the factor in [1, maxRepl] minimizing the
+// expected replication total — the "right guess" the paper says requires
+// clairvoyance, computable here only because the distribution is given.
+func (g GuessworkInput) BestReplicationFactor(maxRepl int) (best int, total float64, err error) {
+	if maxRepl < 1 {
+		return 0, 0, fmt.Errorf("analysis: maxRepl %d", maxRepl)
+	}
+	best, total = 0, math.Inf(1)
+	for r := 1; r <= maxRepl; r++ {
+		t, err := g.ExpectedReplicationTotal(r)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t < total {
+			best, total = r, t
+		}
+	}
+	return best, total, nil
+}
+
+// PoissonFailureDist returns a truncated Poisson distribution over failure
+// counts 0..max with the given mean, renormalized — a standard stand-in
+// for independent node failures during a chain (the Fig 2 traces show
+// failure days are rare and roughly independent at moderate scale).
+func PoissonFailureDist(mean float64, max int) ([]float64, error) {
+	if mean < 0 || max < 0 {
+		return nil, fmt.Errorf("analysis: poisson mean %g max %d", mean, max)
+	}
+	out := make([]float64, max+1)
+	sum := 0.0
+	p := math.Exp(-mean)
+	for k := 0; k <= max; k++ {
+		if k > 0 {
+			p *= mean / float64(k)
+		}
+		out[k] = p
+		sum += p
+	}
+	for k := range out {
+		out[k] /= sum
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var provIn = ProvisioningInput{
+	ChainsPerHour:      2,
+	JobsPerChain:       7,
+	BytesPerJob:        3e12, // 1 TB in + 1 TB shuffle + 1 TB out
+	NodeIOBytesPerHour: 1e12,
+	ReplWriteShare:     1.0 / 3.0,
+}
+
+func TestNodesNeededGrowsWithReplication(t *testing.T) {
+	n1, err := provIn.NodesNeeded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, err := provIn.NodesNeeded(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 <= n1 {
+		t.Fatalf("REPL-3 cluster %d not larger than REPL-1 cluster %d", n3, n1)
+	}
+	// 1:1:1 job: factor-3 writes turn 3 I/O units into 5 → ~2/3 overhead.
+	over, err := provIn.ProvisioningOverhead(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over < 0.5 || over > 0.8 {
+		t.Fatalf("REPL-3 provisioning overhead %.2f, want ~0.67", over)
+	}
+}
+
+func TestProvisioningOverheadMonotone(t *testing.T) {
+	prev := -1.0
+	for r := 1; r <= 5; r++ {
+		over, err := provIn.ProvisioningOverhead(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if over < prev {
+			t.Fatalf("overhead decreased at factor %d: %g < %g", r, over, prev)
+		}
+		prev = over
+	}
+}
+
+func TestProvisioningValidation(t *testing.T) {
+	bad := provIn
+	bad.ReplWriteShare = 0
+	if _, err := bad.NodesNeeded(2); err == nil {
+		t.Fatal("zero write share accepted")
+	}
+	if _, err := provIn.NodesNeeded(0); err == nil {
+		t.Fatal("replication factor 0 accepted")
+	}
+}
+
+func guessIn(t *testing.T, mean float64) GuessworkInput {
+	t.Helper()
+	dist, err := PoissonFailureDist(mean, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GuessworkInput{
+		FailureProb:            dist,
+		BaseTotal:              100,
+		ReplSlowdownPerReplica: 0.3, // Fig 8a: REPL-2 ≈ 1.3x, REPL-3 ≈ 1.65-2x
+		RecomputePerFailure:    15,  // Fig 8b/8c: recovery ≈ one extra degraded job
+		RestartPenalty:         100,
+	}
+}
+
+func TestRCMPBeatsAnyFixedFactorAtLowFailureRates(t *testing.T) {
+	// Fig 2 regime: failures on ~15% of days. RCMP should beat every fixed
+	// replication factor because it pays only for realized failures.
+	g := guessIn(t, 0.2)
+	rcmp, err := g.ExpectedRCMPTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 4; r++ {
+		repl, err := g.ExpectedReplicationTotal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rcmp >= repl {
+			t.Fatalf("RCMP %.1f not better than REPL-%d %.1f at low failure rate", rcmp, r, repl)
+		}
+	}
+}
+
+func TestBestFactorShiftsWithFailureRate(t *testing.T) {
+	low := guessIn(t, 0.05)
+	high := guessIn(t, 2.5)
+	// At high failure rates an overwhelmed factor restarts repeatedly and
+	// likely fails again; the effective penalty is several chain totals.
+	low.RestartPenalty, high.RestartPenalty = 400, 400
+	bLow, _, err := low.BestReplicationFactor(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bHigh, _, err := high.BestReplicationFactor(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bLow >= bHigh {
+		t.Fatalf("best factor low=%d high=%d: more failures should demand more replicas", bLow, bHigh)
+	}
+}
+
+func TestGuessworkValidation(t *testing.T) {
+	g := guessIn(t, 0.2)
+	g.FailureProb = []float64{0.5, 0.4} // sums to 0.9
+	if _, err := g.ExpectedRCMPTotal(); err == nil {
+		t.Fatal("non-normalized distribution accepted")
+	}
+	g2 := guessIn(t, 0.2)
+	if _, err := g2.ExpectedReplicationTotal(0); err == nil {
+		t.Fatal("replication factor 0 accepted")
+	}
+	if _, _, err := g2.BestReplicationFactor(0); err == nil {
+		t.Fatal("maxRepl 0 accepted")
+	}
+}
+
+func TestPoissonDistProperties(t *testing.T) {
+	// Property: any truncated Poisson is a normalized distribution whose
+	// mean is below the untruncated mean.
+	f := func(mean100 uint8, max uint8) bool {
+		mean := float64(mean100%40) / 10
+		m := int(max%10) + 1
+		dist, err := PoissonFailureDist(mean, m)
+		if err != nil {
+			return false
+		}
+		sum, ev := 0.0, 0.0
+		for k, p := range dist {
+			if p < 0 {
+				return false
+			}
+			sum += p
+			ev += float64(k) * p
+		}
+		return math.Abs(sum-1) < 1e-9 && ev <= mean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PoissonFailureDist(-1, 3); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+}

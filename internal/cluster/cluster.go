@@ -1,0 +1,302 @@
+// Package cluster models a collocated data-analytics cluster: N nodes that
+// each compute (mapper/reducer slots) and store data (one disk), joined by
+// an edge NIC per node and a shared, possibly oversubscribed core switch.
+//
+// This is the substrate the RCMP paper runs on (STIC and DCO, Section V-A).
+// The model captures the properties that drive the paper's results:
+//
+//   - disk throughput, including degradation under concurrent streams;
+//   - NIC line rate per node, in each direction;
+//   - core bandwidth = sum of NIC rates / oversubscription factor;
+//   - per-node mapper and reducer slot counts;
+//   - node failure removing both compute and storage (collocation).
+package cluster
+
+import (
+	"fmt"
+
+	"rcmp/internal/des"
+	"rcmp/internal/flow"
+)
+
+// Config describes cluster hardware and scheduling capacity.
+type Config struct {
+	Name  string
+	Nodes int
+
+	MapSlots    int // concurrent mapper tasks per node
+	ReduceSlots int // concurrent reducer tasks per node
+
+	DiskBW           float64 // bytes/s sequential per-disk throughput
+	DiskSeekPenalty  float64 // concurrency penalty factor (see flow.Resource)
+	DiskPenaltyCap   float64 // bound on total seek degradation (see flow.Resource)
+	NICBW            float64 // bytes/s per direction per node
+	Oversubscription float64 // core capacity = Nodes*NICBW/Oversubscription
+
+	TaskStartup des.Time // fixed scheduling+JVM cost per task launch
+	MapCPU      float64  // bytes/s a mapper's UDF can process (0 = infinite)
+	ReduceCPU   float64  // bytes/s a reducer's UDF can process (0 = infinite)
+
+	// ReplicaWriteAmp is the disk-work amplification of replica copies
+	// arriving over the network, relative to a local sequential write.
+	// HDFS replica reception can interleave block data, checksums and
+	// metadata and lose sequentiality (Shafer et al., ISPASS 2010 — the
+	// paper's [22]); raise this above 1 to model that. Zero defaults to 1
+	// (replicated bytes cost exactly their size at the receiving disk).
+	ReplicaWriteAmp float64
+
+	// ShuffleTransferDelay adds a fixed delay at the end of each shuffle
+	// transfer. The paper uses 10s here to emulate a slow network
+	// (SLOW SHUFFLE, Section V-D).
+	ShuffleTransferDelay des.Time
+
+	// ShuffleDiskFactor is the fraction of shuffle bytes that actually
+	// touch the disks at each end. Freshly written map outputs are mostly
+	// served from the page cache, and reducers merge fetched segments in
+	// memory when they fit (both clusters in the paper have far more RAM
+	// than per-node job data), so the shuffle is predominantly a network
+	// operation. Zero defaults to 0.25.
+	ShuffleDiskFactor float64
+
+	// FailureDetectionTimeout is how long after a node dies the master
+	// notices (paper: 30s, plus failures injected 15s into a job).
+	FailureDetectionTimeout des.Time
+
+	// NodeDiskScale makes selected nodes stragglers: node i's disk runs at
+	// DiskBW * NodeDiskScale[i] (e.g. 0.3 for a degraded drive). Nodes not
+	// in the map run at full speed. Used by the speculative-execution
+	// experiments (paper Section III-A).
+	NodeDiskScale map[int]float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster %q: Nodes=%d, need >0", c.Name, c.Nodes)
+	case c.MapSlots <= 0 || c.ReduceSlots <= 0:
+		return fmt.Errorf("cluster %q: slots %d-%d, need >0", c.Name, c.MapSlots, c.ReduceSlots)
+	case c.DiskBW <= 0 || c.NICBW <= 0:
+		return fmt.Errorf("cluster %q: non-positive bandwidth", c.Name)
+	case c.Oversubscription < 1:
+		return fmt.Errorf("cluster %q: oversubscription %v < 1", c.Name, c.Oversubscription)
+	}
+	return nil
+}
+
+// Node is one compute+storage machine.
+type Node struct {
+	ID   int
+	Disk *flow.Resource
+	Up   *flow.Resource // NIC transmit
+	Down *flow.Resource // NIC receive
+
+	failed   bool
+	failedAt des.Time
+}
+
+// Failed reports whether the node has failed.
+func (n *Node) Failed() bool { return n.failed }
+
+// FailedAt returns the time of failure (meaningful only if Failed).
+func (n *Node) FailedAt() des.Time { return n.failedAt }
+
+// Cluster is a live topology bound to a simulator and flow network.
+type Cluster struct {
+	Cfg   Config
+	Sim   *des.Simulator
+	Net   *flow.Network
+	Core  *flow.Resource
+	nodes []*Node
+}
+
+// New builds a cluster. It panics on an invalid config: configs are
+// programmer-supplied constants, not runtime input.
+func New(sim *des.Simulator, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{
+		Cfg: cfg,
+		Sim: sim,
+		Net: flow.NewNetwork(sim),
+		Core: &flow.Resource{
+			Name:     cfg.Name + "/core",
+			Capacity: float64(cfg.Nodes) * cfg.NICBW / cfg.Oversubscription,
+		},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		bw := cfg.DiskBW
+		if s, ok := cfg.NodeDiskScale[i]; ok && s > 0 {
+			bw *= s
+		}
+		c.nodes = append(c.nodes, &Node{
+			ID:   i,
+			Disk: &flow.Resource{Name: fmt.Sprintf("%s/n%d/disk", cfg.Name, i), Capacity: bw, SeekPenalty: cfg.DiskSeekPenalty, PenaltyCap: cfg.DiskPenaltyCap},
+			Up:   &flow.Resource{Name: fmt.Sprintf("%s/n%d/up", cfg.Name, i), Capacity: cfg.NICBW},
+			Down: &flow.Resource{Name: fmt.Sprintf("%s/n%d/down", cfg.Name, i), Capacity: cfg.NICBW},
+		})
+	}
+	return c
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NumNodes returns the configured node count (alive or not).
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Alive returns the IDs of non-failed nodes, ascending.
+func (c *Cluster) Alive() []int {
+	var ids []int
+	for _, n := range c.nodes {
+		if !n.failed {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// NumAlive returns the count of non-failed nodes.
+func (c *Cluster) NumAlive() int {
+	k := 0
+	for _, n := range c.nodes {
+		if !n.failed {
+			k++
+		}
+	}
+	return k
+}
+
+// Fail marks a node dead at the current simulated time. Storage and compute
+// are both lost (collocated cluster). Fail is idempotent.
+func (c *Cluster) Fail(id int) {
+	n := c.nodes[id]
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.failedAt = c.Sim.Now()
+}
+
+// TransferUses returns the resource path for moving bytes from node src to
+// node dst, reading from src's disk and writing to dst's disk.
+//
+// A local transfer (src == dst) touches the single disk twice: once for the
+// read and once for the write, hence weight 2.
+func (c *Cluster) TransferUses(src, dst int) []flow.Use {
+	if src == dst {
+		return []flow.Use{{R: c.nodes[src].Disk, Weight: 2}}
+	}
+	return []flow.Use{
+		{R: c.nodes[src].Disk, Weight: 1},
+		{R: c.nodes[src].Up, Weight: 1},
+		{R: c.Core, Weight: 1},
+		{R: c.nodes[dst].Down, Weight: 1},
+		{R: c.nodes[dst].Disk, Weight: 1},
+	}
+}
+
+// ShuffleUses returns the path for a reducer on node dst fetching map
+// output from node src. Disks are charged only the configured shuffle disk
+// factor; the rest of the bytes move cache-to-memory across the network.
+func (c *Cluster) ShuffleUses(src, dst int) []flow.Use {
+	f := c.Cfg.ShuffleDiskFactor
+	if f <= 0 {
+		f = 0.25
+	}
+	if src == dst {
+		return []flow.Use{{R: c.nodes[src].Disk, Weight: 2 * f}}
+	}
+	return []flow.Use{
+		{R: c.nodes[src].Disk, Weight: f},
+		{R: c.nodes[src].Up, Weight: 1},
+		{R: c.Core, Weight: 1},
+		{R: c.nodes[dst].Down, Weight: 1},
+		{R: c.nodes[dst].Disk, Weight: f},
+	}
+}
+
+// ReadUses returns the path for a task on node dst reading bytes that live
+// on node src, without writing them back to dst's disk (e.g. a mapper
+// streaming its input into the UDF).
+func (c *Cluster) ReadUses(src, dst int) []flow.Use {
+	if src == dst {
+		return []flow.Use{{R: c.nodes[src].Disk, Weight: 1}}
+	}
+	return []flow.Use{
+		{R: c.nodes[src].Disk, Weight: 1},
+		{R: c.nodes[src].Up, Weight: 1},
+		{R: c.Core, Weight: 1},
+		{R: c.nodes[dst].Down, Weight: 1},
+	}
+}
+
+// WriteUses returns the path for a task on node src writing bytes to node
+// dst's disk (e.g. a replica of a reducer output). Remote writes charge the
+// receiving disk the configured replica-write amplification.
+func (c *Cluster) WriteUses(src, dst int) []flow.Use {
+	if src == dst {
+		return []flow.Use{{R: c.nodes[src].Disk, Weight: 1}}
+	}
+	amp := c.Cfg.ReplicaWriteAmp
+	if amp <= 0 {
+		amp = 1.0
+	}
+	return []flow.Use{
+		{R: c.nodes[src].Up, Weight: 1},
+		{R: c.Core, Weight: 1},
+		{R: c.nodes[dst].Down, Weight: 1},
+		{R: c.nodes[dst].Disk, Weight: amp},
+	}
+}
+
+const (
+	// MB and GB are byte sizes used throughout configs and workloads.
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// STICConfig models the paper's STIC cluster slice: 10 nodes, one SATA HDD
+// each, 10GbE with a moderately oversubscribed core, 30s failure detection.
+// Slot counts are per experiment (SLOTS 1-1 or 2-2).
+func STICConfig(mapSlots, reduceSlots int) Config {
+	return Config{
+		Name:                    "STIC",
+		Nodes:                   10,
+		MapSlots:                mapSlots,
+		ReduceSlots:             reduceSlots,
+		DiskBW:                  100 * MB,
+		DiskSeekPenalty:         0.35,
+		DiskPenaltyCap:          1.2,
+		NICBW:                   1250 * MB, // 10GbE
+		Oversubscription:        4,
+		TaskStartup:             1.0,
+		MapCPU:                  400 * MB,
+		ReduceCPU:               400 * MB,
+		ReplicaWriteAmp:         1.0,
+		FailureDetectionTimeout: 30,
+	}
+}
+
+// DCOConfig models the paper's DCO cluster: up to 60 nodes, one dedicated
+// 2TB SATA HDD each, 10GbE across 3 racks, JVM reuse enabled (lower task
+// startup cost).
+func DCOConfig(nodes, mapSlots, reduceSlots int) Config {
+	return Config{
+		Name:                    "DCO",
+		Nodes:                   nodes,
+		MapSlots:                mapSlots,
+		ReduceSlots:             reduceSlots,
+		DiskBW:                  120 * MB,
+		DiskSeekPenalty:         0.35,
+		DiskPenaltyCap:          1.2,
+		NICBW:                   1250 * MB,
+		Oversubscription:        4,
+		TaskStartup:             0.3, // JVM reuse enabled (Section V-A)
+		MapCPU:                  600 * MB,
+		ReduceCPU:               600 * MB,
+		ReplicaWriteAmp:         1.0,
+		FailureDetectionTimeout: 30,
+	}
+}

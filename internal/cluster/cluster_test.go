@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"rcmp/internal/des"
+)
+
+func TestValidate(t *testing.T) {
+	good := STICConfig(1, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("STIC config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.MapSlots = 0 },
+		func(c *Config) { c.ReduceSlots = -1 },
+		func(c *Config) { c.DiskBW = 0 },
+		func(c *Config) { c.NICBW = -5 },
+		func(c *Config) { c.Oversubscription = 0.5 },
+	}
+	for i, mutate := range cases {
+		cfg := STICConfig(1, 1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(des.New(), Config{})
+}
+
+func TestTopology(t *testing.T) {
+	sim := des.New()
+	c := New(sim, STICConfig(2, 2))
+	if c.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", c.NumNodes())
+	}
+	if got := len(c.Alive()); got != 10 {
+		t.Fatalf("Alive = %d, want 10", got)
+	}
+	wantCore := 10 * 1250.0 * MB / 4
+	if c.Core.Capacity != wantCore {
+		t.Fatalf("core capacity %v, want %v", c.Core.Capacity, wantCore)
+	}
+}
+
+func TestFailure(t *testing.T) {
+	sim := des.New()
+	c := New(sim, STICConfig(1, 1))
+	sim.At(15, func() { c.Fail(3) })
+	sim.Run()
+	if c.NumAlive() != 9 {
+		t.Fatalf("NumAlive = %d after failure, want 9", c.NumAlive())
+	}
+	n := c.Node(3)
+	if !n.Failed() || n.FailedAt() != 15 {
+		t.Fatalf("node 3 failed=%v at %v, want true at 15", n.Failed(), n.FailedAt())
+	}
+	for _, id := range c.Alive() {
+		if id == 3 {
+			t.Fatal("failed node listed as alive")
+		}
+	}
+	// Idempotent.
+	c.Fail(3)
+	if c.NumAlive() != 9 {
+		t.Fatal("double Fail changed alive count")
+	}
+}
+
+func TestTransferUsesLocal(t *testing.T) {
+	c := New(des.New(), STICConfig(1, 1))
+	uses := c.TransferUses(2, 2)
+	if len(uses) != 1 || uses[0].R != c.Node(2).Disk || uses[0].Weight != 2 {
+		t.Fatalf("local transfer uses = %+v, want single disk at weight 2", uses)
+	}
+}
+
+func TestTransferUsesRemote(t *testing.T) {
+	c := New(des.New(), STICConfig(1, 1))
+	uses := c.TransferUses(1, 4)
+	if len(uses) != 5 {
+		t.Fatalf("remote transfer crosses %d resources, want 5", len(uses))
+	}
+	if uses[0].R != c.Node(1).Disk || uses[1].R != c.Node(1).Up ||
+		uses[2].R != c.Core || uses[3].R != c.Node(4).Down || uses[4].R != c.Node(4).Disk {
+		t.Fatalf("remote transfer path wrong: %+v", uses)
+	}
+}
+
+func TestReadAndWriteUses(t *testing.T) {
+	c := New(des.New(), STICConfig(1, 1))
+	if got := c.ReadUses(5, 5); len(got) != 1 || got[0].Weight != 1 {
+		t.Fatalf("local read uses = %+v", got)
+	}
+	if got := c.ReadUses(0, 5); len(got) != 4 {
+		t.Fatalf("remote read crosses %d resources, want 4 (no dst disk)", len(got))
+	}
+	if got := c.WriteUses(5, 5); len(got) != 1 {
+		t.Fatalf("local write uses = %+v", got)
+	}
+	if got := c.WriteUses(5, 0); len(got) != 4 {
+		t.Fatalf("remote write crosses %d resources, want 4 (no src disk)", len(got))
+	}
+}
+
+func TestDCOConfig(t *testing.T) {
+	cfg := DCOConfig(60, 1, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DCO config invalid: %v", err)
+	}
+	if cfg.Nodes != 60 {
+		t.Fatalf("nodes = %d", cfg.Nodes)
+	}
+	if cfg.TaskStartup >= STICConfig(1, 1).TaskStartup {
+		t.Fatal("DCO (JVM reuse) should have lower task startup than STIC")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// Tests for the NoMapOutputReuse planner option (Section V-D: "no map
+// outputs are reused. All mappers are recomputed").
+
+func TestNoReuseRerunsWholeMapperTables(t *testing.T) {
+	const nodes, jobs, blocks = 5, 4, 2
+	ch, fs := buildChain(t, nodes, jobs, blocks, jobs, 1)
+	fs.FailNode(2)
+	failed := map[int]bool{2: true}
+
+	reuse, err := BuildPlan(ch, fs, jobs+1, failed, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noReuse, err := BuildPlan(ch, fs, jobs+1, failed, Options{AliveNodes: nodes - 1, NoMapOutputReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noReuse.Steps) == 0 {
+		t.Fatal("no steps planned")
+	}
+	for _, s := range noReuse.Steps {
+		if got, want := len(s.Mappers), nodes*blocks; got != want {
+			t.Fatalf("step job %d re-runs %d mappers, want the whole table (%d)", s.Job, got, want)
+		}
+	}
+	rm, _ := reuse.TotalRecomputedTasks()
+	nm, _ := noReuse.TotalRecomputedTasks()
+	if nm <= rm {
+		t.Fatalf("no-reuse mappers %d not more than reuse mappers %d", nm, rm)
+	}
+	// Reducer work is identical: reuse only affects the map side.
+	_, rr := reuse.TotalRecomputedTasks()
+	_, nr := noReuse.TotalRecomputedTasks()
+	if rr != nr {
+		t.Fatalf("reducer counts differ: %d vs %d", rr, nr)
+	}
+}
+
+// TestNoReuseCascadeCoversAllMapperInputs is the regression the distributed
+// runtime surfaced: with every mapper of a stepped job re-running, the plan
+// must regenerate every unavailable input partition those mappers read —
+// not only the partitions reuse semantics would have needed.
+func TestNoReuseCascadeCoversAllMapperInputs(t *testing.T) {
+	const nodes, jobs, blocks = 5, 4, 2
+	ch, fs := buildChain(t, nodes, jobs, blocks, jobs, 1)
+
+	// Relocate job 3's mappers off node 2, so with reuse, node 2's death
+	// loses no job-3 map output and partition 2 of out2 (stored on node 2)
+	// is not needed. Without reuse, all job-3 mappers re-run and partition
+	// 2 must be regenerated.
+	rec := ch.Job(3)
+	for _, m := range rec.Mappers {
+		if m.Node == 2 {
+			ch.SetMapperOutput(3, m.Index, 3, m.OutputBytes)
+		}
+	}
+	fs.FailNode(2)
+	failed := map[int]bool{2: true}
+
+	needsOut2P2 := func(p *Plan) bool {
+		for _, s := range p.Steps {
+			if s.Job != 2 {
+				continue
+			}
+			for _, r := range s.Reducers {
+				if r.Reducer == 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	reuse, err := BuildPlan(ch, fs, 4, failed, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noReuse, err := BuildPlan(ch, fs, 4, failed, Options{AliveNodes: nodes - 1, NoMapOutputReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if needsOut2P2(reuse) {
+		t.Fatal("reuse plan regenerates out2/p2 although no re-run mapper reads it")
+	}
+	if !needsOut2P2(noReuse) {
+		t.Fatal("no-reuse plan omits out2/p2 although job 3 re-runs all its mappers")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestReducerOfRange(t *testing.T) {
+	check := func(h uint64, r uint8) bool {
+		n := int(r)%32 + 1
+		got := ReducerOf(h, n)
+		return got >= 0 && got < n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOfRange(t *testing.T) {
+	check := func(h uint64, k uint8) bool {
+		n := int(k)%32 + 1
+		got := SplitOf(h, n)
+		return got >= 0 && got < n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOfSingle(t *testing.T) {
+	if SplitOf(12345, 1) != 0 || SplitOf(12345, 0) != 0 {
+		t.Fatal("k<=1 must map everything to split 0")
+	}
+}
+
+// TestSplitPartitionInvariant is the Figure 5 correctness property: when a
+// reducer's keys are divided among k splits, every key goes to exactly one
+// split — nothing is duplicated, nothing is dropped.
+func TestSplitPartitionInvariant(t *testing.T) {
+	const R = 10
+	for _, k := range []int{2, 3, 8, 9} {
+		counts := make([]int, k)
+		keys := 0
+		for i := 0; i < 20000; i++ {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(i)*2654435761)
+			h := HashKey(b[:])
+			if ReducerOf(h, R) != 3 {
+				continue // only keys of reducer 3's partition
+			}
+			keys++
+			s := SplitOf(h, k)
+			counts[s]++
+		}
+		total := 0
+		for s, c := range counts {
+			if c == 0 {
+				t.Errorf("k=%d: split %d received no keys (decorrelation failure)", k, s)
+			}
+			total += c
+		}
+		if total != keys {
+			t.Fatalf("k=%d: %d keys routed, want %d (each key exactly once)", k, total, keys)
+		}
+	}
+}
+
+// TestSplitDecorrelatedFromReducer guards the exact pathology the salt
+// prevents: with R=10 reducers and k=2 splits, a split hash equal to the
+// reducer hash would send every key of a partition to the same split.
+func TestSplitDecorrelatedFromReducer(t *testing.T) {
+	const R, k = 10, 2
+	counts := [k]int{}
+	for i := 0; i < 50000; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i)*0x9E3779B9)
+		h := HashKey(b[:])
+		if ReducerOf(h, R) != 4 {
+			continue
+		}
+		counts[SplitOf(h, k)]++
+	}
+	total := counts[0] + counts[1]
+	if total == 0 {
+		t.Fatal("no keys sampled")
+	}
+	ratio := float64(counts[0]) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("split balance %.2f, want near 0.5 (counts %v)", ratio, counts)
+	}
+}
+
+func TestSplitBalanceAcrossSplits(t *testing.T) {
+	const R, k = 8, 7
+	counts := make([]int, k)
+	total := 0
+	for i := 0; i < 80000; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(i)*6364136223846793005+1442695040888963407)
+		h := HashKey(b[:])
+		if ReducerOf(h, R) != 0 {
+			continue
+		}
+		counts[SplitOf(h, k)]++
+		total++
+	}
+	want := float64(total) / k
+	for s, c := range counts {
+		if float64(c) < 0.7*want || float64(c) > 1.3*want {
+			t.Fatalf("split %d has %d keys, want ~%.0f (counts %v)", s, c, want, counts)
+		}
+	}
+}
+
+func TestHashKeyDeterministicAndSensitive(t *testing.T) {
+	a := HashKey([]byte("hello"))
+	if a != HashKey([]byte("hello")) {
+		t.Fatal("HashKey not deterministic")
+	}
+	if a == HashKey([]byte("hellp")) {
+		t.Fatal("HashKey collision on adjacent input (suspicious)")
+	}
+}
+
+func TestReplicationForJob(t *testing.T) {
+	cases := []struct {
+		job, everyK, repl, want int
+	}{
+		{1, 0, 2, 1},  // hybrid off
+		{5, 5, 2, 2},  // checkpoint job
+		{10, 5, 3, 3}, // checkpoint job, custom factor
+		{4, 5, 2, 1},  // between checkpoints
+		{7, 5, 2, 1},
+	}
+	for _, c := range cases {
+		if got := ReplicationForJob(c.job, c.everyK, c.repl); got != c.want {
+			t.Errorf("ReplicationForJob(%d,%d,%d) = %d, want %d", c.job, c.everyK, c.repl, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rcmp/internal/dfs"
+	"rcmp/internal/lineage"
+)
+
+// buildChain constructs a balanced chain of jobs like the paper's 7-job
+// workload: N nodes, one reducer per node per job, blocksPerPart blocks per
+// partition, one mapper per block, data-local placement (partition p is
+// written by and stored on node p%N, and p's mappers run there too).
+// completed jobs are 1..completed; job completed+1 is "running".
+// repl is the DFS replication factor for job outputs.
+func buildChain(t testing.TB, nodes, jobs, blocksPerPart, completed, repl int) (*lineage.Chain, *dfs.FS) {
+	t.Helper()
+	const blockSize = 100
+	fs := dfs.New(blockSize)
+	all := make([]int, nodes)
+	for i := range all {
+		all[i] = i
+	}
+	// Original input: triple replicated, like the paper.
+	if _, err := fs.Create("input", nodes); err != nil {
+		t.Fatal(err)
+	}
+	inRepl := 3
+	if inRepl > nodes {
+		inRepl = nodes
+	}
+	for p := 0; p < nodes; p++ {
+		sets := [][]int{fs.PlanReplicas(p, inRepl, all)}
+		if _, err := fs.SetPartition("input", p, int64(blocksPerPart*blockSize), sets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch := lineage.NewChain()
+	for j := 1; j <= jobs; j++ {
+		in := "input"
+		if j > 1 {
+			in = fmt.Sprintf("out%d", j-1)
+		}
+		rec := &lineage.JobRecord{
+			ID:         j,
+			Name:       fmt.Sprintf("job%d", j),
+			InputFile:  in,
+			OutputFile: fmt.Sprintf("out%d", j),
+			Splittable: true,
+			Completed:  j <= completed,
+		}
+		for p := 0; p < nodes; p++ {
+			for b := 0; b < blocksPerPart; b++ {
+				idx := p*blocksPerPart + b
+				rec.Mappers = append(rec.Mappers, lineage.MapperMeta{
+					Index:          idx,
+					InputPartition: p,
+					InputBlock:     b,
+					InputBytes:     blockSize,
+					OutputBytes:    blockSize,
+					Node:           p % nodes,
+				})
+			}
+			rec.Reducers = append(rec.Reducers, lineage.ReducerMeta{
+				Index:       p,
+				OutputBytes: int64(blocksPerPart * blockSize),
+				Nodes:       []int{p % nodes},
+			})
+		}
+		if err := ch.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if j <= completed {
+			if _, err := fs.Create(rec.OutputFile, nodes); err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < nodes; p++ {
+				sets := [][]int{fs.PlanReplicas(p%nodes, repl, all)}
+				if _, err := fs.SetPartition(rec.OutputFile, p, int64(blocksPerPart*blockSize), sets); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return ch, fs
+}
+
+func TestSingleFailureCascadesToStart(t *testing.T) {
+	const nodes, jobs, bpp = 10, 7, 2
+	ch, fs := buildChain(t, nodes, jobs, bpp, 6, 1)
+	failedNode := 3
+	fs.FailNode(failedNode)
+	failed := map[int]bool{failedNode: true}
+
+	plan, err := BuildPlan(ch, fs, 7, failed, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RestartJob != 7 {
+		t.Fatalf("restart job %d, want 7", plan.RestartJob)
+	}
+	if len(plan.Steps) != 6 {
+		t.Fatalf("%d steps, want 6 (cascade to job 1)", len(plan.Steps))
+	}
+	for i, s := range plan.Steps {
+		if s.Job != i+1 {
+			t.Fatalf("step %d is job %d, want %d", i, s.Job, i+1)
+		}
+		// Exactly 1/N of reducers (the one on the failed node).
+		if len(s.Reducers) != 1 || s.Reducers[0].Reducer != failedNode {
+			t.Fatalf("job %d reducers %+v, want [{%d 1}]", s.Job, s.Reducers, failedNode)
+		}
+		if s.Reducers[0].Splits != 1 {
+			t.Fatalf("splits %d with Split=false, want 1", s.Reducers[0].Splits)
+		}
+		// Exactly 1/N of mappers: the ones whose outputs lived on the node.
+		if len(s.Mappers) != bpp {
+			t.Fatalf("job %d recomputes %d mappers, want %d", s.Job, len(s.Mappers), bpp)
+		}
+		for _, m := range s.Mappers {
+			if ch.Job(s.Job).Mappers[m].Node != failedNode {
+				t.Fatalf("job %d recomputes mapper %d whose output survived", s.Job, m)
+			}
+		}
+	}
+	m, r := plan.TotalRecomputedTasks()
+	if m != 6*bpp || r != 6 {
+		t.Fatalf("recomputed %d mappers %d reducers, want %d and 6", m, r, 6*bpp)
+	}
+}
+
+func TestReplicationStopsCascade(t *testing.T) {
+	ch, fs := buildChain(t, 5, 4, 2, 3, 2) // repl 2: single failure loses nothing
+	fs.FailNode(1)
+	plan, err := BuildPlan(ch, fs, 4, map[int]bool{1: true}, Options{AliveNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 {
+		t.Fatalf("replicated chain produced %d recompute steps, want 0", len(plan.Steps))
+	}
+	if plan.RestartJob != 4 {
+		t.Fatalf("restart %d, want 4", plan.RestartJob)
+	}
+}
+
+func TestSplitRatioAndAuto(t *testing.T) {
+	ch, fs := buildChain(t, 10, 3, 1, 2, 1)
+	fs.FailNode(0)
+	failed := map[int]bool{0: true}
+
+	plan, err := BuildPlan(ch, fs, 3, failed, Options{Split: true, SplitRatio: 8, AliveNodes: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		for _, r := range s.Reducers {
+			if r.Splits != 8 {
+				t.Fatalf("splits %d, want 8", r.Splits)
+			}
+		}
+	}
+	// Auto ratio = alive nodes.
+	plan, err = BuildPlan(ch, fs, 3, failed, Options{Split: true, AliveNodes: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Steps[0].Reducers[0].Splits; got != 9 {
+		t.Fatalf("auto splits %d, want 9", got)
+	}
+}
+
+func TestNonSplittableJobNotSplit(t *testing.T) {
+	ch, fs := buildChain(t, 6, 3, 1, 2, 1)
+	ch.Job(1).Splittable = false
+	fs.FailNode(2)
+	plan, err := BuildPlan(ch, fs, 3, map[int]bool{2: true}, Options{Split: true, AliveNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		want := 5
+		if s.Job == 1 {
+			want = 1
+		}
+		for _, r := range s.Reducers {
+			if r.Splits != want {
+				t.Fatalf("job %d splits %d, want %d", s.Job, r.Splits, want)
+			}
+		}
+	}
+}
+
+func TestSplitInvalidatesSurvivingConsumers(t *testing.T) {
+	// 4 nodes, 3 blocks per partition. Fail node 1. Job 2's mappers that
+	// read partition 1 (regenerated split) all run on node 1 in this layout,
+	// so to observe the Figure 5 rule, relocate one consumer's OUTPUT to a
+	// surviving node: it must be re-run anyway, flagged as split-invalidated.
+	const nodes, bpp = 4, 3
+	ch, fs := buildChain(t, nodes, 3, bpp, 2, 1)
+	moved := ch.Job(2).MappersReading(1)[0]
+	ch.SetMapperOutput(2, moved, 3, 100) // output now survives on node 3
+	fs.FailNode(1)
+	failed := map[int]bool{1: true}
+
+	plan, err := BuildPlan(ch, fs, 3, failed, Options{Split: true, AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(plan.Steps))
+	}
+	job2 := plan.Steps[1]
+	found := false
+	for _, m := range job2.SplitInvalidated {
+		if m == moved {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mapper %d consumed a split partition but was not invalidated: %+v", moved, job2)
+	}
+	if len(job2.Mappers) != bpp {
+		t.Fatalf("job 2 recomputes %d mappers, want %d (lost + invalidated)", len(job2.Mappers), bpp)
+	}
+
+	// Without splitting the surviving output is reused.
+	plan, err = BuildPlan(ch, fs, 3, failed, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job2 = plan.Steps[1]
+	for _, m := range job2.Mappers {
+		if m == moved {
+			t.Fatal("surviving map output re-run without splitting")
+		}
+	}
+	reused := ReusedMapOutputs(ch, job2)
+	foundReuse := false
+	for _, m := range reused {
+		if m.Index == moved {
+			foundReuse = true
+		}
+	}
+	if !foundReuse {
+		t.Fatal("surviving output not listed as reused")
+	}
+}
+
+func TestNestedFailuresAccumulate(t *testing.T) {
+	ch, fs := buildChain(t, 8, 5, 1, 4, 1)
+	fs.FailNode(2)
+	fs.FailNode(5)
+	failed := map[int]bool{2: true, 5: true}
+	plan, err := BuildPlan(ch, fs, 5, failed, Options{AliveNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		if len(s.Reducers) != 2 {
+			t.Fatalf("job %d regenerates %d partitions, want 2 (both failures)", s.Job, len(s.Reducers))
+		}
+	}
+}
+
+func TestUnrecoverableInput(t *testing.T) {
+	// Single-replicated original input: failing its holder makes recovery
+	// impossible and the planner must say so.
+	fs := dfs.New(100)
+	fs.Create("input", 2)
+	fs.SetPartition("input", 0, 100, [][]int{{0}})
+	fs.SetPartition("input", 1, 100, [][]int{{1}})
+	ch := lineage.NewChain()
+	rec := &lineage.JobRecord{ID: 1, InputFile: "input", OutputFile: "out1", Splittable: true, Completed: true}
+	for p := 0; p < 2; p++ {
+		rec.Mappers = append(rec.Mappers, lineage.MapperMeta{Index: p, InputPartition: p, Node: p})
+		rec.Reducers = append(rec.Reducers, lineage.ReducerMeta{Index: p, Nodes: []int{p}})
+	}
+	ch.Append(rec)
+	ch.Append(&lineage.JobRecord{ID: 2, InputFile: "out1", OutputFile: "out2", Splittable: true,
+		Mappers:  []lineage.MapperMeta{{Index: 0, InputPartition: 0, Node: 0}, {Index: 1, InputPartition: 1, Node: 1}},
+		Reducers: []lineage.ReducerMeta{{Index: 0, Nodes: []int{0}}, {Index: 1, Nodes: []int{1}}}})
+	fs.Create("out1", 2)
+	fs.SetPartition("out1", 0, 100, [][]int{{0}})
+	fs.SetPartition("out1", 1, 100, [][]int{{1}})
+	fs.FailNode(0)
+	if _, err := BuildPlan(ch, fs, 2, map[int]bool{0: true}, Options{AliveNodes: 1}); err == nil {
+		t.Fatal("lost original input did not error")
+	}
+}
+
+func TestBadFailedJob(t *testing.T) {
+	ch, fs := buildChain(t, 4, 3, 1, 2, 1)
+	if _, err := BuildPlan(ch, fs, 0, nil, Options{}); err == nil {
+		t.Fatal("failedJob 0 accepted")
+	}
+	if _, err := BuildPlan(ch, fs, 9, nil, Options{}); err == nil {
+		t.Fatal("failedJob beyond chain accepted")
+	}
+}
+
+func TestFailureAtJob1RestartOnly(t *testing.T) {
+	ch, fs := buildChain(t, 5, 3, 1, 0, 1)
+	fs.FailNode(1)
+	plan, err := BuildPlan(ch, fs, 1, map[int]bool{1: true}, Options{AliveNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 || plan.RestartJob != 1 {
+		t.Fatalf("plan for job-1 failure: %+v", plan)
+	}
+}
+
+// Property: the plan is minimal and sufficient. Minimal: every recomputed
+// reducer's partition was unavailable, and every recomputed mapper either
+// lost its output or consumed a split partition. Sufficient: replaying the
+// plan (marking regenerated partitions and outputs) leaves the restart
+// job's whole input available and every recomputed task's dependencies met.
+func TestPlanMinimalAndSufficientProperty(t *testing.T) {
+	check := func(seed uint16, failA, failB uint8, split bool) bool {
+		nodes := 4 + int(seed)%5 // 4..8
+		jobs := 2 + int(seed)%5  // 2..6
+		bpp := 1 + int(seed)%3
+		failedJob := 1 + int(seed>>4)%jobs
+		ch, fs := buildChain(t, nodes, jobs, bpp, failedJob-1, 1)
+
+		failedNodes := map[int]bool{int(failA) % nodes: true}
+		if failB%2 == 0 {
+			failedNodes[int(failB)%nodes] = true
+		}
+		if len(failedNodes) == nodes {
+			return true // everything dead; not a recoverable scenario
+		}
+		for n := range failedNodes {
+			fs.FailNode(n)
+		}
+		plan, err := BuildPlan(ch, fs, failedJob, failedNodes, Options{Split: split, AliveNodes: nodes - len(failedNodes)})
+		if err != nil {
+			return false
+		}
+
+		// Minimality.
+		for si, s := range plan.Steps {
+			rec := ch.Job(s.Job)
+			for _, r := range s.Reducers {
+				if fs.PartitionAvailable(rec.OutputFile, r.Reducer) {
+					return false
+				}
+			}
+			invalid := map[int]bool{}
+			for _, m := range s.SplitInvalidated {
+				invalid[m] = true
+			}
+			prevSplit := map[int]bool{}
+			if si > 0 {
+				for _, r := range plan.Steps[si-1].Reducers {
+					if r.Splits > 1 {
+						prevSplit[r.Reducer] = true
+					}
+				}
+			}
+			for _, mi := range s.Mappers {
+				m := rec.Mappers[mi]
+				lost := failedNodes[m.Node]
+				if !lost && !(invalid[mi] && prevSplit[m.InputPartition]) {
+					return false
+				}
+			}
+		}
+
+		// Sufficiency: replay.
+		regenerated := map[string]map[int]bool{}
+		avail := func(file string, p int) bool {
+			return fs.PartitionAvailable(file, p) || regenerated[file][p]
+		}
+		for _, s := range plan.Steps {
+			rec := ch.Job(s.Job)
+			// Each recomputed mapper's input must be available at this point.
+			for _, mi := range s.Mappers {
+				m := rec.Mappers[mi]
+				if !avail(rec.InputFile, m.InputPartition) {
+					return false
+				}
+			}
+			for _, r := range s.Reducers {
+				if regenerated[rec.OutputFile] == nil {
+					regenerated[rec.OutputFile] = map[int]bool{}
+				}
+				regenerated[rec.OutputFile][r.Reducer] = true
+			}
+		}
+		if plan.RestartJob > 1 {
+			prev := ch.Job(plan.RestartJob - 1)
+			for p := 0; p < prev.NumReducers(); p++ {
+				if !avail(prev.OutputFile, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestReclaimableBefore(t *testing.T) {
+	const nodes, jobs, bpp = 4, 6, 2
+	ch, _ := buildChain(t, nodes, jobs, bpp, 5, 1)
+	r, err := ReclaimableBefore(ch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MapOutputJobs) != 4 {
+		t.Fatalf("map-output jobs %v, want 1..4", r.MapOutputJobs)
+	}
+	if len(r.Files) != 3 || r.Files[0] != "out1" || r.Files[2] != "out3" {
+		t.Fatalf("files %v, want out1..out3 (checkpoint file kept)", r.Files)
+	}
+	wantBytes := int64(4 * nodes * bpp * 100) // 4 jobs x mappers x 100B
+	if r.Bytes != wantBytes {
+		t.Fatalf("bytes %d, want %d", r.Bytes, wantBytes)
+	}
+
+	if _, err := ReclaimableBefore(ch, 99); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+	if _, err := ReclaimableBefore(ch, 6); err == nil {
+		t.Fatal("incomplete checkpoint job accepted")
+	}
+}
+
+func TestApplyReclamationForcesRerun(t *testing.T) {
+	// After reclaiming jobs <= 2, a cascade that somehow reaches job 2 must
+	// re-run every mapper of job 2 (outputs gone).
+	const nodes = 4
+	ch, fs := buildChain(t, nodes, 4, 1, 3, 1)
+	r, err := ReclaimableBefore(ch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyReclamation(ch, r)
+	for _, m := range ch.Job(2).Mappers {
+		if m.Node >= 0 {
+			t.Fatalf("mapper %d still persisted after reclamation", m.Index)
+		}
+	}
+	fs.FailNode(1)
+	plan, err := BuildPlan(ch, fs, 4, map[int]bool{1: true}, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		if s.Job == 2 && len(s.Mappers) != len(ch.Job(2).Mappers) {
+			t.Fatalf("job 2 re-runs %d mappers after reclamation, want all %d",
+				len(s.Mappers), len(ch.Job(2).Mappers))
+		}
+	}
+}
+
+func TestPlanEvictionPrefersLateJobs(t *testing.T) {
+	const nodes, jobs, bpp = 4, 5, 2
+	ch, _ := buildChain(t, nodes, jobs, bpp, 5, 1)
+	waveSlots := nodes // 1 slot per node
+	perWave := int64(waveSlots * 100)
+	plan, err := PlanEviction(ch, perWave, waveSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Waves) == 0 {
+		t.Fatal("empty plan")
+	}
+	// Cheapest candidates are the last completed job's waves (needed only
+	// if a failure hits beyond it).
+	if plan.Waves[0].Job != jobs {
+		t.Fatalf("first eviction from job %d, want %d (latest)", plan.Waves[0].Job, jobs)
+	}
+	if plan.Freed < perWave {
+		t.Fatalf("freed %d, want >= %d", plan.Freed, perWave)
+	}
+}
+
+func TestPlanEvictionBudgetAndErrors(t *testing.T) {
+	ch, _ := buildChain(t, 3, 3, 1, 3, 1)
+	if _, err := PlanEviction(ch, 100, 0); err == nil {
+		t.Fatal("waveSlots 0 accepted")
+	}
+	plan, err := PlanEviction(ch, 0, 3)
+	if err != nil || len(plan.Waves) != 0 {
+		t.Fatalf("zero-need plan: %v %v", plan, err)
+	}
+	// Demand beyond everything persisted errors but still returns what it
+	// could free.
+	if _, err := PlanEviction(ch, 1<<40, 3); err == nil {
+		t.Fatal("impossible budget satisfied")
+	}
+}
+
+func TestApplyEvictionAndRecoveryPlan(t *testing.T) {
+	const nodes = 5
+	ch, fs := buildChain(t, nodes, 4, 2, 3, 1)
+	plan, err := PlanEviction(ch, 200, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyEviction(ch, plan)
+	evicted := map[[2]int]bool{}
+	for _, w := range plan.Waves {
+		for _, mi := range w.Mappers {
+			evicted[[2]int{w.Job, mi}] = true
+			if ch.Job(w.Job).Mappers[mi].Node >= 0 {
+				t.Fatal("evicted mapper still persisted")
+			}
+		}
+	}
+	// Recovery after eviction re-runs evicted mappers of recomputed jobs.
+	fs.FailNode(2)
+	rec, err := BuildPlan(ch, fs, 4, map[int]bool{2: true}, Options{AliveNodes: nodes - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Steps {
+		inStep := map[int]bool{}
+		for _, m := range s.Mappers {
+			inStep[m] = true
+		}
+		for key := range evicted {
+			if key[0] == s.Job && !inStep[key[1]] {
+				t.Fatalf("job %d evicted mapper %d not re-run", key[0], key[1])
+			}
+		}
+	}
+}
+
+func TestEvictionExpectedCostMonotone(t *testing.T) {
+	// Evicting more bytes never decreases the expected extra cost.
+	ch, _ := buildChain(t, 4, 5, 2, 5, 1)
+	var prev float64
+	for _, need := range []int64{100, 400, 800, 1600} {
+		plan, err := PlanEviction(ch, need, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.ExpectedExtraBytes < prev {
+			t.Fatalf("expected cost decreased: %v after %v", plan.ExpectedExtraBytes, prev)
+		}
+		prev = plan.ExpectedExtraBytes
+	}
+}

@@ -1,0 +1,174 @@
+// Package des provides a minimal discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events are callbacks scheduled at absolute or relative virtual times.
+// Ties are broken by scheduling order so runs are fully deterministic.
+//
+// The kernel is intentionally single-threaded: all model code runs inside
+// event callbacks on the goroutine that calls Run, so model state needs no
+// locking. This mirrors the structure of classic network/cluster simulators
+// and keeps large experiments (hundreds of thousands of events) cheap.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Forever is a time later than any event the simulator will ever reach.
+const Forever Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. It is returned by At and After so callers
+// can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	fired  bool
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// Processed counts events that have fired, for diagnostics.
+	Processed uint64
+}
+
+// New returns a simulator with the clock at zero and an empty queue.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// At schedules fn to run at absolute virtual time t.
+// Scheduling in the past panics: it always indicates a model bug.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fired = true
+		s.Processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 || s.peek().at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (uncancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) peek() *Event {
+	// The heap may have cancelled events removed eagerly, so the root is live.
+	return s.queue[0]
+}

@@ -1,0 +1,181 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Fatalf("nested After fired at %v, want 5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	fired := false
+	var e *Event
+	e = s.At(2, func() { fired = true })
+	s.At(1, func() { s.Cancel(e) })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestCancelTwiceAndAfterFire(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.Run()
+	s.Cancel(e) // after fire: no-op
+	s.Cancel(e)
+	e2 := s.At(2, func() {})
+	s.Cancel(e2)
+	s.Cancel(e2) // double cancel: no-op
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, tm := range []Time{1, 2, 3, 4} {
+		tm := tm
+		s.At(tm, func() { got = append(got, tm) })
+	}
+	s.RunUntil(2.5)
+	if len(got) != 2 {
+		t.Fatalf("fired %v, want events at 1,2 only", got)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("clock %v, want 2.5", s.Now())
+	}
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events did not fire: %v", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++; s.Stop() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after Stop, want 1", count)
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		n := 200
+		times := make([]Time, n)
+		var got []Time
+		for i := 0; i < n; i++ {
+			times[i] = Time(rng.Intn(50))
+			tm := times[i]
+			s.At(tm, func() { got = append(got, tm) })
+		}
+		s.Run()
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("trial %d: events fired out of order", trial)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(got), n)
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Processed != 5 {
+		t.Fatalf("Processed = %d, want 5", s.Processed)
+	}
+}

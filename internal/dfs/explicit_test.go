@@ -1,0 +1,111 @@
+package dfs
+
+import "testing"
+
+// Tests for SetPartitionBlocks, the explicit-block-list write path used by
+// the distributed runtime (one block per writing task, variable sizes).
+
+func TestExplicitBlocksBasic(t *testing.T) {
+	fs := New(256)
+	fs.Create("f", 2)
+	p, err := fs.SetPartitionBlocks("f", 0,
+		[]int64{100, 30, 0},
+		[][]int{{0, 1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(p.Blocks))
+	}
+	if p.Size() != 130 {
+		t.Fatalf("size = %d, want 130", p.Size())
+	}
+	for b, want := range [][]int{{0, 1}, {2}, {3}} {
+		got := p.Blocks[b].Replicas
+		if len(got) != len(want) {
+			t.Fatalf("block %d replicas %v, want %v", b, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d replicas %v, want %v", b, got, want)
+			}
+		}
+	}
+	// Zero-size blocks are valid (an empty split still writes its block).
+	if p.Blocks[2].Size != 0 {
+		t.Fatalf("empty block size %d", p.Blocks[2].Size)
+	}
+}
+
+func TestExplicitBlocksOverwriteChangesLayout(t *testing.T) {
+	fs := New(50)
+	fs.Create("f", 1)
+	// Canonical carved write: 120 bytes at block size 50 -> 3 blocks.
+	if _, err := fs.SetPartition("f", 0, 120, [][]int{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fs.File("f").Partitions[0].Blocks); got != 3 {
+		t.Fatalf("carved blocks = %d, want 3", got)
+	}
+	// Split regeneration: 2 explicit fragments replace the 3 blocks.
+	if _, err := fs.SetPartitionBlocks("f", 0, []int64{70, 50}, [][]int{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	p := fs.File("f").Partitions[0]
+	if len(p.Blocks) != 2 || p.Size() != 120 {
+		t.Fatalf("after overwrite: %d blocks, %d bytes", len(p.Blocks), p.Size())
+	}
+	locs := fs.BlockLocations("f", 0)
+	if len(locs) != 2 || locs[0][0] != 1 || locs[1][0] != 2 {
+		t.Fatalf("locations %v", locs)
+	}
+}
+
+func TestExplicitBlocksErrors(t *testing.T) {
+	fs := New(256)
+	fs.Create("f", 1)
+	cases := []struct {
+		name  string
+		file  string
+		part  int
+		sizes []int64
+		sets  [][]int
+	}{
+		{"missing file", "g", 0, []int64{1}, [][]int{{0}}},
+		{"bad partition", "f", 9, []int64{1}, [][]int{{0}}},
+		{"no blocks", "f", 0, nil, nil},
+		{"length mismatch", "f", 0, []int64{1, 2}, [][]int{{0}}},
+		{"empty replica set", "f", 0, []int64{1}, [][]int{{}}},
+		{"negative size", "f", 0, []int64{-1}, [][]int{{0}}},
+	}
+	for _, c := range cases {
+		if _, err := fs.SetPartitionBlocks(c.file, c.part, c.sizes, c.sets); err == nil {
+			t.Errorf("%s: write succeeded", c.name)
+		}
+	}
+}
+
+func TestExplicitBlocksLossSemantics(t *testing.T) {
+	fs := New(256)
+	fs.Create("f", 1)
+	// Split-written partition: fragment per node, no replication.
+	if _, err := fs.SetPartitionBlocks("f", 0, []int64{10, 10, 10}, [][]int{{0}, {1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.PartitionAvailable("f", 0) {
+		t.Fatal("partition not available after write")
+	}
+	// Losing any one fragment holder loses the whole partition.
+	lost := fs.FailNode(1)
+	if len(lost) != 1 || lost[0].File != "f" || lost[0].Partition != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if fs.PartitionAvailable("f", 0) {
+		t.Fatal("partition available with a fragment on a dead node")
+	}
+	// Surviving fragments still report their live locations.
+	locs := fs.BlockLocations("f", 0)
+	if len(locs[0]) != 1 || len(locs[1]) != 0 || len(locs[2]) != 1 {
+		t.Fatalf("locations after failure: %v", locs)
+	}
+}

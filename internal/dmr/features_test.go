@@ -1,0 +1,203 @@
+package dmr
+
+import (
+	"testing"
+
+	"rcmp/internal/dfs"
+)
+
+// Tests for the simulator-parity features of the distributed runtime:
+// scatter-only recomputation (Section IV-B2), disabling map-output reuse
+// (Section V-D), and wave-granularity eviction (Section IV-C).
+
+func TestScatterOnlyRecovery(t *testing.T) {
+	cfg := ChainConfig{Jobs: 4, NumReducers: 6, RecordsPerPartition: 150, Seed: 31}
+	want := referenceDigests(t, 5, 2, 30, cfg)
+
+	c := startCluster(t, 5, 2, 30)
+	run := cfg
+	run.ScatterOnly = true
+	run.AfterJob = func(job int) {
+		if job == 3 {
+			c.killAndAwaitDetection(t, 1)
+		}
+	}
+	d := runChain(t, c, run)
+	digs, err := d.OutputDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDigestsEqual(t, digs, want)
+	if d.RecomputedReducers == 0 {
+		t.Fatal("no reducers recomputed despite data loss")
+	}
+
+	// Scattered regeneration must leave at least one recomputed partition
+	// whose blocks live on more than one node — unlike plain NO-SPLIT
+	// recomputation, which writes everything on the single recompute node.
+	spread := false
+	_ = c.m.WithFS(func(fs *dfs.FS) error {
+		for j := 1; j <= cfg.Jobs; j++ {
+			rec := d.Chain().Job(j)
+			if rec == nil {
+				continue
+			}
+			f := fs.File(rec.OutputFile)
+			if f == nil {
+				continue
+			}
+			for _, p := range f.Partitions {
+				holders := map[int]bool{}
+				for _, b := range p.Blocks {
+					if len(b.Replicas) > 0 {
+						holders[b.Replicas[0]] = true
+					}
+				}
+				if len(p.Blocks) > 1 && len(holders) > 1 {
+					spread = true
+				}
+			}
+		}
+		return nil
+	})
+	if !spread {
+		t.Fatal("scatter recomputation left no multi-node partition layouts")
+	}
+
+	// Scatter keeps reducers whole: lineage must never show a multi-node
+	// (split) reducer output.
+	for j := 1; j <= d.Chain().Len(); j++ {
+		for _, r := range d.Chain().Job(j).Reducers {
+			if len(r.Nodes) > 1 {
+				t.Fatalf("job %d reducer %d was split under ScatterOnly", j, r.Index)
+			}
+		}
+	}
+}
+
+func TestNoMapOutputReuseRerunsEverything(t *testing.T) {
+	cfg := ChainConfig{Jobs: 4, NumReducers: 6, RecordsPerPartition: 120, Seed: 37}
+	want := referenceDigests(t, 5, 2, 40, cfg)
+
+	// Baseline with reuse: count recomputed mappers for the same scenario.
+	base := startCluster(t, 5, 2, 40)
+	runBase := cfg
+	runBase.AfterJob = func(job int) {
+		if job == 3 {
+			base.killAndAwaitDetection(t, 2)
+		}
+	}
+	dBase := runChain(t, base, runBase)
+
+	noReuse := startCluster(t, 5, 2, 40)
+	run := cfg
+	run.NoMapOutputReuse = true
+	run.AfterJob = func(job int) {
+		if job == 3 {
+			noReuse.killAndAwaitDetection(t, 2)
+		}
+	}
+	d := runChain(t, noReuse, run)
+	digs, err := d.OutputDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDigestsEqual(t, digs, want)
+
+	// Disabling reuse must strictly increase map re-execution: every
+	// recomputed job re-runs its whole mapper table.
+	if d.RecomputedMappers <= dBase.RecomputedMappers {
+		t.Fatalf("RecomputedMappers with NoMapOutputReuse = %d, want > %d (reuse baseline)",
+			d.RecomputedMappers, dBase.RecomputedMappers)
+	}
+}
+
+func TestEvictThenRecoverExactly(t *testing.T) {
+	cfg := ChainConfig{Jobs: 4, NumReducers: 6, RecordsPerPartition: 120, Seed: 41, Split: true}
+	want := referenceDigests(t, 5, 2, 40, cfg)
+
+	c := startCluster(t, 5, 2, 40)
+	var d *Driver
+	run := cfg
+	run.AfterJob = func(job int) {
+		switch job {
+		case 2:
+			// Storage pressure: evict persisted map outputs mid-chain.
+			if err := d.Evict(1); err != nil {
+				t.Errorf("evict: %v", err)
+			}
+		case 3:
+			c.killAndAwaitDetection(t, 0)
+		}
+	}
+	var err error
+	d, err = NewDriver(c.m, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadInput(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunChain(); err != nil {
+		t.Fatal(err)
+	}
+	digs, err := d.OutputDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery after eviction re-runs evicted mappers transparently; the
+	// output must stay exact.
+	assertDigestsEqual(t, digs, want)
+}
+
+func TestEvictReleasesStoreEntriesAndMarksLineage(t *testing.T) {
+	cfg := ChainConfig{Jobs: 3, NumReducers: 6, RecordsPerPartition: 120, Seed: 43}
+	c := startCluster(t, 4, 2, 40)
+	d := runChain(t, c, cfg)
+
+	before := 0
+	for _, w := range c.workers {
+		before += w.StoreStats().MapOutputs
+	}
+	if before == 0 {
+		t.Fatal("no persisted map outputs to evict")
+	}
+	if err := d.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	for _, w := range c.workers {
+		after += w.StoreStats().MapOutputs
+	}
+	if after >= before {
+		t.Fatalf("map outputs %d -> %d: eviction released nothing", before, after)
+	}
+	// Lineage must record the evicted outputs as gone (Node -1).
+	evicted := 0
+	for j := 1; j <= cfg.Jobs; j++ {
+		for _, m := range d.Chain().Job(j).Mappers {
+			if m.Node < 0 {
+				evicted++
+			}
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("eviction left no Node=-1 markers in the lineage")
+	}
+}
+
+func TestEvictMoreThanPersistedFails(t *testing.T) {
+	cfg := ChainConfig{Jobs: 2, NumReducers: 4, RecordsPerPartition: 60, Seed: 47}
+	c := startCluster(t, 3, 2, 30)
+	d := runChain(t, c, cfg)
+	if err := d.Evict(1 << 50); err == nil {
+		t.Fatal("eviction of more bytes than persisted succeeded")
+	}
+}
+
+func TestScatterAndSplitMutuallyExclusive(t *testing.T) {
+	c := startCluster(t, 2, 1, 10)
+	if _, err := NewDriver(c.m, ChainConfig{Jobs: 1, NumReducers: 1, Split: true, ScatterOnly: true}); err == nil {
+		t.Fatal("Split+ScatterOnly accepted")
+	}
+}

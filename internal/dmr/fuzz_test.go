@@ -1,0 +1,100 @@
+package dmr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomFailureSchedules drives the distributed runtime through
+// randomized chain shapes and kill schedules, always asserting the invariant
+// the whole system exists to preserve: the recovered output is record-exact
+// versus a failure-free run of the identical chain. Each scenario is seeded,
+// so a failure reproduces with its logged seed.
+func TestRandomFailureSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster fuzz in -short mode")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+
+			workers := 4 + rng.Intn(3) // 4..6
+			jobs := 3 + rng.Intn(3)    // 3..5
+			cfg := ChainConfig{
+				Jobs:                jobs,
+				NumReducers:         4 + rng.Intn(5), // 4..8
+				RecordsPerPartition: 60 + rng.Intn(80),
+				Seed:                seed * 101,
+				Split:               rng.Intn(2) == 0,
+			}
+			if cfg.Split && rng.Intn(2) == 0 {
+				cfg.SplitRatio = 2 + rng.Intn(3)
+			}
+
+			// 1..2 kills at random job boundaries, never leaving fewer than
+			// 2 workers (the planner needs survivors to recompute on).
+			kills := map[int][]int{}
+			nKills := 1 + rng.Intn(2)
+			if workers-nKills < 2 {
+				nKills = workers - 2
+			}
+			victims := rng.Perm(workers)[:nKills]
+			for _, v := range victims {
+				kills[1+rng.Intn(jobs)] = append(kills[1+rng.Intn(jobs)], v)
+			}
+			t.Logf("workers=%d jobs=%d reducers=%d split=%v ratio=%d kills=%v",
+				workers, jobs, cfg.NumReducers, cfg.Split, cfg.SplitRatio, kills)
+
+			want := referenceDigests(t, workers, 2, 40, cfg)
+
+			c := startCluster(t, workers, 2, 40)
+			run := cfg
+			run.AfterJob = func(job int) {
+				for _, v := range kills[job] {
+					c.killAndAwaitDetection(t, v)
+				}
+			}
+			d := runChain(t, c, run)
+			digs, err := d.OutputDigests()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertDigestsEqual(t, digs, want)
+		})
+	}
+}
+
+// TestRepeatedFailuresSameChain drains a cluster one worker per job
+// boundary, with splitting on: every recovery must replan over the
+// shrinking survivor set and the output must stay exact. Two kills is the
+// most input replication 3 provably survives here (the input loader placed
+// partition 3's replicas on workers {3,4,5}, so a third kill of that group
+// is legitimately unrecoverable — which TestUnrecoverableWhenInputLost
+// covers from the other side).
+func TestRepeatedFailuresSameChain(t *testing.T) {
+	cfg := ChainConfig{Jobs: 4, NumReducers: 6, RecordsPerPartition: 80, Seed: 29, Split: true}
+	want := referenceDigests(t, 6, 2, 40, cfg)
+
+	c := startCluster(t, 6, 2, 40)
+	run := cfg
+	run.AfterJob = func(job int) {
+		if job <= 2 { // kill workers 5, 4 after jobs 1, 2
+			c.killAndAwaitDetection(t, 6-job)
+		}
+	}
+	d := runChain(t, c, run)
+	digs, err := d.OutputDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDigestsEqual(t, digs, want)
+	if d.RecoveryEpisodes != 2 {
+		t.Fatalf("RecoveryEpisodes = %d, want 2", d.RecoveryEpisodes)
+	}
+	if got := len(c.m.AliveWorkers()); got != 4 {
+		t.Fatalf("alive workers = %d, want 4", got)
+	}
+}

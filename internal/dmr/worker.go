@@ -1,0 +1,410 @@
+package dmr
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rcmp/internal/core"
+	"rcmp/internal/wire"
+	"rcmp/internal/workload"
+)
+
+// Timing bundles the liveness and transport delays of a deployment. Tests
+// shrink these so a kill-detect-recover cycle takes milliseconds; the
+// paper's clusters used a 30 s detection timeout.
+type Timing struct {
+	HeartbeatInterval time.Duration // worker -> master cadence
+	DetectionTimeout  time.Duration // master declares a silent worker dead
+	DialTimeout       time.Duration
+	CallTimeout       time.Duration // per-RPC deadline for control calls
+	TaskTimeout       time.Duration // per-task deadline (map/reduce RPCs)
+}
+
+// DefaultTiming returns production-ish defaults (detection 30 s, like the
+// paper's configuration).
+func DefaultTiming() Timing {
+	return Timing{
+		HeartbeatInterval: 3 * time.Second,
+		DetectionTimeout:  30 * time.Second,
+		DialTimeout:       5 * time.Second,
+		CallTimeout:       30 * time.Second,
+		TaskTimeout:       10 * time.Minute,
+	}
+}
+
+// TestTiming returns millisecond-scale settings for tests and examples.
+func TestTiming() Timing {
+	return Timing{
+		HeartbeatInterval: 10 * time.Millisecond,
+		DetectionTimeout:  150 * time.Millisecond,
+		DialTimeout:       time.Second,
+		CallTimeout:       5 * time.Second,
+		TaskTimeout:       time.Minute,
+	}
+}
+
+func (t Timing) withDefaults() Timing {
+	d := DefaultTiming()
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if t.DetectionTimeout <= 0 {
+		t.DetectionTimeout = d.DetectionTimeout
+	}
+	if t.DialTimeout <= 0 {
+		t.DialTimeout = d.DialTimeout
+	}
+	if t.CallTimeout <= 0 {
+		t.CallTimeout = d.CallTimeout
+	}
+	if t.TaskTimeout <= 0 {
+		t.TaskTimeout = d.TaskTimeout
+	}
+	return t
+}
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	ID         int    // dense node ID, 0..N-1
+	MasterAddr string // master's control address
+	ListenAddr string // address to bind the data/task server ("127.0.0.1:0" for tests)
+	Timing     Timing
+
+	// TaskDelay makes every map/reduce task on this worker sleep first —
+	// a straggler knob for tests and demos of speculative execution (a
+	// slow disk or overloaded node in the paper's terms).
+	TaskDelay time.Duration
+}
+
+// Worker is one compute-plus-storage node: it runs tasks, stores blocks and
+// persisted map outputs, serves peer fetches, and heartbeats the master.
+type Worker struct {
+	cfg    WorkerConfig
+	store  *store
+	server *wire.Server
+	peers  *wire.Pool
+	master *wire.Client
+
+	mu        sync.Mutex
+	killed    bool
+	stopHB    chan struct{}
+	hbStopped sync.WaitGroup
+
+	// counters for observability and tests
+	remoteReads int
+	tasksRun    int
+}
+
+// StartWorker binds the worker's server, registers with the master, and
+// starts heartbeating. The returned worker runs until Kill or Shutdown.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg.Timing = cfg.Timing.withDefaults()
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dmr: worker %d listen: %w", cfg.ID, err)
+	}
+	w := &Worker{
+		cfg:    cfg,
+		store:  newStore(),
+		peers:  wire.NewPool(cfg.Timing.DialTimeout),
+		stopHB: make(chan struct{}),
+	}
+	w.server = wire.NewServer(ln, w.handle)
+
+	w.master, err = wire.Dial(cfg.MasterAddr, cfg.Timing.DialTimeout)
+	if err != nil {
+		w.server.Close()
+		return nil, fmt.Errorf("dmr: worker %d dial master: %w", cfg.ID, err)
+	}
+	if _, err := w.master.Call(RegisterReq{Worker: cfg.ID, Addr: w.Addr()}, cfg.Timing.CallTimeout); err != nil {
+		w.server.Close()
+		w.master.Close()
+		return nil, fmt.Errorf("dmr: worker %d register: %w", cfg.ID, err)
+	}
+	w.hbStopped.Add(1)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+// Addr returns the worker's data/task address.
+func (w *Worker) Addr() string { return w.server.Addr() }
+
+// ID returns the worker's node ID.
+func (w *Worker) ID() int { return w.cfg.ID }
+
+func (w *Worker) heartbeatLoop() {
+	defer w.hbStopped.Done()
+	t := time.NewTicker(w.cfg.Timing.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopHB:
+			return
+		case <-t.C:
+			// A failed heartbeat is not fatal: the master declares us dead
+			// on its own timeout, which is the detection path under test.
+			_, _ = w.master.Call(HeartbeatReq{Worker: w.cfg.ID}, w.cfg.Timing.CallTimeout)
+		}
+	}
+}
+
+// Kill simulates node death: heartbeats stop and the data/task server goes
+// away, so stored blocks and persisted map outputs become unreachable. This
+// is the TaskTracker+DataNode kill of Section V-A.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	close(w.stopHB)
+	w.mu.Unlock()
+	w.hbStopped.Wait()
+	w.server.Close()
+	w.peers.Close()
+	w.master.Close()
+}
+
+// Shutdown is a graceful Kill (same teardown; named for intent at call sites).
+func (w *Worker) Shutdown() { w.Kill() }
+
+// StoreStats snapshots the worker's storage (tests, observability).
+func (w *Worker) StoreStats() Stats { return w.store.Stats() }
+
+// RemoteReads returns how many mapper inputs this worker fetched from peers
+// (each one is a would-be hot-spot access during recomputation).
+func (w *Worker) RemoteReads() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.remoteReads
+}
+
+// TasksRun returns how many map/reduce tasks this worker executed.
+func (w *Worker) TasksRun() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tasksRun
+}
+
+// handle dispatches one request on the worker's server.
+func (w *Worker) handle(_ net.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case PingReq:
+		return PingResp{}, nil
+	case PutBlockReq:
+		w.store.PutBlock(r.File, r.Part, r.Block, r.Records)
+		return PutBlockResp{}, nil
+	case FetchBlockReq:
+		rows, err := w.store.GetBlock(r.File, r.Part, r.Block)
+		if err != nil {
+			return nil, err
+		}
+		return FetchBlockResp{Records: rows}, nil
+	case FetchMapOutReq:
+		rows, err := w.store.MapOutputSlice(r.Job, r.Part, r.Block, r.Reducer, r.Split, r.Splits)
+		if err != nil {
+			return nil, err
+		}
+		return FetchMapOutResp{Records: rows}, nil
+	case DropPartitionReq:
+		w.store.DropPartition(r.File, r.Part)
+		return DropPartitionResp{}, nil
+	case DropFileReq:
+		w.store.DropFile(r.File)
+		return DropFileResp{}, nil
+	case DropMapOutputsReq:
+		w.store.DropMapOutputs(r.Jobs)
+		return DropMapOutputsResp{}, nil
+	case EvictMapOutputsReq:
+		for _, ref := range r.Refs {
+			w.store.EvictMapOutput(ref.Job, ref.Part, ref.Block)
+		}
+		return EvictMapOutputsResp{}, nil
+	case DigestReq:
+		d, err := w.store.BlockDigest(r.File, r.Part, r.Block)
+		if err != nil {
+			return nil, err
+		}
+		return DigestResp{Digest: d}, nil
+	case RunMapperReq:
+		return w.runMapper(r)
+	case RunReducerReq:
+		return w.runReducer(r)
+	default:
+		return nil, fmt.Errorf("dmr: worker %d: unknown request %T", w.cfg.ID, req)
+	}
+}
+
+// readInput returns the mapper's input block, fetching from a peer when it
+// is not stored locally (a data-non-local task).
+func (w *Worker) readInput(r RunMapperReq) ([]workload.Record, bool, error) {
+	if w.store.HasBlock(r.InFile, r.Part, r.Block) {
+		rows, err := w.store.GetBlock(r.InFile, r.Part, r.Block)
+		return rows, false, err
+	}
+	var lastErr error
+	for _, addr := range r.Holders {
+		if addr == w.Addr() {
+			continue // the master thought we hold it but we don't; skip
+		}
+		resp, err := w.peers.Call(addr, FetchBlockReq{File: r.InFile, Part: r.Part, Block: r.Block}, w.cfg.Timing.CallTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp.(FetchBlockResp).Records, true, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dmr: no holders listed")
+	}
+	return nil, false, fmt.Errorf("dmr: worker %d: input %s/p%d/b%d unreadable: %w",
+		w.cfg.ID, r.InFile, r.Part, r.Block, lastErr)
+}
+
+func reducerOfRecord(r workload.Record, numReducers int) int {
+	return core.ReducerOf(core.HashKey(workload.KeyBytes(r.Key)), numReducers)
+}
+
+func splitOfRecord(r workload.Record, splits int) int {
+	return core.SplitOf(core.HashKey(workload.KeyBytes(r.Key)), splits)
+}
+
+// runMapper executes one mapper task.
+func (w *Worker) runMapper(r RunMapperReq) (any, error) {
+	if w.cfg.TaskDelay > 0 {
+		time.Sleep(w.cfg.TaskDelay)
+	}
+	rows, remote, err := w.readInput(r)
+	if err != nil {
+		return nil, err
+	}
+	buckets := make([][]workload.Record, r.NumReducers)
+	var outBytes int64
+	for _, rec := range rows {
+		err := workload.Map(rec, func(o workload.Record) {
+			red := reducerOfRecord(o, r.NumReducers)
+			buckets[red] = append(buckets[red], o)
+			outBytes += int64(8 + len(o.Value))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dmr: worker %d mapper %d/%d: %w", w.cfg.ID, r.Job, r.Mapper, err)
+		}
+	}
+	w.store.PutMapOutput(r.Job, r.Part, r.Block, buckets)
+
+	counts := make([]int64, r.NumReducers)
+	for i, b := range buckets {
+		counts[i] = int64(len(b))
+	}
+	w.mu.Lock()
+	w.tasksRun++
+	if remote {
+		w.remoteReads++
+	}
+	w.mu.Unlock()
+	return RunMapperResp{PerReducerRecords: counts, OutputBytes: outBytes, RemoteRead: remote}, nil
+}
+
+// runReducer executes one reducer task (whole or one split).
+func (w *Worker) runReducer(r RunReducerReq) (any, error) {
+	if w.cfg.TaskDelay > 0 {
+		time.Sleep(w.cfg.TaskDelay)
+	}
+	// Shuffle: pull this (reducer, split)'s records from every map source.
+	grouped := make(map[uint64][][]byte)
+	var keys []uint64
+	ingest := func(rows []workload.Record) {
+		for _, rec := range rows {
+			if _, ok := grouped[rec.Key]; !ok {
+				keys = append(keys, rec.Key)
+			}
+			grouped[rec.Key] = append(grouped[rec.Key], rec.Value)
+		}
+	}
+	for _, src := range r.Sources {
+		if src.Addr == w.Addr() {
+			rows, err := w.store.MapOutputSlice(r.Job, src.Part, src.Block, r.Reducer, r.Split, r.Splits)
+			if err != nil {
+				return nil, err
+			}
+			ingest(rows)
+			continue
+		}
+		resp, err := w.peers.Call(src.Addr, FetchMapOutReq{
+			Job: r.Job, Part: src.Part, Block: src.Block, Reducer: r.Reducer, Split: r.Split, Splits: r.Splits,
+		}, w.cfg.Timing.CallTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("dmr: worker %d reducer %d.%d: shuffle from %s map output p%d/b%d: %w",
+				w.cfg.ID, r.Reducer, r.Split, src.Addr, src.Part, src.Block, err)
+		}
+		ingest(resp.(FetchMapOutResp).Records)
+	}
+
+	// Reduce in deterministic key order.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []workload.Record
+	var outBytes int64
+	for _, k := range keys {
+		err := workload.Reduce(k, grouped[k], func(rec workload.Record) {
+			out = append(out, rec)
+			outBytes += int64(8 + len(rec.Value))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dmr: worker %d reducer %d.%d: %w", w.cfg.ID, r.Reducer, r.Split, err)
+		}
+	}
+
+	// Carve into output blocks: one per split, or CarveRecords-sized chunks
+	// for a whole reducer so the next job's map phase has multiple tasks.
+	var blocks [][]workload.Record
+	if r.Splits > 1 || r.CarveRecords <= 0 {
+		blocks = [][]workload.Record{out}
+	} else {
+		for len(out) > r.CarveRecords {
+			blocks = append(blocks, out[:r.CarveRecords])
+			out = out[r.CarveRecords:]
+		}
+		blocks = append(blocks, out) // possibly empty: empty partitions still get a block
+	}
+
+	// Store blocks: locally plus replica pushes, or scattered over the
+	// provided node rotation (Section IV-B2 hot-spot mitigation).
+	sizes := make([]int64, len(blocks))
+	for i, b := range blocks {
+		idx := r.OutBlock + i
+		sizes[i] = int64(len(b))
+		if len(r.ScatterAddrs) > 0 {
+			target := r.ScatterAddrs[i%len(r.ScatterAddrs)]
+			if target == w.Addr() {
+				w.store.PutBlock(r.OutFile, r.OutPart, idx, b)
+				continue
+			}
+			if _, err := w.peers.Call(target, PutBlockReq{File: r.OutFile, Part: r.OutPart, Block: idx, Records: b}, w.cfg.Timing.CallTimeout); err != nil {
+				return nil, fmt.Errorf("dmr: worker %d reducer %d.%d: scatter to %s: %w",
+					w.cfg.ID, r.Reducer, r.Split, target, err)
+			}
+			continue
+		}
+		w.store.PutBlock(r.OutFile, r.OutPart, idx, b)
+		for _, addr := range r.ReplicaAddrs {
+			if addr == w.Addr() {
+				continue
+			}
+			if _, err := w.peers.Call(addr, PutBlockReq{File: r.OutFile, Part: r.OutPart, Block: idx, Records: b}, w.cfg.Timing.CallTimeout); err != nil {
+				return nil, fmt.Errorf("dmr: worker %d reducer %d.%d: replicate to %s: %w",
+					w.cfg.ID, r.Reducer, r.Split, addr, err)
+			}
+		}
+	}
+	w.mu.Lock()
+	w.tasksRun++
+	w.mu.Unlock()
+	return RunReducerResp{BlockRecords: sizes, OutputBytes: outBytes}, nil
+}

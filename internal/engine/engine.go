@@ -1,0 +1,559 @@
+// Package engine is a functional (data-plane) MapReduce engine: it really
+// executes map and reduce UDFs over key-value records on in-memory "nodes",
+// persists task outputs the way RCMP does, injects node failures, recovers
+// with the shared recomputation planner, and lets tests verify that the
+// recovered chain output is exactly the failure-free output.
+//
+// The simulator (internal/mapreduce) answers the paper's performance
+// questions; this engine answers its correctness questions — in particular
+// that reducer splitting plus the split-invalidation rule neither drops nor
+// duplicates a single record (the Figure 5 subtlety), across any failure
+// schedule the planner accepts.
+package engine
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rcmp/internal/core"
+	"rcmp/internal/dfs"
+	"rcmp/internal/lineage"
+	"rcmp/internal/workload"
+)
+
+// Config sizes a functional chain execution.
+type Config struct {
+	Nodes           int
+	NumReducers     int
+	Jobs            int
+	RecordsPerNode  int
+	RecordsPerBlock int
+	InputRepl       int
+	Seed            int64
+
+	// Split / SplitRatio control reducer splitting during recomputation.
+	Split      bool
+	SplitRatio int
+
+	// HybridEveryK / HybridRepl enable the hybrid replication policy.
+	HybridEveryK int
+	HybridRepl   int
+
+	// Parallelism bounds concurrent task execution (0 = GOMAXPROCS).
+	Parallelism int
+
+	// Failures are injected immediately before the named jobs start.
+	Failures []Failure
+}
+
+// Failure kills a node just before job Before starts (the interrupted-job
+// semantics: the paper's RCMP discards the running job's partial work and
+// restarts it, so failing at the job boundary exercises the same recovery).
+type Failure struct {
+	Before int // 1-based chain job about to run
+	Node   int
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.Jobs <= 0 || c.NumReducers <= 0:
+		return fmt.Errorf("engine: need positive nodes/jobs/reducers, got %d/%d/%d", c.Nodes, c.Jobs, c.NumReducers)
+	case c.RecordsPerNode <= 0:
+		return fmt.Errorf("engine: RecordsPerNode=%d", c.RecordsPerNode)
+	}
+	for _, f := range c.Failures {
+		if f.Before < 1 || f.Before > c.Jobs {
+			return fmt.Errorf("engine: failure before job %d outside chain", f.Before)
+		}
+		if f.Node < 0 || f.Node >= c.Nodes {
+			return fmt.Errorf("engine: failure node %d outside cluster", f.Node)
+		}
+	}
+	return nil
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.RecordsPerBlock == 0 {
+		out.RecordsPerBlock = 50
+	}
+	if out.InputRepl == 0 {
+		out.InputRepl = 3
+	}
+	if out.Parallelism == 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if out.HybridEveryK > 0 && out.HybridRepl == 0 {
+		out.HybridRepl = 2
+	}
+	return out
+}
+
+// buckets is one mapper's output: one record list per reducer.
+type buckets [][]workload.Record
+
+// Engine executes one chain.
+type Engine struct {
+	cfg    Config
+	fs     *dfs.FS
+	ch     *lineage.Chain
+	failed map[int]bool
+
+	// content holds partition payloads by file; availability is governed by
+	// the DFS metadata (a partition whose replicas are all on failed nodes
+	// is unreadable even though the test process still holds the bytes).
+	content map[string][][]workload.Record
+
+	// mapOut persists mapper outputs across jobs: job -> mapper index.
+	mapOut map[int]map[int]buckets
+
+	// Stats observable by tests.
+	RecomputedMappers  int
+	RecomputedReducers int
+	RecoveryEpisodes   int
+}
+
+// New builds an engine; the input file is generated deterministically from
+// the seed.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		fs:      dfs.New(int64(cfg.RecordsPerBlock)),
+		ch:      lineage.NewChain(),
+		failed:  make(map[int]bool),
+		content: make(map[string][][]workload.Record),
+		mapOut:  make(map[int]map[int]buckets),
+	}
+	if _, err := e.fs.Create("input", cfg.Nodes); err != nil {
+		return nil, err
+	}
+	repl := cfg.InputRepl
+	if repl > cfg.Nodes {
+		repl = cfg.Nodes
+	}
+	parts := make([][]workload.Record, cfg.Nodes)
+	for p := 0; p < cfg.Nodes; p++ {
+		parts[p] = workload.Generate(cfg.RecordsPerNode, cfg.Seed+int64(p))
+		sets := [][]int{e.fs.PlanReplicas(p, repl, e.alive())}
+		if _, err := e.fs.SetPartition("input", p, int64(len(parts[p])), sets); err != nil {
+			return nil, err
+		}
+	}
+	e.content["input"] = parts
+	return e, nil
+}
+
+func (e *Engine) alive() []int {
+	var out []int
+	for n := 0; n < e.cfg.Nodes; n++ {
+		if !e.failed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Run executes the chain, injecting configured failures and recovering from
+// them, and returns the first error (a correctness violation or an
+// unrecoverable loss).
+func (e *Engine) Run() error {
+	for job := 1; job <= e.cfg.Jobs; job++ {
+		for _, f := range e.cfg.Failures {
+			if f.Before == job {
+				if err := e.failAndRecover(f.Node, job); err != nil {
+					return err
+				}
+			}
+		}
+		if err := e.runFull(job); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failAndRecover kills a node and replays the recovery cascade so that job
+// `frontier` can (re)start with its full input available.
+func (e *Engine) failAndRecover(node, frontier int) error {
+	if e.failed[node] {
+		return nil
+	}
+	if len(e.alive()) <= 1 {
+		return fmt.Errorf("engine: cannot fail node %d: last one standing", node)
+	}
+	e.failed[node] = true
+	e.fs.FailNode(node)
+	e.RecoveryEpisodes++
+
+	plan, err := core.BuildPlan(e.ch, e.fs, frontier, e.failed, core.Options{
+		Split:      e.cfg.Split,
+		SplitRatio: e.cfg.SplitRatio,
+		AliveNodes: len(e.alive()),
+	})
+	if err != nil {
+		return err
+	}
+	for _, step := range plan.Steps {
+		if err := e.runStep(step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jobFiles returns the input and output file names of a chain job.
+func jobFiles(job int) (in, out string) {
+	in = "input"
+	if job > 1 {
+		in = fmt.Sprintf("out%d", job-1)
+	}
+	return in, fmt.Sprintf("out%d", job)
+}
+
+func (e *Engine) repl(job int) int {
+	return core.ReplicationForJob(job, e.cfg.HybridEveryK, e.cfg.HybridRepl)
+}
+
+// mapperPlacement returns the node that executes a mapper: the first live
+// replica holder of its input block (data-local, like the schedulers in
+// both the paper's clusters and our simulator).
+func (e *Engine) mapperPlacement(inFile string, part, block int) (int, error) {
+	locs := e.fs.BlockLocations(inFile, part)
+	if block >= len(locs) || len(locs[block]) == 0 {
+		return -1, fmt.Errorf("engine: %s/p%d/b%d unreadable", inFile, part, block)
+	}
+	return locs[block][0], nil
+}
+
+// runMapper executes one mapper over its input block and returns its output
+// buckets. Pure: safe to run concurrently.
+func (e *Engine) runMapper(inFile string, part, block int) (buckets, error) {
+	rows := e.content[inFile][part]
+	lo := block * e.cfg.RecordsPerBlock
+	hi := lo + e.cfg.RecordsPerBlock
+	if lo > len(rows) {
+		lo = len(rows)
+	}
+	if hi > len(rows) {
+		hi = len(rows)
+	}
+	out := make(buckets, e.cfg.NumReducers)
+	for _, r := range rows[lo:hi] {
+		err := workload.Map(r, func(o workload.Record) {
+			red := core.ReducerOf(core.HashKey(workload.KeyBytes(o.Key)), e.cfg.NumReducers)
+			out[red] = append(out[red], o)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s/p%d/b%d: %w", inFile, part, block, err)
+		}
+	}
+	return out, nil
+}
+
+// runReducer executes reducer `red` (split `split` of `splits`) over the
+// given mapper outputs, in deterministic key order.
+func (e *Engine) runReducer(mapOuts []buckets, red, split, splits int) ([]workload.Record, error) {
+	grouped := make(map[uint64][][]byte)
+	var keys []uint64
+	for _, mo := range mapOuts {
+		for _, r := range mo[red] {
+			h := core.HashKey(workload.KeyBytes(r.Key))
+			if splits > 1 && core.SplitOf(h, splits) != split {
+				continue
+			}
+			if _, ok := grouped[r.Key]; !ok {
+				keys = append(keys, r.Key)
+			}
+			grouped[r.Key] = append(grouped[r.Key], r.Value)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []workload.Record
+	for _, k := range keys {
+		err := workload.Reduce(k, grouped[k], func(r workload.Record) { out = append(out, r) })
+		if err != nil {
+			return nil, fmt.Errorf("engine: reducer %d.%d: %w", red, split, err)
+		}
+	}
+	return out, nil
+}
+
+// parallelDo runs fn(i) for i in [0,n) on a bounded worker pool and returns
+// the first error.
+func (e *Engine) parallelDo(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFull executes a complete job (initial run or restart after failure).
+func (e *Engine) runFull(job int) error {
+	inFile, outFile := jobFiles(job)
+	in := e.fs.File(inFile)
+	if in == nil {
+		return fmt.Errorf("engine: job %d input %q missing", job, inFile)
+	}
+	type mapDesc struct{ part, block int }
+	var descs []mapDesc
+	for _, p := range in.Partitions {
+		for b := range p.Blocks {
+			descs = append(descs, mapDesc{p.Index, b})
+		}
+	}
+
+	outs := make([]buckets, len(descs))
+	nodes := make([]int, len(descs))
+	err := e.parallelDo(len(descs), func(i int) error {
+		n, err := e.mapperPlacement(inFile, descs[i].part, descs[i].block)
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+		outs[i], err = e.runMapper(inFile, descs[i].part, descs[i].block)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	alive := e.alive()
+	R := e.cfg.NumReducers
+	redOut := make([][]workload.Record, R)
+	if err := e.parallelDo(R, func(r int) error {
+		var err error
+		redOut[r], err = e.runReducer(outs, r, 0, 1)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Commit: output file, partition contents, lineage.
+	e.fs.Delete(outFile)
+	if _, err := e.fs.Create(outFile, R); err != nil {
+		return err
+	}
+	parts := make([][]workload.Record, R)
+	rec := &lineage.JobRecord{
+		ID: job, Name: fmt.Sprintf("job%d", job),
+		InputFile: inFile, OutputFile: outFile,
+		Splittable: true, Completed: true,
+	}
+	e.mapOut[job] = make(map[int]buckets, len(descs))
+	for i, d := range descs {
+		e.mapOut[job][i] = outs[i]
+		var sz int64
+		for _, b := range outs[i] {
+			sz += int64(len(b))
+		}
+		rec.Mappers = append(rec.Mappers, lineage.MapperMeta{
+			Index: i, InputPartition: d.part, InputBlock: d.block,
+			InputBytes: int64(e.cfg.RecordsPerBlock), OutputBytes: sz, Node: nodes[i],
+		})
+	}
+	repl := e.repl(job)
+	for r := 0; r < R; r++ {
+		node := alive[r%len(alive)]
+		parts[r] = redOut[r]
+		sets := [][]int{e.fs.PlanReplicas(node, repl, alive)}
+		if _, err := e.fs.SetPartition(outFile, r, int64(len(redOut[r])), sets); err != nil {
+			return err
+		}
+		rec.Reducers = append(rec.Reducers, lineage.ReducerMeta{
+			Index: r, OutputBytes: int64(len(redOut[r])), Nodes: []int{node},
+		})
+	}
+	e.content[outFile] = parts
+
+	// A restarted job replaces its never-completed record; an initial run
+	// appends.
+	if e.ch.Len() >= job {
+		return fmt.Errorf("engine: job %d already recorded", job)
+	}
+	return e.ch.Append(rec)
+}
+
+// runStep executes one recomputation step of a recovery plan.
+func (e *Engine) runStep(step core.JobStep) error {
+	rec := e.ch.Job(step.Job)
+	inFile, outFile := rec.InputFile, rec.OutputFile
+
+	// Re-execute the planned mappers. Workers fill per-index slots; the
+	// shared maps and lineage are updated only after the wait (concurrent
+	// map writes are unsafe even on distinct keys).
+	outs := make([]buckets, len(step.Mappers))
+	nodes := make([]int, len(step.Mappers))
+	err := e.parallelDo(len(step.Mappers), func(i int) error {
+		m := rec.Mappers[step.Mappers[i]]
+		node, err := e.mapperPlacement(inFile, m.InputPartition, m.InputBlock)
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		outs[i], err = e.runMapper(inFile, m.InputPartition, m.InputBlock)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, mi := range step.Mappers {
+		e.mapOut[step.Job][mi] = outs[i]
+		var sz int64
+		for _, b := range outs[i] {
+			sz += int64(len(b))
+		}
+		e.ch.SetMapperOutput(step.Job, mi, nodes[i], sz)
+	}
+	e.RecomputedMappers += len(step.Mappers)
+
+	// Shuffle sources: every mapper output of the job (reused + recomputed).
+	var sources []buckets
+	for i := range rec.Mappers {
+		mo, ok := e.mapOut[step.Job][i]
+		if !ok {
+			return fmt.Errorf("engine: job %d mapper %d output missing during recompute", step.Job, i)
+		}
+		// A reused output must be on a live node; the planner guarantees it.
+		if m := rec.Mappers[i]; e.failed[m.Node] {
+			return fmt.Errorf("engine: job %d reuses mapper %d output from failed node %d", step.Job, i, m.Node)
+		}
+		sources = append(sources, mo)
+	}
+
+	alive := e.alive()
+	repl := e.repl(step.Job)
+	for _, rr := range step.Reducers {
+		outs := make([][]workload.Record, rr.Splits)
+		if err := e.parallelDo(rr.Splits, func(s int) error {
+			var err error
+			outs[s], err = e.runReducer(sources, rr.Reducer, s, rr.Splits)
+			return err
+		}); err != nil {
+			return err
+		}
+		var merged []workload.Record
+		var sets [][]int
+		var nodes []int
+		for s, part := range outs {
+			merged = append(merged, part...)
+			node := alive[(rr.Reducer+s)%len(alive)]
+			nodes = append(nodes, node)
+			sets = append(sets, e.fs.PlanReplicas(node, repl, alive))
+		}
+		if _, err := e.fs.SetPartition(outFile, rr.Reducer, int64(len(merged)), sets); err != nil {
+			return err
+		}
+		e.content[outFile][rr.Reducer] = merged
+		e.ch.SetReducerOutput(step.Job, rr.Reducer, nodes, int64(len(merged)))
+		e.RecomputedReducers++
+	}
+	return nil
+}
+
+// Evict releases persisted map outputs under storage pressure, using the
+// wave-granularity policy of Section IV-C: at least needRecords' worth of
+// persisted output is dropped, cheapest expected recomputation cost first.
+// Later recoveries re-execute the evicted mappers; the chain output is
+// unchanged.
+func (e *Engine) Evict(needRecords int64) error {
+	plan, err := core.PlanEviction(e.ch, needRecords, len(e.alive()))
+	if err != nil {
+		return err
+	}
+	core.ApplyEviction(e.ch, plan)
+	for _, w := range plan.Waves {
+		for _, mi := range w.Mappers {
+			delete(e.mapOut[w.Job], mi)
+		}
+	}
+	return nil
+}
+
+// ReclaimThrough applies the checkpoint-reclamation rule of Section IV-C:
+// the caller asserts job `checkpoint` completed with a replicated output,
+// and everything older becomes unreachable for recovery and is released.
+func (e *Engine) ReclaimThrough(checkpoint int) error {
+	r, err := core.ReclaimableBefore(e.ch, checkpoint)
+	if err != nil {
+		return err
+	}
+	core.ApplyReclamation(e.ch, r)
+	for _, j := range r.MapOutputJobs {
+		e.mapOut[j] = make(map[int]buckets)
+	}
+	for _, f := range r.Files {
+		e.fs.Delete(f)
+		delete(e.content, f)
+	}
+	return nil
+}
+
+// Digest is an order-independent fingerprint of one output partition.
+type Digest struct {
+	Count  int
+	XorMD5 [16]byte
+	Sum    uint64
+}
+
+// OutputDigests fingerprints the final job's output partitions. The XOR of
+// per-record MD5s and the byte sum are order-independent, so a split
+// recomputation (which reorders records within a partition) compares equal
+// to the failure-free run exactly when the record multisets match.
+func (e *Engine) OutputDigests() ([]Digest, error) {
+	_, outFile := jobFiles(e.cfg.Jobs)
+	parts, ok := e.content[outFile]
+	if !ok {
+		return nil, fmt.Errorf("engine: chain output %q missing (chain not run?)", outFile)
+	}
+	out := make([]Digest, len(parts))
+	for p, rows := range parts {
+		d := &out[p]
+		for _, r := range rows {
+			d.Count++
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], r.Key)
+			h := md5.New()
+			h.Write(buf[:])
+			h.Write(r.Value)
+			var sum [16]byte
+			copy(sum[:], h.Sum(nil))
+			for i := range d.XorMD5 {
+				d.XorMD5[i] ^= sum[i]
+			}
+			for _, b := range r.Value {
+				d.Sum += uint64(b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Chain exposes the lineage for tests.
+func (e *Engine) Chain() *lineage.Chain { return e.ch }
+
+// FS exposes the DFS metadata for tests.
+func (e *Engine) FS() *dfs.FS { return e.fs }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostModelsShape(t *testing.T) {
+	r := CostModels()
+
+	// Provisioning: REPL-3 needs a meaningfully larger cluster than REPL-1
+	// for the 1:1:1 job (writes triple: 3 I/O units become 5).
+	n1, n3 := r.Values["nodes repl-1"], r.Values["nodes repl-3"]
+	if n1 <= 0 || n3 <= n1 {
+		t.Fatalf("provisioning nodes repl-1=%v repl-3=%v", n1, n3)
+	}
+	if ratio := n3 / n1; ratio < 1.4 || ratio > 2.0 {
+		t.Fatalf("REPL-3/REPL-1 cluster ratio %.2f, want ~1.67", ratio)
+	}
+
+	// Guesswork: in the Fig 2 regime RCMP beats every fixed factor.
+	const low = "Fig 2 regime (mean 0.2 failures/chain)"
+	rcmp := r.Values[low+" rcmp"]
+	for _, k := range []string{" repl-1", " repl-2", " repl-3", " repl-4"} {
+		if repl := r.Values[low+k]; rcmp >= repl {
+			t.Fatalf("RCMP %.1f not better than%s %.1f in the low-failure regime", rcmp, k, repl)
+		}
+	}
+
+	// The best factor must grow with the failure rate — the guesswork.
+	const high = "failure-heavy (mean 2.0 failures/chain)"
+	if r.Values[low+" best factor"] >= r.Values[high+" best factor"] {
+		t.Fatalf("best factor did not grow with failure rate: %v vs %v",
+			r.Values[low+" best factor"], r.Values[high+" best factor"])
+	}
+
+	for _, want := range []string{"Provisioning", "REPL-3", "RCMP (no guess)"} {
+		if !strings.Contains(r.Text, want) {
+			t.Fatalf("text missing %q:\n%s", want, r.Text)
+		}
+	}
+}

@@ -1,0 +1,918 @@
+// Package experiments wires the simulator, planner, analysis models and
+// workload into one harness per table/figure of the RCMP paper's
+// evaluation (Section V). Each Fig* function runs the experiment and
+// returns a Result whose Text is the printable rows/series of that figure
+// and whose Values expose the key numbers for tests and EXPERIMENTS.md.
+//
+// Scales: ScalePaper uses the paper's cluster shapes (STIC: 10 nodes,
+// 4 GB/node; DCO: 60 nodes). DCO data volume is reduced from the paper's
+// 20 GB/node — the simulator is event-accurate, so per-node wave counts and
+// contention (which drive every relative result) are preserved at a
+// fraction of the event count. ScaleQuick shrinks everything further for
+// fast unit tests.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rcmp/internal/analysis"
+	"rcmp/internal/cluster"
+	"rcmp/internal/des"
+	"rcmp/internal/failure"
+	"rcmp/internal/mapreduce"
+	"rcmp/internal/metrics"
+	"rcmp/internal/textplot"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScalePaper mirrors the paper's cluster shapes.
+	ScalePaper Scale = iota
+	// ScaleQuick shrinks clusters and inputs for fast tests.
+	ScaleQuick
+)
+
+// Result is one executed experiment.
+type Result struct {
+	Name   string
+	Text   string
+	Values map[string]float64
+}
+
+func newResult(name string) *Result {
+	return &Result{Name: name, Values: make(map[string]float64)}
+}
+
+// setup bundles a cluster and chain configuration under a display name.
+type setup struct {
+	name string
+	ccfg cluster.Config
+	cfg  mapreduce.ChainConfig
+}
+
+// sticSetup builds the paper's STIC configuration: 10 nodes, 4 GB/node
+// (40 GB jobs), reducers sized for one wave.
+func sticSetup(s Scale, mapSlots, redSlots int) setup {
+	ccfg := cluster.STICConfig(mapSlots, redSlots)
+	cfg := mapreduce.ChainConfig{
+		Mode:         mapreduce.ModeRCMP,
+		NumJobs:      7,
+		NumReducers:  ccfg.Nodes * redSlots,
+		InputPerNode: 4 * cluster.GB,
+	}
+	if s == ScaleQuick {
+		ccfg.Nodes = 5
+		cfg.NumReducers = ccfg.Nodes * redSlots
+		cfg.NumJobs = 4
+		cfg.InputPerNode = 512 * cluster.MB
+		cfg.BlockSize = 128 * cluster.MB
+	}
+	return setup{name: fmt.Sprintf("SLOTS %d-%d, STIC", mapSlots, redSlots), ccfg: ccfg, cfg: cfg}
+}
+
+// dcoSetup builds the DCO configuration: 60 nodes, one reducer wave.
+// Per-node volume is 2 GB (vs the paper's 20 GB) to keep simulation event
+// counts tractable; wave structure per node is preserved via block size.
+func dcoSetup(s Scale, nodes int) setup {
+	ccfg := cluster.DCOConfig(nodes, 1, 1)
+	cfg := mapreduce.ChainConfig{
+		Mode:         mapreduce.ModeRCMP,
+		NumJobs:      7,
+		NumReducers:  nodes,
+		InputPerNode: 2 * cluster.GB,
+		BlockSize:    256 * cluster.MB,
+	}
+	if s == ScaleQuick {
+		ccfg.Nodes = 8
+		cfg.NumReducers = 8
+		cfg.NumJobs = 4
+		cfg.InputPerNode = 512 * cluster.MB
+		cfg.BlockSize = 128 * cluster.MB
+	}
+	return setup{name: "SLOTS 1-1, DCO", ccfg: ccfg, cfg: cfg}
+}
+
+// splitRatioFor returns the paper's reducer split ratios: 8 on STIC, N-1 on
+// DCO (Section V-A).
+func splitRatioFor(st setup) int {
+	if st.ccfg.Name == "DCO" {
+		return st.ccfg.Nodes - 1
+	}
+	if st.ccfg.Nodes < 9 {
+		return st.ccfg.Nodes - 1
+	}
+	return 8
+}
+
+// victim is the node failures target; fixed so every strategy loses the
+// same share of work.
+const victim = 3
+
+// singleFailure builds the paper's injection: 15s after the start of the
+// AtRun-th started run.
+func singleFailure(atRun int) []mapreduce.Injection {
+	return []mapreduce.Injection{{AtRun: atRun, After: 15, Node: victim}}
+}
+
+// run executes one chain, panicking on configuration errors (experiment
+// definitions are code, not input).
+func run(st setup) *mapreduce.Result {
+	res, err := mapreduce.RunChain(st.ccfg, st.cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiment %s: %v", st.name, err))
+	}
+	return res
+}
+
+// ---- Figure 2 ----
+
+// Fig2 reproduces the failure-trace CDFs: new failures per day for the
+// STIC-like and SUG@R-like clusters.
+func Fig2() *Result {
+	r := newResult("Fig2: CDF of new failures per day")
+	var names []string
+	series := make(map[string][]float64)
+	var xs []float64
+	for _, cfg := range []failure.TraceConfig{failure.STICTrace(), failure.SUGARTrace()} {
+		days, err := failure.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		cdf := failure.CDF(days)
+		stats := failure.Summarize(days)
+		r.Values[cfg.Name+"/failure-day-fraction"] = stats.FailureDayFrac
+		r.Values[cfg.Name+"/p-zero-days"] = cdf.At(0)
+		r.Values[cfg.Name+"/max-failures"] = float64(stats.MaxFailures)
+		name := cfg.Name + " cluster"
+		names = append(names, name)
+		var ys []float64
+		if xs == nil {
+			for x := 0; x <= 40; x += 5 {
+				xs = append(xs, float64(x))
+			}
+		}
+		for _, x := range xs {
+			ys = append(ys, 100*cdf.At(x))
+		}
+		series[name] = ys
+	}
+	r.Text = textplot.Series(r.Name, "failures/day (CDF %)", xs, names, series)
+	return r
+}
+
+// ---- Figure 8 ----
+
+// fig8Strategies builds the five compared strategies for one setup.
+type strategyRun struct {
+	label string
+	res   *mapreduce.Result
+	total float64
+}
+
+func fig8Run(st setup, failures []mapreduce.Injection) map[string]strategyRun {
+	out := make(map[string]strategyRun)
+
+	rcmpSplit := st
+	rcmpSplit.cfg.Failures = failures
+	rcmpSplit.cfg.Split = true
+	rcmpSplit.cfg.SplitRatio = splitRatioFor(st)
+	res := run(rcmpSplit)
+	out["RCMP SPLIT"] = strategyRun{"RCMP SPLIT", res, float64(res.Total)}
+
+	rcmpNo := st
+	rcmpNo.cfg.Failures = failures
+	res = run(rcmpNo)
+	out["RCMP NO-SPLIT"] = strategyRun{"RCMP NO-SPLIT", res, float64(res.Total)}
+
+	for _, repl := range []int{2, 3} {
+		h := st
+		h.cfg.Mode = mapreduce.ModeHadoop
+		h.cfg.OutputRepl = repl
+		h.cfg.Failures = failures
+		res = run(h)
+		label := fmt.Sprintf("HADOOP REPL-%d", repl)
+		out[label] = strategyRun{label, res, float64(res.Total)}
+	}
+
+	// OPTIMISTIC: numerical, from the RCMP NO-SPLIT measurements.
+	noSplit := out["RCMP NO-SPLIT"].res
+	opt := optimisticTotal(st, noSplit, failures)
+	out["OPTIMISTIC"] = strategyRun{"OPTIMISTIC", nil, opt}
+	return out
+}
+
+// optimisticTotal models OPTIMISTIC with the paper's method: average job
+// times before/after the failure from the RCMP no-split run.
+func optimisticTotal(st setup, noSplit *mapreduce.Result, failures []mapreduce.Injection) float64 {
+	jobs := st.cfg.NumJobs
+	if len(failures) == 0 {
+		return float64(noSplit.Total)
+	}
+	failRun := failures[0].AtRun
+	p := perJobFromRuns(noSplit, failRun)
+	reaction := float64(failures[0].After + st.ccfg.FailureDetectionTimeout)
+	return analysis.OptimisticTotal(jobs, failRun, p, reaction)
+}
+
+// perJobFromRuns extracts full/degraded per-job averages around a failure.
+func perJobFromRuns(res *mapreduce.Result, failRun int) analysis.PerJob {
+	rec := res.Recorder
+	full := rec.MeanRunDuration(func(s metrics.RunStat) bool {
+		return s.Kind == metrics.RunInitial && s.RunIndex < failRun
+	})
+	degraded := rec.MeanRunDuration(func(s metrics.RunStat) bool {
+		return s.Kind == metrics.RunRestart ||
+			(s.Kind == metrics.RunInitial && s.RunIndex > failRun)
+	})
+	if math.IsNaN(degraded) {
+		degraded = full
+	}
+	if math.IsNaN(full) {
+		full = degraded
+	}
+	return analysis.PerJob{Full: full, Degraded: degraded}
+}
+
+// fig8 assembles one Figure 8 sub-figure across setups.
+func fig8(name string, s Scale, failures func(setup) []mapreduce.Injection, strategies []string) *Result {
+	r := newResult(name)
+	setups := []setup{sticSetup(s, 1, 1), sticSetup(s, 2, 2), dcoSetup(s, 60)}
+	if s == ScaleQuick {
+		setups = setups[:1]
+	}
+	header := append([]string{"strategy"}, nil...)
+	for _, st := range setups {
+		header = append(header, st.name)
+	}
+	totals := make(map[string][]float64)
+	for _, st := range setups {
+		runs := fig8Run(st, failures(st))
+		best := math.Inf(1)
+		for _, sr := range runs {
+			if sr.total < best {
+				best = sr.total
+			}
+		}
+		for _, label := range strategies {
+			sr, ok := runs[label]
+			if !ok {
+				totals[label] = append(totals[label], math.NaN())
+				continue
+			}
+			slow := metrics.Slowdown(sr.total, best)
+			totals[label] = append(totals[label], slow)
+			r.Values[label+" @ "+st.name] = slow
+		}
+	}
+	var rows [][]string
+	for _, label := range strategies {
+		row := []string{label}
+		for _, v := range totals[label] {
+			row = append(row, textplot.Num(v))
+		}
+		rows = append(rows, row)
+	}
+	r.Text = textplot.Table(name+" (slowdown vs fastest)", header, rows)
+	return r
+}
+
+// Fig8a reproduces Figure 8a: no failures; RCMP vs REPL-2 vs REPL-3 vs
+// OPTIMISTIC (equal to RCMP NO-SPLIT without failures).
+func Fig8a(s Scale) *Result {
+	return fig8("Fig8a: no failure", s,
+		func(setup) []mapreduce.Injection { return nil },
+		[]string{"RCMP NO-SPLIT", "OPTIMISTIC", "HADOOP REPL-2", "HADOOP REPL-3"})
+}
+
+// Fig8b reproduces Figure 8b: a single failure early (at job 2).
+func Fig8b(s Scale) *Result {
+	return fig8("Fig8b: single failure early (job 2)", s,
+		func(setup) []mapreduce.Injection { return singleFailure(2) },
+		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
+}
+
+// Fig8c reproduces Figure 8c: a single failure late (at job 7).
+func Fig8c(s Scale) *Result {
+	lastJob := func(st setup) []mapreduce.Injection { return singleFailure(st.cfg.NumJobs) }
+	return fig8("Fig8c: single failure late (job 7)", s, lastJob,
+		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
+}
+
+// ---- Figure 9 ----
+
+// Fig9 reproduces the double-failure comparison on STIC: FAIL X,Y injects
+// at started-runs X and Y (the paper's job numbering counts recomputation
+// runs). RCMP is run with split-8 and without; Hadoop uses REPL-3.
+func Fig9(s Scale) *Result {
+	r := newResult("Fig9: double failures (STIC, SLOTS 1-1)")
+	st := sticSetup(s, 1, 1)
+	last := st.cfg.NumJobs
+	mid := last/2 + 1 // job 4 on the paper's 7-job chain
+
+	type scenario struct {
+		label        string
+		rcmpX, rcmpY int // RCMP injection runs
+		hadX, hadY   int // Hadoop injection runs (no recomputation: plain job numbers)
+	}
+	// For RCMP, the paper's FAIL 7,14 second failure lands on the restarted
+	// job 7 (run 14 = 7 initial runs + 6 recomputes + restart); FAIL 4,7's
+	// second failure is nested inside the recovery of the first.
+	scenarios := []scenario{
+		{"FAIL 2,2", 2, 2, 2, 2},
+		{fmt.Sprintf("FAIL %d,%d", last, last), last, last, last, last},
+		{fmt.Sprintf("FAIL %d,%d", last, 2*last), last, 2 * last, last, last},
+		{fmt.Sprintf("FAIL 2,%d", mid), 2, mid, 2, mid},
+		{fmt.Sprintf("FAIL %d,%d nested", mid, last), mid, last, mid, last},
+	}
+	var labels []string
+	var rcmpSplitV, rcmpNoV, hadV []float64
+	for _, sc := range scenarios {
+		inject := func(x, y int) []mapreduce.Injection {
+			first := mapreduce.Injection{AtRun: x, After: 15, Node: victim}
+			second := mapreduce.Injection{AtRun: y, After: 15, Node: victim + 1}
+			if x == y {
+				second.After = 30 // paper: second failure 15s after the first
+			}
+			return []mapreduce.Injection{first, second}
+		}
+		rs := st
+		rs.cfg.Split = true
+		rs.cfg.SplitRatio = splitRatioFor(st)
+		rs.cfg.Failures = inject(sc.rcmpX, sc.rcmpY)
+		split := float64(run(rs).Total)
+
+		rn := st
+		rn.cfg.Failures = inject(sc.rcmpX, sc.rcmpY)
+		nosplit := float64(run(rn).Total)
+
+		h := st
+		h.cfg.Mode = mapreduce.ModeHadoop
+		h.cfg.OutputRepl = 3
+		h.cfg.Failures = inject(sc.hadX, sc.hadY)
+		had := float64(run(h).Total)
+
+		best := math.Min(split, math.Min(nosplit, had))
+		labels = append(labels, sc.label)
+		rcmpSplitV = append(rcmpSplitV, split/best)
+		rcmpNoV = append(rcmpNoV, nosplit/best)
+		hadV = append(hadV, had/best)
+		r.Values["RCMP S @ "+sc.label] = split / best
+		r.Values["RCMP NO @ "+sc.label] = nosplit / best
+		r.Values["REPL-3 @ "+sc.label] = had / best
+	}
+	var rows [][]string
+	for i, l := range labels {
+		rows = append(rows, []string{l,
+			textplot.Num(rcmpSplitV[i]), textplot.Num(rcmpNoV[i]), textplot.Num(hadV[i])})
+	}
+	r.Text = textplot.Table(r.Name+" (slowdown vs best per scenario)",
+		[]string{"scenario", "RCMP S" + textplot.Num(float64(splitRatioFor(st))), "RCMP NO", "REPL-3"}, rows)
+	return r
+}
+
+// ---- Figure 10 ----
+
+// Fig10 reproduces the chain-length extrapolation: the slowdown of Hadoop
+// REPL-2/REPL-3 versus RCMP (split) under a failure at job 2, for chains of
+// 10 to 100 jobs, built from per-job averages measured on the 7-job chain
+// (STIC, SLOTS 2-2 at paper scale).
+func Fig10(s Scale) *Result {
+	r := newResult("Fig10: longer chains (failure at job 2)")
+	st := sticSetup(s, 2, 2)
+
+	rcmp := st
+	rcmp.cfg.Split = true
+	rcmp.cfg.SplitRatio = splitRatioFor(st)
+	rcmp.cfg.Failures = singleFailure(2)
+	rcmpRes := run(rcmp)
+	rcmpP := perJobFromRuns(rcmpRes, 2)
+	rec := recoveryFromRuns(rcmpRes, st)
+
+	hadoopTotals := make(map[int]func(int) float64)
+	for _, repl := range []int{2, 3} {
+		h := st
+		h.cfg.Mode = mapreduce.ModeHadoop
+		h.cfg.OutputRepl = repl
+		h.cfg.Failures = singleFailure(2)
+		hres := run(h)
+		p := perJobFromRuns(hres, 2)
+		failedJob := failedRunDuration(hres, 2)
+		hadoopTotals[repl] = func(jobs int) float64 {
+			return analysis.HadoopTotalWithFailure(jobs, 2, p, failedJob)
+		}
+	}
+	rcmpTotal := func(jobs int) float64 {
+		return analysis.RCMPTotalWithFailure(jobs, 2, rcmpP, rec)
+	}
+
+	var xs []float64
+	lengths := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, l := range lengths {
+		xs = append(xs, float64(l))
+	}
+	series := map[string][]float64{
+		"REPL-3": analysis.SlowdownSeries(lengths, hadoopTotals[3], rcmpTotal),
+		"REPL-2": analysis.SlowdownSeries(lengths, hadoopTotals[2], rcmpTotal),
+		"RCMP":   analysis.SlowdownSeries(lengths, rcmpTotal, rcmpTotal),
+	}
+	for _, repl := range []int{2, 3} {
+		key := fmt.Sprintf("REPL-%d", repl)
+		r.Values[key+" @ 10 jobs"] = series[key][0]
+		r.Values[key+" @ 100 jobs"] = series[key][len(lengths)-1]
+	}
+	r.Text = textplot.Series(r.Name, "chain length", xs,
+		[]string{"REPL-3", "REPL-2", "RCMP"}, series)
+	return r
+}
+
+// recoveryFromRuns measures an RCMP recovery episode from a failed run.
+func recoveryFromRuns(res *mapreduce.Result, st setup) analysis.RCMPRecovery {
+	var rec analysis.RCMPRecovery
+	for _, runStat := range res.Runs {
+		switch {
+		case runStat.Cancelled:
+			rec.Reaction += runStat.Duration()
+		case runStat.Kind == metrics.RunRecompute:
+			rec.RecomputeTotal += runStat.Duration()
+		case runStat.Kind == metrics.RunRestart:
+			rec.RestartDegraded += runStat.Duration()
+		}
+	}
+	return rec
+}
+
+// failedRunDuration returns the duration of the run a failure hit (for
+// Hadoop this is the job that absorbed the within-job recovery).
+func failedRunDuration(res *mapreduce.Result, atRun int) float64 {
+	for _, runStat := range res.Runs {
+		if runStat.RunIndex == atRun {
+			return runStat.Duration()
+		}
+	}
+	return math.NaN()
+}
+
+// ---- Figure 11 ----
+
+// Fig11 reproduces recomputation speed-up versus cluster size: DCO-style
+// nodes with constant per-node work, a failure at the last job, split ratio
+// N-1 versus no splitting. Speed-up is the mean initial job time over the
+// mean recomputation-run time.
+func Fig11(s Scale) *Result {
+	r := newResult("Fig11: recomputation speed-up vs nodes")
+	nodeCounts := []int{12, 24, 36, 48, 60}
+	if s == ScaleQuick {
+		nodeCounts = []int{6, 10}
+	}
+	var xs []float64
+	series := map[string][]float64{}
+	for _, n := range nodeCounts {
+		st := dcoSetup(s, n)
+		st.cfg.NumJobs = 3
+		st.cfg.NumReducers = n
+		st.cfg.Failures = singleFailure(3)
+		for _, split := range []bool{false, true} {
+			stv := st
+			stv.cfg.Split = split
+			if split {
+				stv.cfg.SplitRatio = n - 1
+			}
+			res := run(stv)
+			su := recomputeSpeedup(res)
+			name := "RCMP NO-SPLIT"
+			if split {
+				name = "RCMP SPLIT"
+			}
+			series[name] = append(series[name], su)
+			r.Values[fmt.Sprintf("%s @ %d nodes", name, n)] = su
+		}
+		xs = append(xs, float64(n))
+	}
+	r.Text = textplot.Series(r.Name, "nodes", xs,
+		[]string{"RCMP NO-SPLIT", "RCMP SPLIT"}, series)
+	return r
+}
+
+// recomputeSpeedup compares mean initial job time against mean
+// recomputation-run time.
+func recomputeSpeedup(res *mapreduce.Result) float64 {
+	rec := res.Recorder
+	init := rec.MeanRunDuration(func(s metrics.RunStat) bool { return s.Kind == metrics.RunInitial })
+	recomp := rec.MeanRunDuration(func(s metrics.RunStat) bool { return s.Kind == metrics.RunRecompute })
+	return init / recomp
+}
+
+// ---- Figure 12 ----
+
+// Fig12 reproduces the hot-spot CDF: mapper running times during the
+// recomputation runs of a late failure on STIC SLOTS 2-2, with and without
+// splitting.
+func Fig12(s Scale) *Result {
+	r := newResult("Fig12: mapper time CDF under recomputation")
+	st := sticSetup(s, 2, 2)
+	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+
+	var names []string
+	cdfs := make(map[string]metrics.CDF)
+	for _, split := range []bool{false, true} {
+		stv := st
+		stv.cfg.Split = split
+		if split {
+			stv.cfg.SplitRatio = 8
+		}
+		res := run(stv)
+		durs := res.Recorder.TaskDurations(func(ts metrics.TaskSample) bool {
+			return ts.Kind == metrics.TaskMap && ts.RunKind == metrics.RunRecompute
+		})
+		cdf := metrics.NewCDF(durs)
+		name := "RCMP NO-SPLIT"
+		if split {
+			name = "RCMP SPLIT IN 8"
+		}
+		names = append(names, name)
+		cdfs[name] = cdf
+		r.Values[name+" median"] = cdf.Median()
+		r.Values[name+" p95"] = cdf.Percentile(0.95)
+
+		redDurs := res.Recorder.TaskDurations(func(ts metrics.TaskSample) bool {
+			return ts.Kind == metrics.TaskReduce && ts.RunKind == metrics.RunRecompute
+		})
+		r.Values[name+" reducer median"] = metrics.NewCDF(redDurs).Median()
+	}
+	// Render both CDFs over a shared grid of mapper seconds.
+	hi := math.Max(r.Values[names[0]+" p95"], r.Values[names[1]+" p95"]) * 1.2
+	var xs []float64
+	series := make(map[string][]float64)
+	for x := 0.0; x <= hi; x += hi / 16 {
+		xs = append(xs, x)
+	}
+	for _, name := range names {
+		var ys []float64
+		for _, x := range xs {
+			ys = append(ys, 100*cdfs[name].At(x))
+		}
+		series[name] = ys
+	}
+	r.Text = textplot.Series(r.Name, "mapper seconds (CDF %)", xs, names, series)
+	return r
+}
+
+// ---- Figures 13 and 14 ----
+
+// Fig13 reproduces the reducer-wave speed-up: initial runs with 1, 2 and 4
+// reducer waves; recomputed reducers always fit one wave; map outputs are
+// not reused so the reduce phase is isolated; FAST vs SLOW shuffle.
+func Fig13(s Scale) *Result {
+	r := newResult("Fig13: speed-up from fewer reducer waves")
+	labels := []string{"1:1", "2:1", "4:1"}
+	waveCounts := []int{1, 2, 4}
+	series := map[string][]float64{}
+	var xs []float64
+	for i, w := range waveCounts {
+		for _, slow := range []bool{false, true} {
+			st := sticSetup(s, 1, 1)
+			st.cfg.NumJobs = 2
+			st.cfg.NumReducers = st.ccfg.Nodes * w
+			st.cfg.NoMapOutputReuse = true
+			st.cfg.Failures = singleFailure(2)
+			if slow {
+				st.ccfg.ShuffleTransferDelay = 10
+			}
+			res := run(st)
+			su := recomputeSpeedup(res)
+			name := "FAST SHUFFLE"
+			if slow {
+				name = "SLOW SHUFFLE"
+			}
+			series[name] = append(series[name], su)
+			r.Values[fmt.Sprintf("%s @ %s", name, labels[i])] = su
+		}
+		xs = append(xs, float64(w))
+	}
+	r.Text = textplot.Series(r.Name+" (x = initial reducer waves : recompute waves)",
+		"waves", xs, []string{"FAST SHUFFLE", "SLOW SHUFFLE"}, series)
+	return r
+}
+
+// Fig14 reproduces the mapper-wave speed-up: one reducer wave throughout,
+// and the number of mapper waves during recomputation dialed from 2 to 18
+// via ForceRecomputeMappers; FAST vs SLOW shuffle.
+func Fig14(s Scale) *Result {
+	r := newResult("Fig14: speed-up vs recomputation mapper waves")
+	waves := []int{2, 6, 10, 14, 18}
+	if s == ScaleQuick {
+		waves = []int{2, 6}
+	}
+	series := map[string][]float64{}
+	var xs []float64
+	for _, w := range waves {
+		for _, slow := range []bool{false, true} {
+			st := sticSetup(s, 1, 1)
+			st.cfg.NumJobs = 2
+			st.cfg.NumReducers = st.ccfg.Nodes
+			st.cfg.Failures = singleFailure(2)
+			if s == ScaleQuick {
+				// Keep enough initial mapper waves that the map phase
+				// dominates, so the wave effect is visible at small scale.
+				st.cfg.InputPerNode = cluster.GB
+				st.cfg.BlockSize = 64 * cluster.MB
+			}
+			// w waves over the surviving nodes' map slots.
+			st.cfg.ForceRecomputeMappers = w * (st.ccfg.Nodes - 1) * st.ccfg.MapSlots
+			if slow {
+				st.ccfg.ShuffleTransferDelay = 10
+			}
+			res := run(st)
+			su := recomputeSpeedup(res)
+			name := "FAST SHUFFLE"
+			if slow {
+				name = "SLOW SHUFFLE"
+			}
+			series[name] = append(series[name], su)
+			r.Values[fmt.Sprintf("%s @ %d waves", name, w)] = su
+		}
+		xs = append(xs, float64(w))
+	}
+	r.Text = textplot.Series(r.Name, "recompute mapper waves", xs,
+		[]string{"FAST SHUFFLE", "SLOW SHUFFLE"}, series)
+	return r
+}
+
+// ---- Hybrid (Section IV-C) ----
+
+// Hybrid reproduces the hybrid data point of Section V-B: replication
+// factor 2 once every 5 jobs combined with recomputation, under the late
+// single failure, compared to pure RCMP with splitting.
+func Hybrid(s Scale) *Result {
+	r := newResult("Hybrid: replicate every 5th job + recompute")
+	st := sticSetup(s, 1, 1)
+	last := st.cfg.NumJobs
+
+	pure := st
+	pure.cfg.Split = true
+	pure.cfg.SplitRatio = splitRatioFor(st)
+	pure.cfg.Failures = singleFailure(last)
+	pureT := float64(run(pure).Total)
+
+	hyb := st
+	hyb.cfg.Split = true
+	hyb.cfg.SplitRatio = splitRatioFor(st)
+	hyb.cfg.HybridEveryK = 5
+	hyb.cfg.HybridRepl = 2
+	hyb.cfg.Failures = singleFailure(last)
+	hybT := float64(run(hyb).Total)
+
+	r.Values["pure RCMP"] = 1
+	r.Values["hybrid vs pure"] = hybT / pureT
+	r.Text = textplot.Bars(r.Name, []string{"RCMP SPLIT", "HYBRID every-5"},
+		[]float64{1, hybT / pureT}, 0.05)
+	return r
+}
+
+// ---- Ablations (DESIGN.md Section 5) ----
+
+// AblationScatterVsSplit compares reducer splitting against the
+// scatter-only alternative of Section IV-B2 under the late failure.
+func AblationScatterVsSplit(s Scale) *Result {
+	r := newResult("Ablation: split vs scatter-only vs none")
+	st := sticSetup(s, 1, 1)
+	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+
+	variants := []struct {
+		name   string
+		mutate func(*mapreduce.ChainConfig)
+	}{
+		{"NO-SPLIT", func(c *mapreduce.ChainConfig) {}},
+		{"SCATTER", func(c *mapreduce.ChainConfig) { c.ScatterOnly = true }},
+		{"SPLIT", func(c *mapreduce.ChainConfig) { c.Split = true; c.SplitRatio = splitRatioFor(st) }},
+	}
+	var labels []string
+	var vals []float64
+	for _, v := range variants {
+		stv := st
+		v.mutate(&stv.cfg)
+		res := run(stv)
+		labels = append(labels, v.name)
+		vals = append(vals, float64(res.Total))
+	}
+	best := vals[0]
+	for _, v := range vals {
+		if v < best {
+			best = v
+		}
+	}
+	for i := range vals {
+		vals[i] /= best
+		r.Values[labels[i]] = vals[i]
+	}
+	r.Text = textplot.Bars(r.Name+" (total time vs best)", labels, vals, 0.05)
+	return r
+}
+
+// AblationSplitRatio sweeps the split ratio under the late failure.
+func AblationSplitRatio(s Scale) *Result {
+	r := newResult("Ablation: split ratio sweep")
+	st := sticSetup(s, 1, 1)
+	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+	ratios := []int{1, 2, 4, 8}
+	if n := st.ccfg.Nodes - 1; n < 8 {
+		ratios = []int{1, 2, n}
+	}
+	var labels []string
+	var vals []float64
+	for _, k := range ratios {
+		stv := st
+		if k > 1 {
+			stv.cfg.Split = true
+			stv.cfg.SplitRatio = k
+		}
+		res := run(stv)
+		labels = append(labels, fmt.Sprintf("split %d", k))
+		vals = append(vals, float64(res.Total))
+		r.Values[fmt.Sprintf("split %d", k)] = float64(res.Total)
+	}
+	r.Text = textplot.Bars(r.Name+" (total seconds)", labels, vals, vals[len(vals)-1]/40)
+	return r
+}
+
+// AblationMapReuse isolates the benefit of reusing persisted map outputs.
+func AblationMapReuse(s Scale) *Result {
+	r := newResult("Ablation: persisted map output reuse")
+	st := sticSetup(s, 1, 1)
+	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+	st.cfg.Split = true
+	st.cfg.SplitRatio = splitRatioFor(st)
+
+	withReuse := float64(run(st).Total)
+	stNo := st
+	stNo.cfg.NoMapOutputReuse = true
+	without := float64(run(stNo).Total)
+	r.Values["with reuse"] = 1
+	r.Values["without reuse"] = without / withReuse
+	r.Text = textplot.Bars(r.Name+" (total time vs with-reuse)",
+		[]string{"with reuse", "without reuse"}, []float64{1, without / withReuse}, 0.05)
+	return r
+}
+
+// AblationIORatio tests the Section V-A claim that RCMP's advantage over
+// replication grows when the job output is large relative to input and
+// shuffle (ratios like Pig Cogroup or web indexing): the replicated bytes
+// scale with the output term only.
+func AblationIORatio(s Scale) *Result {
+	r := newResult("Ablation: input/shuffle/output ratio")
+	type shape struct {
+		name     string
+		mapRatio float64 // shuffle bytes per input byte
+		redRatio float64 // output bytes per shuffle byte
+	}
+	shapes := []shape{
+		{"1:1:0.3 (filter)", 1, 0.3},
+		{"1:1:1 (sort)", 1, 1},
+		{"1:1:2 (cogroup)", 1, 2},
+	}
+	var labels []string
+	var vals []float64
+	for _, sh := range shapes {
+		rcmp := sticSetup(s, 1, 1)
+		rcmp.cfg.MapOutputRatio = sh.mapRatio
+		rcmp.cfg.ReduceOutputRatio = sh.redRatio
+		rcmpT := float64(run(rcmp).Total)
+
+		repl := rcmp
+		repl.cfg.Mode = mapreduce.ModeHadoop
+		repl.cfg.OutputRepl = 3
+		replT := float64(run(repl).Total)
+
+		labels = append(labels, sh.name)
+		vals = append(vals, replT/rcmpT)
+		r.Values["REPL-3/RCMP @ "+sh.name] = replT / rcmpT
+	}
+	r.Text = textplot.Bars(r.Name+" (REPL-3 slowdown vs RCMP, no failures)", labels, vals, 0.05)
+	return r
+}
+
+// AblationReclamation measures the hybrid checkpoint + storage reclamation
+// mode of Section IV-C: performance must be indistinguishable from plain
+// hybrid (reclamation is metadata-only) while intermediate files vanish.
+func AblationReclamation(s Scale) *Result {
+	r := newResult("Ablation: checkpoint storage reclamation")
+	st := sticSetup(s, 1, 1)
+	st.cfg.HybridEveryK = 3
+	st.cfg.HybridRepl = 2
+	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+	base := float64(run(st).Total)
+
+	st.cfg.ReclaimAtCheckpoints = true
+	reclaimed := float64(run(st).Total)
+	r.Values["hybrid"] = 1
+	r.Values["hybrid+reclaim"] = reclaimed / base
+	r.Text = textplot.Bars(r.Name+" (total time vs hybrid)",
+		[]string{"hybrid", "hybrid+reclaim"}, []float64{1, reclaimed / base}, 0.05)
+	return r
+}
+
+// AblationSpeculation quantifies the Section III-A claim about speculative
+// execution: with a straggler node it trims the tail, but a large share of
+// speculative launches provide no benefit, and it cannot help at all when
+// the slow task's input has no second replica.
+func AblationSpeculation(s Scale) *Result {
+	r := newResult("Ablation: speculative execution with a straggler")
+	st := sticSetup(s, 1, 1)
+	st.cfg.NumJobs = 2
+	st.ccfg.NodeDiskScale = map[int]float64{victim: 0.25}
+
+	plain := run(st)
+	spec := st
+	spec.cfg.Speculation = true
+	specRes := run(spec)
+
+	r.Values["no speculation"] = 1
+	r.Values["speculation"] = float64(specRes.Total) / float64(plain.Total)
+	r.Values["launched"] = float64(specRes.SpeculativeLaunched)
+	r.Values["wasted"] = float64(specRes.SpeculativeWasted)
+	wastedFrac := 0.0
+	if specRes.SpeculativeLaunched > 0 {
+		wastedFrac = float64(specRes.SpeculativeWasted) / float64(specRes.SpeculativeLaunched)
+	}
+	r.Values["wasted fraction"] = wastedFrac
+	r.Text = textplot.Bars(
+		fmt.Sprintf("%s (time vs no-speculation; %d launched, %.0f%% wasted)",
+			r.Name, specRes.SpeculativeLaunched, 100*wastedFrac),
+		[]string{"no speculation", "speculation"},
+		[]float64{1, float64(specRes.Total) / float64(plain.Total)}, 0.05)
+	return r
+}
+
+// AblationLocality quantifies the Section III-A claim that data locality
+// matters only when the network is the bottleneck: the map-phase penalty of
+// locality-blind scheduling, at increasing core oversubscription, with a
+// single-replicated input so placement truly decides local versus remote.
+func AblationLocality(s Scale) *Result {
+	r := newResult("Ablation: data locality vs network oversubscription")
+	oversubs := []float64{1, 4, 16}
+	var labels []string
+	var vals []float64
+	for _, ov := range oversubs {
+		mapEnd := func(disable bool) float64 {
+			st := sticSetup(s, 1, 1)
+			st.cfg.NumJobs = 1
+			st.cfg.InputRepl = 1
+			st.cfg.DisableLocality = disable
+			st.ccfg.Oversubscription = ov
+			st.ccfg.NICBW = 50 * cluster.MB
+			res := run(st)
+			var end float64
+			for _, ts := range res.Recorder.Tasks {
+				if ts.Kind == metrics.TaskMap && float64(ts.End) > end {
+					end = float64(ts.End)
+				}
+			}
+			return end
+		}
+		penalty := mapEnd(true) / mapEnd(false)
+		labels = append(labels, fmt.Sprintf("oversub %.0f:1", ov))
+		vals = append(vals, penalty)
+		r.Values[fmt.Sprintf("penalty @ %.0f:1", ov)] = penalty
+	}
+	r.Text = textplot.Bars(r.Name+" (map-phase slowdown without locality)", labels, vals, 0.1)
+	return r
+}
+
+// AblationDetectionTimeout sweeps the failure detection timeout.
+func AblationDetectionTimeout(s Scale) *Result {
+	r := newResult("Ablation: failure detection timeout")
+	timeouts := []float64{10, 30, 60, 120}
+	var labels []string
+	var vals []float64
+	for _, to := range timeouts {
+		st := sticSetup(s, 1, 1)
+		st.ccfg.FailureDetectionTimeout = des.Time(to)
+		st.cfg.Split = true
+		st.cfg.SplitRatio = splitRatioFor(st)
+		st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+		res := run(st)
+		labels = append(labels, fmt.Sprintf("%.0fs", to))
+		vals = append(vals, float64(res.Total))
+		r.Values[fmt.Sprintf("timeout %.0fs", to)] = float64(res.Total)
+	}
+	r.Text = textplot.Bars(r.Name+" (total seconds)", labels, vals, vals[0]/40)
+	return r
+}
+
+// All runs every experiment at the given scale, in presentation order.
+func All(s Scale) []*Result {
+	return []*Result{
+		Fig2(),
+		Fig8a(s), Fig8b(s), Fig8c(s),
+		Fig9(s), Fig10(s), Fig11(s), Fig12(s), Fig13(s), Fig14(s),
+		Hybrid(s),
+		AblationScatterVsSplit(s), AblationSplitRatio(s),
+		AblationMapReuse(s), AblationDetectionTimeout(s),
+		AblationIORatio(s), AblationReclamation(s),
+		AblationSpeculation(s), AblationLocality(s),
+		CostModels(),
+	}
+}

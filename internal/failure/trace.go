@@ -1,0 +1,152 @@
+// Package failure provides failure-trace generation and the paper's
+// failure-injection scenarios.
+//
+// Figure 2 of the paper plots the CDF of newly-failed machines per day for
+// two Rice University clusters (STIC, 218 nodes; SUG@R, 121 nodes) over
+// roughly three years of daily scans. The raw traces are no longer
+// retrievable, so this package synthesizes traces with the summary
+// statistics the paper reports: 17% (STIC) and 12% (SUG@R) of days show new
+// failures, almost all failure days involve a handful of machines, and a
+// few unplanned outage days lose many nodes at once. The CDF shape — a long
+// flat segment at zero, a steep rise over small counts, a thin heavy tail —
+// is what the figure communicates and is what the generator preserves.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rcmp/internal/metrics"
+)
+
+// TraceConfig parameterizes a synthetic cluster failure trace.
+type TraceConfig struct {
+	Name  string
+	Nodes int
+	Days  int
+	// FailureDayFraction is the fraction of days with at least one newly
+	// failed machine.
+	FailureDayFraction float64
+	// MeanFailures is the mean failure count on small failure days.
+	MeanFailures float64
+	// OutageDayFraction is the fraction of days that are unplanned outages
+	// (scheduler or file-system incidents taking out many nodes at once).
+	OutageDayFraction float64
+	// OutageScale is the typical node count of an outage day.
+	OutageScale float64
+	Seed        int64
+}
+
+// Validate reports configuration errors.
+func (c *TraceConfig) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.Days <= 0:
+		return fmt.Errorf("failure: trace %q needs positive nodes and days", c.Name)
+	case c.FailureDayFraction < 0 || c.FailureDayFraction > 1:
+		return fmt.Errorf("failure: trace %q failure-day fraction %v", c.Name, c.FailureDayFraction)
+	case c.OutageDayFraction < 0 || c.OutageDayFraction > c.FailureDayFraction:
+		return fmt.Errorf("failure: trace %q outage fraction %v exceeds failure fraction", c.Name, c.OutageDayFraction)
+	}
+	return nil
+}
+
+// STICTrace models the paper's STIC cluster trace: 218 nodes, ~3 years of
+// daily checks, 17% of days with new failures.
+func STICTrace() TraceConfig {
+	return TraceConfig{
+		Name: "STIC", Nodes: 218, Days: 1100,
+		FailureDayFraction: 0.17, MeanFailures: 1.6,
+		OutageDayFraction: 0.006, OutageScale: 25,
+		Seed: 1,
+	}
+}
+
+// SUGARTrace models the paper's SUG@R cluster trace: 121 nodes, ~3.7 years,
+// 12% of days with new failures.
+func SUGARTrace() TraceConfig {
+	return TraceConfig{
+		Name: "SUG@R", Nodes: 121, Days: 1350,
+		FailureDayFraction: 0.12, MeanFailures: 1.4,
+		OutageDayFraction: 0.004, OutageScale: 18,
+		Seed: 2,
+	}
+}
+
+// Generate returns the number of newly failed machines on each day.
+func Generate(cfg TraceConfig) ([]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	days := make([]int, cfg.Days)
+	for d := range days {
+		u := rng.Float64()
+		switch {
+		case u < cfg.OutageDayFraction:
+			// Unplanned outage: a large batch of simultaneous losses.
+			n := int(cfg.OutageScale * (0.5 + rng.Float64()))
+			if n > cfg.Nodes {
+				n = cfg.Nodes
+			}
+			days[d] = n
+		case u < cfg.FailureDayFraction:
+			// Ordinary failure day: a geometric handful of machines.
+			n := 1
+			for rng.Float64() < 1-1/cfg.MeanFailures {
+				n++
+			}
+			if n > cfg.Nodes {
+				n = cfg.Nodes
+			}
+			days[d] = n
+		default:
+			days[d] = 0
+		}
+	}
+	return days, nil
+}
+
+// Stats summarizes a trace for validation against the paper's numbers.
+type Stats struct {
+	Days            int
+	FailureDays     int
+	FailureDayFrac  float64
+	MaxFailures     int
+	TotalFailures   int
+	MeanPerFailDay  float64
+	P99FailuresPerD float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(days []int) Stats {
+	s := Stats{Days: len(days)}
+	var xs []float64
+	for _, n := range days {
+		xs = append(xs, float64(n))
+		if n > 0 {
+			s.FailureDays++
+			s.TotalFailures += n
+		}
+		if n > s.MaxFailures {
+			s.MaxFailures = n
+		}
+	}
+	if s.Days > 0 {
+		s.FailureDayFrac = float64(s.FailureDays) / float64(s.Days)
+	}
+	if s.FailureDays > 0 {
+		s.MeanPerFailDay = float64(s.TotalFailures) / float64(s.FailureDays)
+	}
+	s.P99FailuresPerD = metrics.NewCDF(xs).Percentile(0.99)
+	return s
+}
+
+// CDF returns the empirical CDF of new failures per day, matching Figure 2's
+// axes (x = new failures per day, y = fraction of days).
+func CDF(days []int) metrics.CDF {
+	xs := make([]float64, len(days))
+	for i, n := range days {
+		xs[i] = float64(n)
+	}
+	return metrics.NewCDF(xs)
+}

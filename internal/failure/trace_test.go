@@ -1,0 +1,113 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := STICTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TraceConfig{
+		{Name: "x", Nodes: 0, Days: 10},
+		{Name: "x", Nodes: 10, Days: 0},
+		{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 1.5},
+		{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1, OutageDayFraction: 0.2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Generate(TraceConfig{}); err == nil {
+		t.Error("Generate accepted invalid config")
+	}
+}
+
+func TestGenerateMatchesPaperFractions(t *testing.T) {
+	for _, cfg := range []TraceConfig{STICTrace(), SUGARTrace()} {
+		days, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(days) != cfg.Days {
+			t.Fatalf("%s: %d days, want %d", cfg.Name, len(days), cfg.Days)
+		}
+		s := Summarize(days)
+		lo, hi := cfg.FailureDayFraction-0.03, cfg.FailureDayFraction+0.03
+		if s.FailureDayFrac < lo || s.FailureDayFrac > hi {
+			t.Fatalf("%s: failure-day fraction %.3f outside [%.3f,%.3f]",
+				cfg.Name, s.FailureDayFrac, lo, hi)
+		}
+		// Most failure days involve few machines; outages are rare but big.
+		if s.MeanPerFailDay > 5 {
+			t.Fatalf("%s: mean failures per failure day %.2f too high", cfg.Name, s.MeanPerFailDay)
+		}
+		if s.MaxFailures < 10 {
+			t.Fatalf("%s: no outage tail (max %d)", cfg.Name, s.MaxFailures)
+		}
+		if s.MaxFailures > cfg.Nodes {
+			t.Fatalf("%s: lost more machines than exist", cfg.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(STICTrace())
+	b, _ := Generate(STICTrace())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	days, _ := Generate(STICTrace())
+	c := CDF(days)
+	// Figure 2's key reading: >80% of days have zero new failures.
+	if at0 := c.At(0); at0 < 0.8 {
+		t.Fatalf("P(failures<=0) = %.2f, want > 0.8", at0)
+	}
+	if c.At(40) < 0.999 {
+		t.Fatalf("tail beyond 40 machines/day too heavy: %.4f", c.At(40))
+	}
+}
+
+// Property: generated counts are within [0, Nodes] for arbitrary valid configs.
+func TestGenerateBoundsProperty(t *testing.T) {
+	check := func(seed int64, nodes, days uint8, frac uint8) bool {
+		cfg := TraceConfig{
+			Name:               "p",
+			Nodes:              int(nodes)%200 + 1,
+			Days:               int(days)%300 + 1,
+			FailureDayFraction: float64(frac%90) / 100,
+			MeanFailures:       1.5,
+			OutageScale:        10,
+			Seed:               seed,
+		}
+		cfg.OutageDayFraction = cfg.FailureDayFraction / 20
+		out, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for _, n := range out {
+			if n < 0 || n > cfg.Nodes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Days != 0 || s.FailureDays != 0 || s.FailureDayFrac != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}

@@ -1,0 +1,385 @@
+// Package flow models data transfers competing for shared resources.
+//
+// A Resource is anything with a finite byte rate: a disk, a NIC direction,
+// or an oversubscribed core switch. A Flow is a transfer of a fixed number
+// of bytes across an ordered set of resources (e.g. source disk -> source
+// NIC -> core -> destination NIC -> destination disk). At any instant every
+// active flow progresses at its max-min fair rate, computed by progressive
+// water-filling across all resources. Whenever the set of active flows
+// changes, accrued progress is banked and rates are recomputed; the network
+// schedules a single simulator event for the earliest flow completion.
+//
+// Resources support a concurrency penalty that shrinks effective capacity
+// as the number of concurrent flows grows. This models the seek-bound
+// behaviour of spinning disks under concurrent streams, which the RCMP
+// paper identifies as a key source of both replication overhead (Section
+// III) and recomputation hot-spots (Section IV-B2).
+//
+// The implementation is allocation-free on the rebalance path: resources
+// carry generation-stamped scratch state and flows live in a swap-remove
+// slice, so large experiments (hundreds of thousands of flow events) spend
+// their time in arithmetic, not in map traffic and GC.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"rcmp/internal/des"
+)
+
+// Resource is a capacity-limited device shared by flows.
+type Resource struct {
+	Name     string
+	Capacity float64 // bytes per second with a single streaming client
+	// SeekPenalty shrinks effective capacity under concurrency:
+	// effective = Capacity / (1 + min(SeekPenalty*(n-1), PenaltyCap)) for n
+	// concurrent flows. Zero means the resource divides cleanly (e.g. a
+	// network link).
+	SeekPenalty float64
+	// PenaltyCap bounds the total degradation: disk schedulers and large
+	// sequential buffers keep heavily shared disks at a throughput floor
+	// rather than degrading without limit. Zero means an uncapped penalty.
+	PenaltyCap float64
+
+	active int // flows currently using this resource
+
+	// Water-filling scratch, valid when gen matches the network's current
+	// rebalance generation.
+	gen       uint64
+	remaining float64
+	weight    float64
+	count     int
+}
+
+// Effective returns the aggregate byte rate the resource can sustain when n
+// flows use it concurrently.
+func (r *Resource) Effective(n int) float64 {
+	if n <= 0 {
+		return r.Capacity
+	}
+	p := r.SeekPenalty * float64(n-1)
+	if r.PenaltyCap > 0 && p > r.PenaltyCap {
+		p = r.PenaltyCap
+	}
+	return r.Capacity / (1 + p)
+}
+
+// Active returns the number of flows currently using the resource.
+func (r *Resource) Active() int { return r.active }
+
+// Use declares that a flow consumes Weight bytes of a resource per byte of
+// flow progress. Weight > 1 models amplification (e.g. a local read-then-
+// write on one disk has weight 2 on that disk).
+type Use struct {
+	R      *Resource
+	Weight float64
+}
+
+// Flow is an in-progress transfer.
+type Flow struct {
+	Label    string
+	size     float64
+	done     float64
+	rate     float64 // current bytes/sec, set by rebalance
+	uses     []Use
+	started  des.Time
+	finished bool
+	frozen   bool // water-filling scratch
+	index    int  // position in Network.flows, -1 when inactive
+	onDone   func(*Flow)
+	extra    des.Time // fixed latency added after the bytes finish
+}
+
+// Size returns the total bytes of the flow.
+func (f *Flow) Size() float64 { return f.size }
+
+// Done returns the bytes transferred so far (valid after completion; during
+// a run it is only current as of the last rebalance).
+func (f *Flow) Done() float64 { return f.done }
+
+// Rate returns the flow's current max-min fair rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Started returns the virtual time the flow was started.
+func (f *Flow) Started() des.Time { return f.started }
+
+// Network manages all active flows and keeps their rates max-min fair.
+type Network struct {
+	sim        *des.Simulator
+	flows      []*Flow
+	lastUpdate des.Time
+	completion *des.Event
+	gen        uint64
+	touched    []*Resource // scratch: resources seen this rebalance
+	// Completed counts flows that have finished, for diagnostics.
+	Completed uint64
+}
+
+// NewNetwork returns an empty network bound to the simulator clock.
+func NewNetwork(sim *des.Simulator) *Network {
+	return &Network{sim: sim}
+}
+
+// Sim returns the simulator the network is bound to.
+func (n *Network) Sim() *des.Simulator { return n.sim }
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Start begins a transfer of size bytes across the given resource uses.
+// onDone, if non-nil, fires (inside a simulator event) when the last byte
+// arrives plus extraLatency. A zero-size flow completes after extraLatency.
+func (n *Network) Start(label string, size float64, uses []Use, extraLatency des.Time, onDone func(*Flow)) *Flow {
+	if size < 0 {
+		panic(fmt.Sprintf("flow: negative size %v", size))
+	}
+	for _, u := range uses {
+		if u.Weight <= 0 {
+			panic(fmt.Sprintf("flow %q: non-positive weight %v on %s", label, u.Weight, u.R.Name))
+		}
+	}
+	f := &Flow{
+		Label:   label,
+		size:    size,
+		uses:    uses,
+		started: n.sim.Now(),
+		onDone:  onDone,
+		index:   -1,
+		extra:   extraLatency,
+	}
+	if size == 0 {
+		// Nothing to transfer; complete after the fixed latency without
+		// occupying any resource.
+		n.sim.After(extraLatency, func() { n.finish(f) })
+		return f
+	}
+	n.advance()
+	f.index = len(n.flows)
+	n.flows = append(n.flows, f)
+	for _, u := range f.uses {
+		u.R.active++
+	}
+	n.rebalance()
+	return f
+}
+
+// Abort removes a flow before completion (e.g. its endpoint failed).
+// The onDone callback does not fire.
+func (n *Network) Abort(f *Flow) {
+	if f.finished || f.index < 0 {
+		return
+	}
+	n.advance()
+	n.remove(f)
+	f.finished = true
+	n.rebalance()
+}
+
+func (n *Network) remove(f *Flow) {
+	last := len(n.flows) - 1
+	i := f.index
+	n.flows[i] = n.flows[last]
+	n.flows[i].index = i
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	f.index = -1
+	for _, u := range f.uses {
+		u.R.active--
+	}
+}
+
+// advance banks progress for all active flows up to the current time.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	dt := float64(now - n.lastUpdate)
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.done += f.rate * dt
+			if f.done > f.size {
+				f.done = f.size
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// rebalance recomputes max-min fair rates by progressive water-filling and
+// schedules the next completion event.
+func (n *Network) rebalance() {
+	if n.completion != nil {
+		n.sim.Cancel(n.completion)
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Stamp scratch state on every resource touched by an active flow.
+	n.gen++
+	n.touched = n.touched[:0]
+	for _, f := range n.flows {
+		f.frozen = false
+		for _, u := range f.uses {
+			r := u.R
+			if r.gen != n.gen {
+				r.gen = n.gen
+				// Effective capacity depends on total concurrency on the
+				// resource; r.active is exactly that.
+				r.remaining = r.Effective(r.active)
+				r.weight = 0
+				r.count = 0
+				n.touched = append(n.touched, r)
+			}
+			r.weight += u.Weight
+			r.count++
+		}
+	}
+
+	// Progressive filling: find the bottleneck rate, freeze every unfrozen
+	// flow whose own limit equals it, subtract consumed capacity, repeat.
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		bottleneck := math.Inf(1)
+		for _, r := range n.touched {
+			if r.count == 0 || r.weight <= 0 {
+				continue
+			}
+			if rate := r.remaining / r.weight; rate < bottleneck {
+				bottleneck = rate
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = math.MaxFloat64 / 4
+					unfrozen--
+				}
+			}
+			break
+		}
+		if bottleneck < 0 {
+			bottleneck = 0
+		}
+		frozenAny := false
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			limit := math.Inf(1)
+			for _, u := range f.uses {
+				if l := u.R.remaining / u.R.weight; l < limit {
+					limit = l
+				}
+			}
+			if limit <= bottleneck*(1+1e-12) {
+				f.frozen = true
+				f.rate = bottleneck
+				unfrozen--
+				frozenAny = true
+				for _, u := range f.uses {
+					r := u.R
+					r.remaining -= bottleneck * u.Weight
+					if r.remaining < 0 {
+						r.remaining = 0
+					}
+					r.weight -= u.Weight
+					r.count--
+				}
+			}
+		}
+		if !frozenAny {
+			// Numerical corner: freeze the single slowest flow to guarantee
+			// progress.
+			var worst *Flow
+			worstLimit := math.Inf(1)
+			for _, f := range n.flows {
+				if f.frozen {
+					continue
+				}
+				limit := math.Inf(1)
+				for _, u := range f.uses {
+					if l := u.R.remaining / u.R.weight; l < limit {
+						limit = l
+					}
+				}
+				if limit < worstLimit {
+					worstLimit = limit
+					worst = f
+				}
+			}
+			worst.frozen = true
+			worst.rate = worstLimit
+			unfrozen--
+			for _, u := range worst.uses {
+				r := u.R
+				r.remaining -= worstLimit * u.Weight
+				if r.remaining < 0 {
+					r.remaining = 0
+				}
+				r.weight -= u.Weight
+				r.count--
+			}
+		}
+	}
+
+	// Schedule the earliest completion.
+	var next *Flow
+	nextAt := des.Forever
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		eta := n.sim.Now() + des.Time((f.size-f.done)/f.rate)
+		if eta < nextAt {
+			nextAt = eta
+			next = f
+		}
+	}
+	if next == nil {
+		panic("flow: active flows but no positive rate; deadlock")
+	}
+	target := next
+	n.completion = n.sim.At(nextAt, func() { n.complete(target) })
+}
+
+// complete fires when the network believes target has finished; it banks
+// progress, finalizes every flow that is (numerically) done, and rebalances.
+func (n *Network) complete(target *Flow) {
+	n.completion = nil
+	n.advance()
+	// Finish all flows within epsilon of completion, not just the target:
+	// equal-rate flows finish simultaneously and must all be finalized now.
+	var doneFlows []*Flow
+	for _, f := range n.flows {
+		if f == target || f.size-f.done <= 1e-6*math.Max(1, f.size) {
+			doneFlows = append(doneFlows, f)
+		}
+	}
+	for _, f := range doneFlows {
+		f.done = f.size
+		n.remove(f)
+	}
+	n.rebalance()
+	for _, f := range doneFlows {
+		if f.extra > 0 {
+			f := f
+			n.sim.After(f.extra, func() { n.finish(f) })
+		} else {
+			n.finish(f)
+		}
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.done = f.size
+	n.Completed++
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}

@@ -1,0 +1,344 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rcmp/internal/des"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlow(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	var doneAt des.Time
+	net.Start("f", 1000, []Use{{r, 1}}, 0, func(f *Flow) { doneAt = sim.Now() })
+	sim.Run()
+	if !approx(float64(doneAt), 10, 1e-9) {
+		t.Fatalf("single flow finished at %v, want 10", doneAt)
+	}
+}
+
+func TestTwoFlowsShare(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	var t1, t2 des.Time
+	net.Start("a", 1000, []Use{{r, 1}}, 0, func(f *Flow) { t1 = sim.Now() })
+	net.Start("b", 1000, []Use{{r, 1}}, 0, func(f *Flow) { t2 = sim.Now() })
+	sim.Run()
+	// Both share 100 B/s -> 50 each -> 20s.
+	if !approx(float64(t1), 20, 1e-6) || !approx(float64(t2), 20, 1e-6) {
+		t.Fatalf("shared flows finished at %v and %v, want 20", t1, t2)
+	}
+}
+
+func TestShortFlowFreesCapacity(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	var tShort, tLong des.Time
+	net.Start("short", 500, []Use{{r, 1}}, 0, func(f *Flow) { tShort = sim.Now() })
+	net.Start("long", 1000, []Use{{r, 1}}, 0, func(f *Flow) { tLong = sim.Now() })
+	sim.Run()
+	// Share 50/50 until short finishes at t=10 (500B at 50B/s); long then has
+	// 500B left at 100B/s -> finishes at 15.
+	if !approx(float64(tShort), 10, 1e-6) {
+		t.Fatalf("short finished at %v, want 10", tShort)
+	}
+	if !approx(float64(tLong), 15, 1e-6) {
+		t.Fatalf("long finished at %v, want 15", tLong)
+	}
+}
+
+func TestLateArrival(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	var tA, tB des.Time
+	net.Start("a", 1000, []Use{{r, 1}}, 0, func(f *Flow) { tA = sim.Now() })
+	sim.At(5, func() {
+		net.Start("b", 250, []Use{{r, 1}}, 0, func(f *Flow) { tB = sim.Now() })
+	})
+	sim.Run()
+	// a alone until t=5 (500B done). Then both at 50 B/s. b: 250B -> t=10.
+	// a: 500B left, 250B by t=10, then alone: 250B at 100 -> t=12.5.
+	if !approx(float64(tB), 10, 1e-6) {
+		t.Fatalf("b finished at %v, want 10", tB)
+	}
+	if !approx(float64(tA), 12.5, 1e-6) {
+		t.Fatalf("a finished at %v, want 12.5", tA)
+	}
+}
+
+func TestMultiResourceBottleneck(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	disk := &Resource{Name: "disk", Capacity: 100}
+	nic := &Resource{Name: "nic", Capacity: 50}
+	var at des.Time
+	net.Start("x", 500, []Use{{disk, 1}, {nic, 1}}, 0, func(f *Flow) { at = sim.Now() })
+	sim.Run()
+	if !approx(float64(at), 10, 1e-6) {
+		t.Fatalf("bottlenecked flow finished at %v, want 10 (nic-limited)", at)
+	}
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	// Classic max-min example: flows A (uses r1), B (uses r1+r2), C (uses r2).
+	// r1 cap 100, r2 cap 30. Water-filling: B and C limited by r2 -> 15 each.
+	// A gets the rest of r1: 85.
+	sim := des.New()
+	net := NewNetwork(sim)
+	r1 := &Resource{Name: "r1", Capacity: 100}
+	r2 := &Resource{Name: "r2", Capacity: 30}
+	a := net.Start("a", 1e9, []Use{{r1, 1}}, 0, nil)
+	b := net.Start("b", 1e9, []Use{{r1, 1}, {r2, 1}}, 0, nil)
+	c := net.Start("c", 1e9, []Use{{r2, 1}}, 0, nil)
+	// Rates are set synchronously by Start's rebalance.
+	if !approx(b.Rate(), 15, 1e-6) || !approx(c.Rate(), 15, 1e-6) {
+		t.Fatalf("b=%v c=%v, want 15 each", b.Rate(), c.Rate())
+	}
+	if !approx(a.Rate(), 85, 1e-6) {
+		t.Fatalf("a=%v, want 85", a.Rate())
+	}
+	net.Abort(a)
+	net.Abort(b)
+	net.Abort(c)
+	sim.Run()
+}
+
+func TestWeightedUse(t *testing.T) {
+	// A local copy uses the disk with weight 2 (read+write): a 500B copy on a
+	// 100 B/s disk takes 10s.
+	sim := des.New()
+	net := NewNetwork(sim)
+	disk := &Resource{Name: "disk", Capacity: 100}
+	var at des.Time
+	net.Start("copy", 500, []Use{{disk, 2}}, 0, func(f *Flow) { at = sim.Now() })
+	sim.Run()
+	if !approx(float64(at), 10, 1e-6) {
+		t.Fatalf("weighted flow finished at %v, want 10", at)
+	}
+}
+
+func TestSeekPenalty(t *testing.T) {
+	// With SeekPenalty 0.5, two concurrent flows see aggregate 100/(1+0.5) =
+	// 66.67 B/s, 33.33 each -> 1000B takes 30s.
+	sim := des.New()
+	net := NewNetwork(sim)
+	disk := &Resource{Name: "disk", Capacity: 100, SeekPenalty: 0.5}
+	var t1 des.Time
+	net.Start("a", 1000, []Use{{disk, 1}}, 0, func(f *Flow) { t1 = sim.Now() })
+	net.Start("b", 1000, []Use{{disk, 1}}, 0, nil)
+	sim.Run()
+	if !approx(float64(t1), 30, 1e-4) {
+		t.Fatalf("penalized flows finished at %v, want 30", t1)
+	}
+}
+
+func TestZeroSizeFlow(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	fired := false
+	net.Start("z", 0, nil, 2, func(f *Flow) { fired = true })
+	sim.Run()
+	if !fired {
+		t.Fatal("zero-size flow never completed")
+	}
+	if sim.Now() != 2 {
+		t.Fatalf("zero-size flow with latency finished at %v, want 2", sim.Now())
+	}
+}
+
+func TestExtraLatency(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "link", Capacity: 100}
+	var at des.Time
+	net.Start("f", 1000, []Use{{r, 1}}, 10, func(f *Flow) { at = sim.Now() })
+	sim.Run()
+	if !approx(float64(at), 20, 1e-6) {
+		t.Fatalf("flow with extra latency finished at %v, want 20", at)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	var aborted *Flow
+	fired := false
+	aborted = net.Start("victim", 1000, []Use{{r, 1}}, 0, func(f *Flow) { fired = true })
+	var tOther des.Time
+	net.Start("other", 1000, []Use{{r, 1}}, 0, func(f *Flow) { tOther = sim.Now() })
+	sim.At(5, func() { net.Abort(aborted) })
+	sim.Run()
+	if fired {
+		t.Fatal("aborted flow's onDone fired")
+	}
+	// other: 250B by t=5 (50 B/s shared), then 750B at 100 B/s -> t=12.5.
+	if !approx(float64(tOther), 12.5, 1e-6) {
+		t.Fatalf("surviving flow finished at %v, want 12.5", tOther)
+	}
+	if r.Active() != 0 {
+		t.Fatalf("resource still has %d active flows", r.Active())
+	}
+}
+
+func TestAbortFinishedIsNoop(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	f := net.Start("f", 100, []Use{{r, 1}}, 0, nil)
+	sim.Run()
+	net.Abort(f) // must not panic or corrupt state
+	if net.ActiveFlows() != 0 {
+		t.Fatal("network not empty")
+	}
+}
+
+func TestSimultaneousCompletion(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "disk", Capacity: 100}
+	count := 0
+	for i := 0; i < 4; i++ {
+		net.Start("f", 1000, []Use{{r, 1}}, 0, func(f *Flow) { count++ })
+	}
+	sim.Run()
+	if count != 4 {
+		t.Fatalf("%d of 4 equal flows completed", count)
+	}
+	if !approx(float64(sim.Now()), 40, 1e-4) {
+		t.Fatalf("equal flows finished at %v, want 40", sim.Now())
+	}
+}
+
+// TestConservation checks, via randomized scenarios, that (a) every flow
+// eventually completes, (b) total bytes delivered equals total bytes
+// requested, and (c) at each rebalance no resource is oversubscribed.
+func TestConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		sim := des.New()
+		net := NewNetwork(sim)
+		nres := 2 + rng.Intn(4)
+		resources := make([]*Resource, nres)
+		for i := range resources {
+			resources[i] = &Resource{
+				Name:        "r",
+				Capacity:    50 + rng.Float64()*200,
+				SeekPenalty: rng.Float64() * 0.3,
+			}
+		}
+		nflows := 1 + rng.Intn(20)
+		completed := 0
+		var totalReq, totalDone float64
+		for i := 0; i < nflows; i++ {
+			size := 10 + rng.Float64()*1000
+			totalReq += size
+			k := 1 + rng.Intn(nres)
+			uses := make([]Use, 0, k)
+			seen := map[int]bool{}
+			for len(uses) < k {
+				j := rng.Intn(nres)
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				uses = append(uses, Use{resources[j], 1 + rng.Float64()})
+			}
+			start := des.Time(rng.Float64() * 20)
+			sim.At(start, func() {
+				net.Start("f", size, uses, 0, func(f *Flow) {
+					completed++
+					totalDone += f.Done()
+				})
+			})
+		}
+		sim.Run()
+		if completed != nflows {
+			t.Fatalf("trial %d: %d of %d flows completed", trial, completed, nflows)
+		}
+		if !approx(totalDone, totalReq, 1e-3*totalReq) {
+			t.Fatalf("trial %d: delivered %v, requested %v", trial, totalDone, totalReq)
+		}
+		for _, r := range resources {
+			if r.Active() != 0 {
+				t.Fatalf("trial %d: resource leaked %d active flows", trial, r.Active())
+			}
+		}
+	}
+}
+
+// TestRatesNeverExceedCapacity property-checks the water-filler directly.
+func TestRatesNeverExceedCapacity(t *testing.T) {
+	check := func(caps []float64, assignment []uint8) bool {
+		if len(caps) == 0 {
+			return true
+		}
+		sim := des.New()
+		net := NewNetwork(sim)
+		resources := make([]*Resource, len(caps))
+		for i, c := range caps {
+			resources[i] = &Resource{Name: "r", Capacity: math.Abs(c) + 1}
+		}
+		var flows []*Flow
+		for _, a := range assignment {
+			r := resources[int(a)%len(resources)]
+			flows = append(flows, net.Start("f", 1e12, []Use{{r, 1}}, 0, nil))
+		}
+		// Check utilization per resource.
+		load := make(map[*Resource]float64)
+		for _, f := range flows {
+			for _, u := range f.uses {
+				load[u.R] += f.Rate() * u.Weight
+			}
+		}
+		ok := true
+		for r, l := range load {
+			if l > r.Effective(r.Active())*(1+1e-9) {
+				ok = false
+			}
+		}
+		for _, f := range flows {
+			net.Abort(f)
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkConservation: with one resource and any number of flows, aggregate
+// rate equals effective capacity (no idle capacity while work remains).
+func TestWorkConservation(t *testing.T) {
+	check := func(n uint8) bool {
+		k := int(n)%16 + 1
+		sim := des.New()
+		net := NewNetwork(sim)
+		r := &Resource{Name: "disk", Capacity: 100, SeekPenalty: 0.1}
+		var flows []*Flow
+		for i := 0; i < k; i++ {
+			flows = append(flows, net.Start("f", 1e12, []Use{{r, 1}}, 0, nil))
+		}
+		var agg float64
+		for _, f := range flows {
+			agg += f.Rate()
+		}
+		want := r.Effective(k)
+		for _, f := range flows {
+			net.Abort(f)
+		}
+		return approx(agg, want, 1e-6*want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

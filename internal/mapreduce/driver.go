@@ -1,0 +1,427 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/core"
+	"rcmp/internal/des"
+	"rcmp/internal/dfs"
+	"rcmp/internal/lineage"
+	"rcmp/internal/metrics"
+)
+
+// Driver executes one multi-job chain on a simulated cluster under a chosen
+// failure-resilience strategy (the paper's middleware + master together).
+type Driver struct {
+	sim  *des.Simulator
+	clus *cluster.Cluster
+	fs   *dfs.FS
+	ch   *lineage.Chain
+	rec  *metrics.Recorder
+	cfg  ChainConfig
+	rng  *rand.Rand
+
+	frontier    int // 1-based chain job currently being computed
+	runCounter  int
+	failedNodes map[int]bool
+	current     *jobRun
+	recovering  bool
+	planQueue   []core.JobStep
+	finished    bool
+	err         error
+	endTime     des.Time
+
+	specLaunched int
+	specWasted   int
+}
+
+// RunChain executes the chain on a fresh cluster built from ccfg and
+// returns the timing result. The execution is fully deterministic for a
+// given (ccfg, cfg) pair.
+func RunChain(ccfg cluster.Config, cfg ChainConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	d := &Driver{
+		sim:         sim,
+		clus:        cluster.New(sim, ccfg),
+		fs:          dfs.New(cfg.BlockSize),
+		ch:          lineage.NewChain(),
+		rec:         &metrics.Recorder{},
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		frontier:    1,
+		failedNodes: make(map[int]bool),
+	}
+	if err := d.createInput(); err != nil {
+		return nil, err
+	}
+	d.startInitial(1)
+	sim.Run()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if !d.finished {
+		return nil, fmt.Errorf("mapreduce: simulation drained before chain completed (job %d)", d.frontier)
+	}
+	return &Result{
+		Total:               d.endTime,
+		Runs:                d.rec.Runs,
+		Recorder:            d.rec,
+		StartedRuns:         d.runCounter,
+		SpeculativeLaunched: d.specLaunched,
+		SpeculativeWasted:   d.specWasted,
+	}, nil
+}
+
+// createInput lays out the original input: one partition per node of
+// InputPerNode bytes, InputRepl replicas (paper: triple-replicated).
+func (d *Driver) createInput() error {
+	n := d.clus.NumNodes()
+	if _, err := d.fs.Create(inputFileName, n); err != nil {
+		return err
+	}
+	all := d.clus.Alive()
+	repl := d.cfg.InputRepl
+	if repl > n {
+		repl = n
+	}
+	for p := 0; p < n; p++ {
+		sets := [][]int{d.fs.PlanReplicas(p, repl, all)}
+		if _, err := d.fs.SetPartition(inputFileName, p, d.cfg.InputPerNode, sets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) unrecoverable(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	if d.current != nil {
+		d.current.cancel()
+	}
+	d.sim.Stop()
+}
+
+// outputRepl returns the DFS replication for a chain job's output under the
+// configured strategy.
+func (d *Driver) outputRepl(job int) int {
+	if d.cfg.Mode == ModeRCMP {
+		if d.cfg.HybridEveryK > 0 {
+			return core.ReplicationForJob(job, d.cfg.HybridEveryK, d.cfg.HybridRepl)
+		}
+		return 1
+	}
+	return d.cfg.OutputRepl
+}
+
+func (d *Driver) inputFileOf(job int) string {
+	if job == 1 {
+		return inputFileName
+	}
+	return outputFileName(job - 1)
+}
+
+// newRun assembles the shared parts of any job run and registers injections.
+func (d *Driver) newRun(job int, kind metrics.RunKind) *jobRun {
+	d.runCounter++
+	r := &jobRun{
+		d:          d,
+		job:        job,
+		kind:       kind,
+		runIndex:   d.runCounter,
+		inputFile:  d.inputFileOf(job),
+		outputFile: outputFileName(job),
+		repl:       d.outputRepl(job),
+		scatter:    d.cfg.ScatterOnly && kind == metrics.RunRecompute,
+		aggOut:     make(map[int]float64),
+	}
+	for _, inj := range d.cfg.Failures {
+		if inj.AtRun == d.runCounter {
+			inj := inj
+			d.sim.After(inj.After, func() { d.injectFailure(inj.Node) })
+		}
+	}
+	d.current = r
+	return r
+}
+
+// startInitial launches a full run of a chain job: a mapper per input
+// block, every reducer, fresh output file.
+func (d *Driver) startInitial(job int) {
+	kind := metrics.RunInitial
+	if d.recovering {
+		kind = metrics.RunRestart
+	}
+	// Discard any partial output from an interrupted earlier attempt.
+	d.fs.Delete(outputFileName(job))
+	if _, err := d.fs.Create(outputFileName(job), d.cfg.NumReducers); err != nil {
+		d.unrecoverable(err)
+		return
+	}
+	r := d.newRun(job, kind)
+	in := d.fs.File(r.inputFile)
+	if in == nil {
+		d.unrecoverable(fmt.Errorf("job %d input %q missing", job, r.inputFile))
+		return
+	}
+	idx := 0
+	for _, p := range in.Partitions {
+		for b, blk := range p.Blocks {
+			r.maps = append(r.maps, &mapTask{
+				index:      idx,
+				part:       p.Index,
+				block:      b,
+				inputBytes: blk.Size,
+				outBytes:   int64(float64(blk.Size) * d.cfg.MapOutputRatio),
+				node:       -1,
+			})
+			idx++
+		}
+	}
+	for i := 0; i < d.cfg.NumReducers; i++ {
+		r.reduces = append(r.reduces, &reduceTask{reducer: i, split: 0, splits: 1, node: -1})
+	}
+	r.onComplete = func() { d.initialRunDone(r) }
+	r.begin()
+}
+
+// initialRunDone records lineage for a completed full run and advances the
+// chain.
+func (d *Driver) initialRunDone(r *jobRun) {
+	rec := &lineage.JobRecord{
+		ID:         r.job,
+		Name:       fmt.Sprintf("job%d", r.job),
+		InputFile:  r.inputFile,
+		OutputFile: r.outputFile,
+		Splittable: true,
+		Completed:  true,
+	}
+	for _, mt := range r.maps {
+		node := mt.node
+		if d.cfg.Mode != ModeRCMP {
+			node = -1 // Hadoop does not persist map outputs across jobs
+		}
+		rec.Mappers = append(rec.Mappers, lineage.MapperMeta{
+			Index:          mt.index,
+			InputPartition: mt.part,
+			InputBlock:     mt.block,
+			InputBytes:     mt.inputBytes,
+			OutputBytes:    mt.outBytes,
+			Node:           node,
+		})
+	}
+	for _, rt := range r.reduces {
+		rec.Reducers = append(rec.Reducers, lineage.ReducerMeta{
+			Index:       rt.reducer,
+			OutputBytes: rt.outBytes,
+			Nodes:       []int{rt.node},
+		})
+	}
+	if err := d.ch.Append(rec); err != nil {
+		d.unrecoverable(err)
+		return
+	}
+	// A completed hybrid checkpoint bounds every future cascade; reclaim
+	// the storage the bound makes unreachable (Section IV-C).
+	if d.cfg.ReclaimAtCheckpoints && d.outputRepl(r.job) > 1 {
+		if rcl, err := core.ReclaimableBefore(d.ch, r.job); err == nil {
+			core.ApplyReclamation(d.ch, rcl)
+			for _, f := range rcl.Files {
+				d.fs.Delete(f)
+			}
+		}
+	}
+	d.recovering = false
+	d.frontier++
+	if d.frontier > d.cfg.NumJobs {
+		d.finished = true
+		d.endTime = d.sim.Now()
+		return
+	}
+	d.startInitial(d.frontier)
+}
+
+// startRecompute launches the partial re-execution of one plan step.
+func (d *Driver) startRecompute(step core.JobStep) {
+	r := d.newRun(step.Job, metrics.RunRecompute)
+	rec := d.ch.Job(step.Job)
+
+	// Mapper tasks keep their original indices so shuffle accounting (the
+	// seen bitmap) spans recomputed and persisted outputs uniformly.
+	maxIdx := 0
+	for _, m := range rec.Mappers {
+		if m.Index > maxIdx {
+			maxIdx = m.Index
+		}
+	}
+	r.persistedSeen = make([]bool, maxIdx+1)
+	rerun := make(map[int]bool, len(step.Mappers))
+	for _, mi := range step.Mappers {
+		rerun[mi] = true
+	}
+	for _, m := range rec.Mappers {
+		if rerun[m.Index] {
+			r.maps = append(r.maps, &mapTask{
+				index:      m.Index,
+				part:       m.InputPartition,
+				block:      m.InputBlock,
+				inputBytes: m.InputBytes,
+				outBytes:   m.OutputBytes,
+				node:       -1,
+			})
+		} else {
+			// Reused persisted output: a shuffle source with no map work.
+			r.persistedSeen[m.Index] = true
+			r.aggOut[m.Node] += float64(m.OutputBytes)
+		}
+	}
+	for _, rr := range step.Reducers {
+		for s := 0; s < rr.Splits; s++ {
+			r.reduces = append(r.reduces, &reduceTask{reducer: rr.Reducer, split: s, splits: rr.Splits, node: -1})
+		}
+	}
+	r.onComplete = func() { d.recomputeRunDone(r, step) }
+	r.begin()
+}
+
+// recomputeRunDone folds the regenerated outputs back into lineage and
+// proceeds with the recovery plan.
+func (d *Driver) recomputeRunDone(r *jobRun, step core.JobStep) {
+	for _, mt := range r.maps {
+		d.ch.SetMapperOutput(r.job, mt.index, mt.node, mt.outBytes)
+	}
+	byReducer := make(map[int][]*reduceTask)
+	for _, rt := range r.reduces {
+		byReducer[rt.reducer] = append(byReducer[rt.reducer], rt)
+	}
+	for reducer, rts := range byReducer {
+		var nodes []int
+		var bytes int64
+		for _, rt := range rts {
+			nodes = append(nodes, rt.node)
+			bytes += rt.outBytes
+		}
+		d.ch.SetReducerOutput(r.job, reducer, nodes, bytes)
+	}
+	d.advanceRecovery()
+}
+
+// advanceRecovery runs the next plan step, or restarts the frontier job.
+func (d *Driver) advanceRecovery() {
+	if len(d.planQueue) > 0 {
+		step := d.planQueue[0]
+		d.planQueue = d.planQueue[1:]
+		d.startRecompute(step)
+		return
+	}
+	d.startInitial(d.frontier) // kind=restart while recovering
+}
+
+// injectFailure kills a node: compute and storage are gone immediately; the
+// master reacts after the detection timeout.
+func (d *Driver) injectFailure(node int) {
+	if d.finished || d.err != nil {
+		return
+	}
+	if node < 0 {
+		alive := d.clus.Alive()
+		node = alive[d.rng.Intn(len(alive))]
+	}
+	if d.failedNodes[node] || d.clus.NumAlive() <= 1 {
+		return
+	}
+	d.failedNodes[node] = true
+	d.clus.Fail(node)
+	d.fs.FailNode(node)
+	if d.current != nil {
+		d.current.nodeDown(node)
+	}
+	d.sim.After(d.clus.Cfg.FailureDetectionTimeout, func() { d.onDetect(node) })
+}
+
+// onDetect is the master noticing a dead node.
+func (d *Driver) onDetect(node int) {
+	if d.finished || d.err != nil {
+		return
+	}
+	if d.cfg.Mode == ModeHadoop {
+		// Replication permitting, recovery is within-job. Data loss that
+		// touches the running job's input cannot be recovered from.
+		if d.current != nil && !d.current.done {
+			in := d.fs.File(d.current.inputFile)
+			for _, p := range in.Partitions {
+				if p.Written() && !d.fs.PartitionAvailable(d.current.inputFile, p.Index) {
+					d.unrecoverable(fmt.Errorf("hadoop: input %s/p%d lost; replication %d insufficient",
+						d.current.inputFile, p.Index, d.cfg.OutputRepl))
+					return
+				}
+			}
+			d.current.handleDetection(node)
+		}
+		return
+	}
+
+	// RCMP: any irreversible loss cancels the running job; the middleware
+	// plans a minimal cascade over ALL damage seen so far. A detection that
+	// arrives while a previous recovery is in progress simply re-plans.
+	if d.current != nil && !d.current.done {
+		d.current.cancel()
+	}
+	plan, err := core.BuildPlan(d.ch, d.fs, d.frontier, d.failedNodes, core.Options{
+		Split:      d.cfg.Split,
+		SplitRatio: d.cfg.SplitRatio,
+		AliveNodes: d.clus.NumAlive(),
+	})
+	if err != nil {
+		d.unrecoverable(err)
+		return
+	}
+	if d.cfg.NoMapOutputReuse {
+		for i := range plan.Steps {
+			step := &plan.Steps[i]
+			rec := d.ch.Job(step.Job)
+			step.Mappers = step.Mappers[:0]
+			for _, m := range rec.Mappers {
+				step.Mappers = append(step.Mappers, m.Index)
+			}
+		}
+	}
+	if d.cfg.ForceRecomputeMappers > 0 {
+		for i := range plan.Steps {
+			d.padStepMappers(&plan.Steps[i])
+		}
+	}
+	d.recovering = true
+	d.planQueue = plan.Steps
+	d.advanceRecovery()
+}
+
+// padStepMappers grows a step's mapper set to ForceRecomputeMappers entries
+// (the Figure 14 wave-count knob), drawing extra mappers in index order.
+func (d *Driver) padStepMappers(step *core.JobStep) {
+	want := d.cfg.ForceRecomputeMappers
+	have := make(map[int]bool, len(step.Mappers))
+	for _, m := range step.Mappers {
+		have[m] = true
+	}
+	rec := d.ch.Job(step.Job)
+	for _, m := range rec.Mappers {
+		if len(step.Mappers) >= want {
+			break
+		}
+		if !have[m.Index] {
+			step.Mappers = append(step.Mappers, m.Index)
+			have[m.Index] = true
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/metrics"
+)
+
+// tinyCluster is a small, fast config for engine tests.
+func tinyCluster(nodes, mapSlots, redSlots int) cluster.Config {
+	return cluster.Config{
+		Name:                    "tiny",
+		Nodes:                   nodes,
+		MapSlots:                mapSlots,
+		ReduceSlots:             redSlots,
+		DiskBW:                  100 * cluster.MB,
+		DiskSeekPenalty:         0.3,
+		NICBW:                   1250 * cluster.MB,
+		Oversubscription:        4,
+		TaskStartup:             1,
+		MapCPU:                  400 * cluster.MB,
+		ReduceCPU:               400 * cluster.MB,
+		FailureDetectionTimeout: 30,
+	}
+}
+
+// tinyChain is a small chain: per-node input of a few blocks.
+func tinyChain(jobs, reducers int, perNodeMB int64) ChainConfig {
+	return ChainConfig{
+		Mode:         ModeRCMP,
+		NumJobs:      jobs,
+		NumReducers:  reducers,
+		InputPerNode: perNodeMB * cluster.MB,
+		BlockSize:    64 * cluster.MB,
+	}
+}
+
+func TestFailureFreeChainCompletes(t *testing.T) {
+	res, err := RunChain(tinyCluster(4, 1, 1), tinyChain(3, 4, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartedRuns != 3 {
+		t.Fatalf("started %d runs, want 3", res.StartedRuns)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("total time %v", res.Total)
+	}
+	for _, run := range res.Runs {
+		if run.Kind != metrics.RunInitial || run.Cancelled {
+			t.Fatalf("failure-free chain produced run %+v", run)
+		}
+	}
+	// Every job: 4 nodes x 2 blocks = 8 mappers, 4 reducers.
+	maps := res.Recorder.TaskDurations(func(s metrics.TaskSample) bool { return s.Kind == metrics.TaskMap })
+	if len(maps) != 3*8 {
+		t.Fatalf("%d map samples, want 24", len(maps))
+	}
+	reds := res.Recorder.TaskDurations(func(s metrics.TaskSample) bool { return s.Kind == metrics.TaskReduce })
+	if len(reds) != 3*4 {
+		t.Fatalf("%d reduce samples, want 12", len(reds))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := tinyChain(3, 4, 128)
+	cfg.Failures = []Injection{{AtRun: 2, After: 5, Node: -1}}
+	cfg.Seed = 42
+	a, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.StartedRuns != b.StartedRuns {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Total, a.StartedRuns, b.Total, b.StartedRuns)
+	}
+}
+
+func TestReplicationSlowsFailureFreeRuns(t *testing.T) {
+	base, err := RunChain(tinyCluster(4, 1, 1), tinyChain(3, 4, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := tinyChain(3, 4, 128)
+	r3.Mode = ModeHadoop
+	r3.OutputRepl = 3
+	repl, err := RunChain(tinyCluster(4, 1, 1), r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Total <= base.Total {
+		t.Fatalf("REPL-3 (%v) not slower than REPL-1 (%v)", repl.Total, base.Total)
+	}
+	slow := float64(repl.Total) / float64(base.Total)
+	if slow < 1.2 {
+		t.Fatalf("REPL-3 slowdown %.2f, expected substantial (>1.2)", slow)
+	}
+}
+
+func TestRCMPSingleFailureRecovers(t *testing.T) {
+	cfg := tinyChain(4, 4, 128)
+	cfg.Failures = []Injection{{AtRun: 3, After: 5, Node: 2}}
+	res, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure during job 3: cancel it, recompute jobs 1-2 partially,
+	// restart job 3, then job 4. Runs: 2 initial + 1 cancelled + 2
+	// recompute + 1 restart + 1 initial = 7 started.
+	if res.StartedRuns != 7 {
+		t.Fatalf("started %d runs, want 7: %+v", res.StartedRuns, res.Runs)
+	}
+	var kinds []metrics.RunKind
+	for _, r := range res.Runs {
+		kinds = append(kinds, r.Kind)
+	}
+	recomputes := res.Recorder.RunsOfKind(metrics.RunRecompute)
+	if len(recomputes) != 2 {
+		t.Fatalf("%d recompute runs, want 2 (%v)", len(recomputes), kinds)
+	}
+	restarts := res.Recorder.RunsOfKind(metrics.RunRestart)
+	if len(restarts) != 1 {
+		t.Fatalf("%d restart runs, want 1 (%v)", len(restarts), kinds)
+	}
+	// Recompute runs are partial: far fewer tasks than a full job (8 maps).
+	for _, run := range recomputes {
+		n := 0
+		for _, s := range res.Recorder.Tasks {
+			if s.RunIndex == run.RunIndex && s.Kind == metrics.TaskMap {
+				n++
+			}
+		}
+		if n == 0 || n >= 8 {
+			t.Fatalf("recompute run %d re-ran %d mappers, want partial (0<n<8)", run.RunIndex, n)
+		}
+	}
+}
+
+func TestRCMPSplitUsesAllNodes(t *testing.T) {
+	cfg := tinyChain(4, 8, 256)
+	cfg.Failures = []Injection{{AtRun: 4, After: 5, Node: 1}}
+	cfg.Split = true
+	cfg.SplitRatio = 7
+	res, err := RunChain(tinyCluster(8, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In recompute runs, reduce work must appear on many distinct nodes.
+	nodes := map[int]bool{}
+	splits := 0
+	for _, s := range res.Recorder.Tasks {
+		if s.RunKind == metrics.RunRecompute && s.Kind == metrics.TaskReduce {
+			nodes[s.Node] = true
+			splits++
+		}
+	}
+	if splits == 0 {
+		t.Fatal("no recompute reduce tasks recorded")
+	}
+	if len(nodes) < 5 {
+		t.Fatalf("split recomputation used %d nodes, want >=5", len(nodes))
+	}
+}
+
+func TestRCMPSplitFasterThanNoSplit(t *testing.T) {
+	mk := func(split bool) float64 {
+		cfg := tinyChain(5, 8, 256)
+		cfg.Failures = []Injection{{AtRun: 5, After: 5, Node: 1}}
+		cfg.Split = split
+		cfg.SplitRatio = 7
+		res, err := RunChain(tinyCluster(8, 1, 1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Total)
+	}
+	noSplit := mk(false)
+	withSplit := mk(true)
+	if withSplit >= noSplit {
+		t.Fatalf("split (%v) not faster than no-split (%v)", withSplit, noSplit)
+	}
+}
+
+func TestHadoopSurvivesSingleFailureWithRepl2(t *testing.T) {
+	cfg := tinyChain(3, 4, 128)
+	cfg.Mode = ModeHadoop
+	cfg.OutputRepl = 2
+	cfg.Failures = []Injection{{AtRun: 2, After: 5, Node: 3}}
+	res, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hadoop never restarts jobs: exactly 3 started runs, none cancelled.
+	if res.StartedRuns != 3 {
+		t.Fatalf("started %d runs, want 3", res.StartedRuns)
+	}
+	for _, run := range res.Runs {
+		if run.Cancelled {
+			t.Fatalf("hadoop cancelled a run: %+v", run)
+		}
+	}
+}
+
+func TestHadoopRepl1DataLossAborts(t *testing.T) {
+	cfg := tinyChain(3, 4, 128)
+	cfg.Mode = ModeHadoop
+	cfg.OutputRepl = 1
+	cfg.Failures = []Injection{{AtRun: 2, After: 5, Node: 3}}
+	if _, err := RunChain(tinyCluster(4, 1, 1), cfg); err == nil {
+		t.Fatal("hadoop with repl-1 survived data loss")
+	}
+}
+
+func TestRCMPDoubleFailureNested(t *testing.T) {
+	cfg := tinyChain(4, 6, 128)
+	// Second failure lands while recovery from the first is in progress
+	// (the recompute runs are short; AtRun 5 is within the recovery).
+	cfg.Failures = []Injection{
+		{AtRun: 4, After: 5, Node: 1},
+		{AtRun: 5, After: 2, Node: 2},
+	}
+	res, err := RunChain(tinyCluster(6, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chainOutputComplete(t, res) {
+		t.Fatal("chain did not complete all jobs")
+	}
+	cancelled := 0
+	for _, run := range res.Runs {
+		if run.Cancelled {
+			cancelled++
+		}
+	}
+	if cancelled < 2 {
+		t.Fatalf("nested double failure cancelled %d runs, want >=2", cancelled)
+	}
+}
+
+func chainOutputComplete(t *testing.T, res *Result) bool {
+	t.Helper()
+	// The last run must be a completed run of the last job.
+	last := res.Runs[len(res.Runs)-1]
+	return !last.Cancelled
+}
+
+func TestHybridBoundsCascade(t *testing.T) {
+	// 6 jobs, replicate every 2nd job's output. Failure at job 6 must not
+	// cascade past job 4 (the last replicated output survives).
+	cfg := tinyChain(6, 4, 128)
+	cfg.HybridEveryK = 2
+	cfg.HybridRepl = 2
+	cfg.Failures = []Injection{{AtRun: 6, After: 5, Node: 0}}
+	res, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputes := res.Recorder.RunsOfKind(metrics.RunRecompute)
+	for _, run := range recomputes {
+		if run.Job <= 4 {
+			t.Fatalf("hybrid cascade reached job %d despite checkpoint at 4", run.Job)
+		}
+	}
+	if len(recomputes) == 0 {
+		t.Fatal("no recompute runs at all")
+	}
+}
+
+func TestNoMapOutputReuseRerunsAllMappers(t *testing.T) {
+	cfg := tinyChain(3, 4, 128)
+	cfg.NoMapOutputReuse = true
+	cfg.Failures = []Injection{{AtRun: 3, After: 5, Node: 2}}
+	res, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Recorder.RunsOfKind(metrics.RunRecompute) {
+		n := 0
+		for _, s := range res.Recorder.Tasks {
+			if s.RunIndex == run.RunIndex && s.Kind == metrics.TaskMap {
+				n++
+			}
+		}
+		if n != 8 { // full mapper set
+			t.Fatalf("recompute run %d ran %d mappers, want all 8", run.RunIndex, n)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []ChainConfig{
+		{NumJobs: 0, NumReducers: 1, InputPerNode: 1},
+		{NumJobs: 1, NumReducers: 0, InputPerNode: 1},
+		{NumJobs: 1, NumReducers: 1, InputPerNode: 0},
+		{NumJobs: 1, NumReducers: 1, InputPerNode: 1, Split: true, ScatterOnly: true},
+		{Mode: ModeHadoop, NumJobs: 1, NumReducers: 1, InputPerNode: 1, Split: true},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRCMP.String() != "RCMP" || ModeHadoop.String() != "Hadoop" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+}

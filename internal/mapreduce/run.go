@@ -1,0 +1,885 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/des"
+	"rcmp/internal/dfs"
+	"rcmp/internal/flow"
+	"rcmp/internal/metrics"
+)
+
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskZombie  // on a failed node, awaiting detection
+	taskBlocked // input unreadable after a failure, awaiting detection
+	taskDone
+)
+
+// mapTask is one mapper execution within a run.
+type mapTask struct {
+	index      int
+	part       int // partition of the run's input file
+	block      int // block within the partition
+	inputBytes int64
+	outBytes   int64
+
+	state taskState
+	node  int
+	fl    *flow.Flow
+	ev    *des.Event
+	rerun bool // re-executed after its first output was lost (Hadoop recovery)
+	start des.Time
+
+	// Speculative execution: a straggling original holds a pointer to its
+	// duplicate and vice versa. Only one of the pair ever completes.
+	dupOf *mapTask // set on the duplicate, pointing at the original
+	dup   *mapTask // set on the original while a duplicate is in flight
+}
+
+// primary returns the canonical task of a (task, duplicate) pair.
+func (mt *mapTask) primary() *mapTask {
+	if mt.dupOf != nil {
+		return mt.dupOf
+	}
+	return mt
+}
+
+// srcBucket tracks shuffle bytes a reduce task owes to / has pulled from one
+// source node.
+type srcBucket struct {
+	pending  float64 // bytes ready to fetch
+	inflight float64 // bytes in the current fetch flow
+	fl       *flow.Flow
+	stalled  bool // source node down, no new fetches
+}
+
+// reduceTask is one reducer (or one split of a split reducer) execution.
+type reduceTask struct {
+	reducer int
+	split   int
+	splits  int
+
+	state   taskState
+	node    int
+	buckets map[int]*srcBucket
+	seen    []bool // map outputs accounted, by mapper index
+	// needResupply is bytes lost with dead source nodes that re-executed
+	// mappers must re-provide (Hadoop within-job recovery).
+	needResupply float64
+	inflight     int
+	fetched      float64
+	shuffling    bool
+	ev           *des.Event
+	outFlows     map[*flow.Flow]int // in-progress output writes -> target node
+	owedRewrites []int              // dead replica targets awaiting replacement
+	outPending   int
+	outReplicas  []int
+	outBytes     int64
+	start        des.Time
+}
+
+func (rt *reduceTask) shareFrac(numReducers int) float64 {
+	return 1 / (float64(numReducers) * float64(rt.splits))
+}
+
+// partCommit accumulates finished splits of one output partition until all
+// have completed and the partition can be registered in the DFS.
+type partCommit struct {
+	done     int
+	bytes    int64
+	replicas [][]int // one replica set per split, ordered by split index
+}
+
+// jobRun executes one job run (initial, recompute step, or restart).
+type jobRun struct {
+	d        *Driver
+	job      int // chain job id
+	kind     metrics.RunKind
+	runIndex int
+	start    des.Time
+
+	inputFile  string
+	outputFile string
+	repl       int
+	scatter    bool // scatter reducer output blocks across alive nodes
+
+	maps    []*mapTask
+	reduces []*reduceTask
+	// aggOut aggregates available map-output bytes per holder node,
+	// including persisted outputs reused from the initial run.
+	aggOut        map[int]float64
+	persistedSeen []bool // mapper indices whose outputs are reused
+
+	mapsRemaining int
+	redRemaining  int
+	pendingMaps   []*mapTask
+	pendingReds   []*reduceTask
+	mapFree       map[int]int
+	redFree       map[int]int
+	redCursor     int // round-robin start for reducer placement
+
+	commits   map[int]*partCommit
+	seenSize  int // 1 + max mapper index, for reducers' seen bitmaps
+	done      bool
+	cancelled bool
+
+	// Speculation state: mean completed-mapper duration feeds the
+	// straggler threshold; specDups tracks live duplicates for failure
+	// handling and cancellation (they are not in maps).
+	mapDoneCount int
+	mapDoneSum   float64
+	specDups     []*mapTask
+	specEv       *des.Event
+	// rerunOutputs are maps re-executed during Hadoop recovery whose shares
+	// feed reducers' needResupply instead of full new contributions.
+	onComplete func()
+}
+
+func (r *jobRun) sim() *des.Simulator    { return r.d.sim }
+func (r *jobRun) clus() *cluster.Cluster { return r.d.clus }
+func (r *jobRun) net() *flow.Network     { return r.d.clus.Net }
+func (r *jobRun) fs() *dfs.FS            { return r.d.fs }
+func (r *jobRun) cfg() *ChainConfig      { return &r.d.cfg }
+func (r *jobRun) ccfg() *cluster.Config  { return &r.d.clus.Cfg }
+
+// begin initializes slot state and starts scheduling.
+func (r *jobRun) begin() {
+	r.start = r.sim().Now()
+	r.mapFree = make(map[int]int)
+	r.redFree = make(map[int]int)
+	for _, n := range r.clus().Alive() {
+		r.mapFree[n] = r.ccfg().MapSlots
+		r.redFree[n] = r.ccfg().ReduceSlots
+	}
+	r.commits = make(map[int]*partCommit)
+	r.mapsRemaining = len(r.maps)
+	r.redRemaining = len(r.reduces)
+	r.pendingMaps = append(r.pendingMaps, r.maps...)
+	if r.cfg().DisableLocality {
+		// Without the locality preference, index-order assignment would
+		// send every early task to the same input partition and hammer one
+		// disk; schedulers that ignore locality still spread by placement
+		// randomness, modeled with a deterministic shuffle.
+		rng := rand.New(rand.NewSource(r.cfg().Seed + int64(r.runIndex)))
+		rng.Shuffle(len(r.pendingMaps), func(i, j int) {
+			r.pendingMaps[i], r.pendingMaps[j] = r.pendingMaps[j], r.pendingMaps[i]
+		})
+	}
+	r.pendingReds = append(r.pendingReds, r.reduces...)
+	if r.aggOut == nil {
+		r.aggOut = make(map[int]float64)
+	}
+	// Mapper indices are the job's original indices (recompute runs hold a
+	// subset), so seen bitmaps must span the largest index.
+	for _, mt := range r.maps {
+		if mt.index >= r.seenSize {
+			r.seenSize = mt.index + 1
+		}
+	}
+	if len(r.persistedSeen) > r.seenSize {
+		r.seenSize = len(r.persistedSeen)
+	}
+	r.pump()
+}
+
+// pump assigns pending tasks to free slots until no assignment is possible.
+func (r *jobRun) pump() {
+	if r.done {
+		return
+	}
+	for r.assignOneMap() {
+	}
+	for r.assignOneReduce() {
+	}
+	r.checkDone()
+}
+
+// assignOneMap launches at most one mapper, preferring data-local placement.
+func (r *jobRun) assignOneMap() bool {
+	if len(r.pendingMaps) == 0 {
+		return false
+	}
+	// Pass 1: a node with a free slot holding a pending task's input block.
+	if !r.cfg().DisableLocality {
+		for qi, mt := range r.pendingMaps {
+			for _, n := range r.inputLocations(mt) {
+				if r.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
+					r.launchMap(mt, n, qi)
+					return true
+				}
+			}
+		}
+	}
+	// Pass 2: any free slot. A speculative duplicate avoids its original's
+	// node — rerunning a straggler in place defeats the purpose.
+	for _, n := range r.clus().Alive() {
+		if r.mapFree[n] <= 0 {
+			continue
+		}
+		for qi, mt := range r.pendingMaps {
+			if mt.dupOf != nil && mt.dupOf.state == taskRunning && mt.dupOf.node == n {
+				continue
+			}
+			r.launchMap(mt, n, qi)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *jobRun) inputLocations(mt *mapTask) []int {
+	locs := r.fs().BlockLocations(r.inputFile, mt.part)
+	if mt.block >= len(locs) {
+		return nil
+	}
+	return locs[mt.block]
+}
+
+func (r *jobRun) launchMap(mt *mapTask, node int, queueIdx int) {
+	r.pendingMaps = append(r.pendingMaps[:queueIdx], r.pendingMaps[queueIdx+1:]...)
+	r.mapFree[node]--
+	mt.state = taskRunning
+	mt.node = node
+	mt.start = r.sim().Now()
+	mt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.mapRead(mt) })
+}
+
+func (r *jobRun) mapRead(mt *mapTask) {
+	mt.ev = nil
+	locs := r.inputLocations(mt)
+	if len(locs) == 0 {
+		// A failure just destroyed the input block. The task fails and its
+		// slot frees; the master sorts the situation out at detection time
+		// (RCMP cancels the run, Hadoop either finds a replica or aborts).
+		mt.state = taskBlocked
+		r.mapFree[mt.node]++
+		mt.node = -1
+		return
+	}
+	// Prefer a local replica; otherwise read from the least-loaded holder
+	// (HDFS clients balance across replicas the same way). This is what
+	// lets a speculative duplicate escape a straggler: it pulls its input
+	// from a healthy replica instead of the slow source.
+	src := locs[0]
+	bestLoad := int(^uint(0) >> 1)
+	for _, n := range locs {
+		if n == mt.node {
+			src = n
+			bestLoad = -1
+			break
+		}
+		if a := r.clus().Node(n).Disk.Active(); a < bestLoad {
+			bestLoad = a
+			src = n
+		}
+	}
+	mt.fl = r.net().Start(fmt.Sprintf("map%d-read", mt.index), float64(mt.inputBytes),
+		r.clus().ReadUses(src, mt.node), 0, func(*flow.Flow) { r.mapCompute(mt) })
+}
+
+func (r *jobRun) mapCompute(mt *mapTask) {
+	mt.fl = nil
+	d := des.Time(0)
+	if cpu := r.ccfg().MapCPU; cpu > 0 {
+		d = des.Time(float64(mt.inputBytes) / cpu)
+	}
+	mt.ev = r.sim().After(d, func() { r.mapWrite(mt) })
+}
+
+func (r *jobRun) mapWrite(mt *mapTask) {
+	mt.ev = nil
+	disk := r.clus().Node(mt.node).Disk
+	mt.fl = r.net().Start(fmt.Sprintf("map%d-write", mt.index), float64(mt.outBytes),
+		[]flow.Use{{R: disk, Weight: 1}}, 0, func(*flow.Flow) { r.mapDone(mt) })
+}
+
+func (r *jobRun) mapDone(mt *mapTask) {
+	mt.fl = nil
+	mt.state = taskDone
+	r.mapFree[mt.node]++
+
+	// Speculation: the losing copy of a pair is killed now; only the
+	// winner's output counts.
+	prim := mt.primary()
+	if prim.state == taskDone && prim != mt && prim.node != mt.node {
+		// The original already finished; this duplicate's completion would
+		// have been aborted — defensive, should not happen.
+		return
+	}
+	if loser := r.specLoser(mt); loser != nil {
+		r.killSpeculative(loser)
+	}
+	prim.node = mt.node // canonical output location is the winner's
+	prim.state = taskDone
+
+	r.mapsRemaining--
+	r.mapDoneCount++
+	r.mapDoneSum += float64(r.sim().Now() - mt.start)
+	r.aggOut[mt.node] += float64(mt.outBytes)
+	r.d.rec.AddTask(metrics.TaskSample{
+		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskMap,
+		Index: mt.index, Node: mt.node, Start: mt.start, End: r.sim().Now(),
+	})
+	// Feed every shuffling reducer.
+	for _, rt := range r.reduces {
+		if rt.state == taskRunning && rt.shuffling {
+			r.offerMapOutput(rt, mt)
+		}
+	}
+	if r.cfg().Speculation {
+		r.speculate()
+	}
+	r.pump()
+}
+
+// specLoser returns the other copy of a speculative pair if it is still in
+// flight when `winner` completes.
+func (r *jobRun) specLoser(winner *mapTask) *mapTask {
+	var other *mapTask
+	if winner.dupOf != nil {
+		other = winner.dupOf
+	} else {
+		other = winner.dup
+	}
+	if other == nil || other.state == taskDone {
+		return nil
+	}
+	return other
+}
+
+// killSpeculative aborts the losing copy: running work stops, a queued
+// copy is dropped. A duplicate that loses provided no benefit (the paper's
+// wasted speculation); an original that loses means the duplicate paid off.
+func (r *jobRun) killSpeculative(loser *mapTask) {
+	switch loser.state {
+	case taskRunning:
+		r.abortMapWork(loser)
+		r.mapFree[loser.node]++
+		if loser.dupOf != nil {
+			r.d.specWasted++
+		}
+	case taskPending, taskBlocked:
+		for i, p := range r.pendingMaps {
+			if p == loser {
+				r.pendingMaps = append(r.pendingMaps[:i], r.pendingMaps[i+1:]...)
+				break
+			}
+		}
+		if loser.dupOf != nil {
+			r.d.specWasted++ // queued duplicate never even ran
+		}
+	}
+	loser.state = taskDone // resolved; never runs again
+	loser.primary().dup = nil
+}
+
+// speculate queues duplicates for straggling mappers: running longer than
+// SpeculationFactor times the mean completed duration, with no duplicate
+// yet. Requires a handful of completions for a stable mean, like Hadoop.
+// Tasks that will cross the threshold later get a wake-up, so stragglers
+// are caught even when no more completions arrive.
+func (r *jobRun) speculate() {
+	if r.mapDoneCount < 5 || r.done {
+		return
+	}
+	threshold := des.Time(r.cfg().SpeculationFactor * r.mapDoneSum / float64(r.mapDoneCount))
+	now := r.sim().Now()
+	nextCheck := des.Forever
+	for _, mt := range r.maps {
+		if mt.state != taskRunning || mt.dup != nil || mt.dupOf != nil {
+			continue
+		}
+		if now-mt.start <= threshold {
+			if eta := mt.start + threshold; eta < nextCheck {
+				nextCheck = eta
+			}
+			continue
+		}
+		// Section III-A: speculation only pays off when the duplicate can
+		// bypass the problem — i.e. another input replica exists. A task
+		// whose input is single-replicated would drag its duplicate to the
+		// same (possibly slow) source and just add contention there.
+		if len(r.inputLocations(mt)) < 2 {
+			continue
+		}
+		dup := &mapTask{
+			index:      mt.index,
+			part:       mt.part,
+			block:      mt.block,
+			inputBytes: mt.inputBytes,
+			outBytes:   mt.outBytes,
+			node:       -1,
+			dupOf:      mt,
+		}
+		mt.dup = dup
+		r.specDups = append(r.specDups, dup)
+		r.pendingMaps = append(r.pendingMaps, dup)
+		r.d.specLaunched++
+	}
+	if nextCheck < des.Forever {
+		if r.specEv != nil {
+			r.sim().Cancel(r.specEv)
+		}
+		r.specEv = r.sim().At(nextCheck+1e-9, func() {
+			r.specEv = nil
+			r.speculate()
+			r.pump()
+		})
+	}
+}
+
+// offerMapOutput accounts one completed map output to one shuffling reducer.
+func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
+	share := float64(mt.outBytes) * rt.shareFrac(r.cfg().NumReducers)
+	if rt.seen[mt.index] {
+		// A re-execution of an output this reducer already counted: it only
+		// covers bytes the reducer lost with the dead node.
+		if share > rt.needResupply {
+			share = rt.needResupply
+		}
+		rt.needResupply -= share
+	} else {
+		rt.seen[mt.index] = true
+	}
+	if share > 0 {
+		b := rt.buckets[mt.node]
+		if b == nil {
+			b = &srcBucket{}
+			rt.buckets[mt.node] = b
+		}
+		b.pending += share
+	}
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// assignOneReduce launches at most one reducer, round-robin across nodes so
+// a handful of recomputed tasks spread over the cluster.
+func (r *jobRun) assignOneReduce() bool {
+	if len(r.pendingReds) == 0 {
+		return false
+	}
+	alive := r.clus().Alive()
+	for i := 0; i < len(alive); i++ {
+		n := alive[(r.redCursor+i)%len(alive)]
+		if r.redFree[n] > 0 {
+			r.redCursor = (r.redCursor + i + 1) % len(alive)
+			rt := r.pendingReds[0]
+			r.pendingReds = r.pendingReds[1:]
+			r.launchReduce(rt, n)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *jobRun) launchReduce(rt *reduceTask, node int) {
+	r.redFree[node]--
+	rt.state = taskRunning
+	rt.node = node
+	rt.start = r.sim().Now()
+	rt.buckets = make(map[int]*srcBucket)
+	rt.seen = make([]bool, r.seenSize)
+	rt.fetched = 0
+	rt.needResupply = 0
+	rt.shuffling = false
+	rt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.reduceShuffle(rt) })
+}
+
+func (r *jobRun) reduceShuffle(rt *reduceTask) {
+	rt.ev = nil
+	rt.shuffling = true
+	frac := rt.shareFrac(r.cfg().NumReducers)
+	// Persisted (reused) outputs and any mappers that completed before this
+	// reducer launched. Outputs on a node that died but is not yet detected
+	// become a resupply debt settled by the post-detection re-executions.
+	for n, bytes := range r.aggOut {
+		if bytes <= 0 {
+			continue
+		}
+		if !r.fs().NodeAlive(n) {
+			rt.needResupply += bytes * frac
+			continue
+		}
+		rt.buckets[n] = &srcBucket{pending: bytes * frac}
+	}
+	for _, mt := range r.maps {
+		if mt.state == taskDone {
+			rt.seen[mt.index] = true
+		}
+	}
+	if r.persistedSeen != nil {
+		for i, p := range r.persistedSeen {
+			if p {
+				rt.seen[i] = true
+			}
+		}
+	}
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// kickFetch starts fetch flows for rt up to the parallelism bound. While
+// mappers are still producing, fetches below the chunk threshold wait for
+// more bytes to accumulate; this batching is what keeps the flow count (and
+// simulation cost) proportional to data volume rather than task count,
+// without changing the bytes moved or when they can finish.
+func (r *jobRun) kickFetch(rt *reduceTask) {
+	if rt.state != taskRunning || !rt.shuffling {
+		return
+	}
+	minChunk := 0.0
+	if r.mapsRemaining > 0 {
+		minChunk = float64(r.cfg().BlockSize) / 4
+	}
+	for n, b := range rt.buckets {
+		if rt.inflight >= r.cfg().FetchParallelism {
+			return
+		}
+		if b.stalled || b.fl != nil || b.pending <= 0 || b.pending < minChunk {
+			continue
+		}
+		src, bytes := n, b.pending
+		b.pending = 0
+		b.inflight = bytes
+		rt.inflight++
+		b.fl = r.net().Start(fmt.Sprintf("shuf-r%d.%d", rt.reducer, rt.split), bytes,
+			r.clus().ShuffleUses(src, rt.node), r.ccfg().ShuffleTransferDelay,
+			func(*flow.Flow) { r.fetchDone(rt, src) })
+	}
+}
+
+func (r *jobRun) fetchDone(rt *reduceTask, src int) {
+	b := rt.buckets[src]
+	rt.fetched += b.inflight
+	b.inflight = 0
+	b.fl = nil
+	rt.inflight--
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// maybeFinishShuffle moves a reducer to its merge/compute phase once the map
+// phase is over and every owed byte has arrived.
+func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
+	if rt.state != taskRunning || !rt.shuffling {
+		return
+	}
+	if r.mapsRemaining > 0 || rt.inflight > 0 || rt.needResupply > 1e-6 {
+		return
+	}
+	for _, b := range rt.buckets {
+		if b.pending > 1e-6 || b.fl != nil {
+			return
+		}
+	}
+	rt.shuffling = false
+	d := des.Time(0)
+	if cpu := r.ccfg().ReduceCPU; cpu > 0 {
+		d = des.Time(rt.fetched / cpu)
+	}
+	rt.ev = r.sim().After(d, func() { r.reduceWrite(rt) })
+}
+
+func (r *jobRun) reduceWrite(rt *reduceTask) {
+	rt.ev = nil
+	rt.outBytes = int64(rt.fetched * r.cfg().ReduceOutputRatio)
+	alive := r.clus().Alive()
+	rt.outReplicas = r.fs().PlanReplicas(rt.node, r.repl, alive)
+	rt.outFlows = make(map[*flow.Flow]int)
+
+	if r.scatter && rt.splits == 1 {
+		// Scatter-only hot-spot mitigation (Section IV-B2 alternative): the
+		// reducer spreads its output blocks over all alive nodes. Model as
+		// one write flow per target carrying an equal share.
+		per := float64(rt.outBytes) / float64(len(alive))
+		rt.outPending = len(alive)
+		for _, tgt := range alive {
+			tgt := tgt
+			fl := r.net().Start(fmt.Sprintf("red%d-scatter", rt.reducer), per,
+				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+			rt.outFlows[fl] = tgt
+		}
+		rt.outReplicas = alive
+		return
+	}
+
+	rt.outPending = len(rt.outReplicas)
+	for _, tgt := range rt.outReplicas {
+		fl := r.net().Start(fmt.Sprintf("red%d.%d-out", rt.reducer, rt.split), float64(rt.outBytes),
+			r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+		rt.outFlows[fl] = tgt
+	}
+}
+
+func (r *jobRun) outWriteDone(rt *reduceTask, f *flow.Flow) {
+	delete(rt.outFlows, f)
+	rt.outPending--
+	if rt.outPending > 0 {
+		return
+	}
+	r.reduceDone(rt)
+}
+
+func (r *jobRun) reduceDone(rt *reduceTask) {
+	rt.state = taskDone
+	r.redFree[rt.node]++
+	r.redRemaining--
+	r.d.rec.AddTask(metrics.TaskSample{
+		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskReduce,
+		Index: rt.reducer, Split: rt.split, Node: rt.node, Start: rt.start, End: r.sim().Now(),
+	})
+
+	// Commit the partition when all splits of the reducer have finished.
+	c := r.commits[rt.reducer]
+	if c == nil {
+		c = &partCommit{replicas: make([][]int, rt.splits)}
+		r.commits[rt.reducer] = c
+	}
+	c.done++
+	c.bytes += rt.outBytes
+	if r.scatter && rt.splits == 1 {
+		// Blocks were scattered: register one single-replica set per target
+		// so blocks deal round-robin across all of them.
+		sets := make([][]int, 0, len(rt.outReplicas))
+		for _, n := range rt.outReplicas {
+			sets = append(sets, []int{n})
+		}
+		c.replicas = sets
+	} else {
+		c.replicas[rt.split] = rt.outReplicas
+	}
+	if c.done == rt.splits {
+		if _, err := r.fs().SetPartition(r.outputFile, rt.reducer, c.bytes, c.replicas); err != nil {
+			r.d.unrecoverable(fmt.Errorf("commit %s/p%d: %w", r.outputFile, rt.reducer, err))
+			return
+		}
+	}
+	r.pump()
+}
+
+func (r *jobRun) checkDone() {
+	if r.done || r.mapsRemaining > 0 || r.redRemaining > 0 {
+		return
+	}
+	r.done = true
+	if r.specEv != nil {
+		r.sim().Cancel(r.specEv)
+		r.specEv = nil
+	}
+	r.d.rec.AddRun(metrics.RunStat{
+		RunIndex: r.runIndex, Job: r.job, Kind: r.kind, Start: r.start, End: r.sim().Now(),
+	})
+	r.onComplete()
+}
+
+// ---- failure handling ----
+
+// nodeDown reacts to the instant a node dies: everything it was doing or
+// serving stops making progress. The master has not detected it yet.
+func (r *jobRun) nodeDown(n int) {
+	if r.done {
+		return
+	}
+	delete(r.mapFree, n)
+	delete(r.redFree, n)
+	for _, mt := range r.maps {
+		if mt.state == taskRunning && mt.node == n {
+			r.abortMapWork(mt)
+			mt.state = taskZombie
+		}
+	}
+	// A duplicate dying with its node is simply dropped; the original is
+	// still running elsewhere (or will be re-queued itself).
+	for _, dup := range r.specDups {
+		if dup.state == taskRunning && dup.node == n {
+			r.abortMapWork(dup)
+			dup.state = taskDone
+			if dup.dupOf != nil {
+				dup.dupOf.dup = nil
+			}
+		}
+	}
+	for _, rt := range r.reduces {
+		if rt.state == taskRunning && rt.node == n {
+			r.abortReduceWork(rt)
+			rt.state = taskZombie
+			continue
+		}
+		if rt.state != taskRunning {
+			continue
+		}
+		// Healthy reducer: fetches sourced from n stall.
+		if b := rt.buckets[n]; b != nil {
+			if b.fl != nil {
+				r.net().Abort(b.fl)
+				b.fl = nil
+				b.pending += b.inflight
+				b.inflight = 0
+				rt.inflight--
+			}
+			b.stalled = true
+		}
+		// Output-write replicas targeting n will be retargeted at detection.
+		for fl, tgt := range rt.outFlows {
+			if tgt == n {
+				r.net().Abort(fl)
+				delete(rt.outFlows, fl)
+				rt.owedRewrites = append(rt.owedRewrites, n)
+			}
+		}
+	}
+}
+
+func (r *jobRun) abortMapWork(mt *mapTask) {
+	if mt.fl != nil {
+		r.net().Abort(mt.fl)
+		mt.fl = nil
+	}
+	if mt.ev != nil {
+		r.sim().Cancel(mt.ev)
+		mt.ev = nil
+	}
+}
+
+func (r *jobRun) abortReduceWork(rt *reduceTask) {
+	for _, b := range rt.buckets {
+		if b.fl != nil {
+			r.net().Abort(b.fl)
+			b.fl = nil
+			b.pending += b.inflight
+			b.inflight = 0
+			rt.inflight--
+		}
+	}
+	if rt.ev != nil {
+		r.sim().Cancel(rt.ev)
+		rt.ev = nil
+	}
+	for fl := range rt.outFlows {
+		if fl != nil {
+			r.net().Abort(fl)
+		}
+		delete(rt.outFlows, fl)
+	}
+	rt.shuffling = false
+}
+
+// handleDetection performs Hadoop-style within-job recovery once the master
+// notices node n is dead: zombie tasks are re-queued elsewhere, completed
+// map outputs on n are re-executed, and reducers' lost unfetched bytes are
+// re-supplied by those re-executions.
+func (r *jobRun) handleDetection(n int) {
+	if r.done {
+		return
+	}
+	for _, mt := range r.maps {
+		switch {
+		case mt.state == taskBlocked:
+			mt.state = taskPending
+			r.pendingMaps = append(r.pendingMaps, mt)
+		case mt.state == taskZombie && mt.node == n:
+			mt.state = taskPending
+			mt.node = -1
+			r.pendingMaps = append(r.pendingMaps, mt)
+		case mt.state == taskDone && mt.node == n:
+			// Output lost: re-execute. Reducers that already fetched keep
+			// their bytes; the rest arrives via needResupply.
+			r.aggOut[n] = 0
+			mt.state = taskPending
+			mt.rerun = true
+			mt.node = -1
+			r.mapsRemaining++
+			r.pendingMaps = append(r.pendingMaps, mt)
+		}
+	}
+	for _, rt := range r.reduces {
+		if rt.state == taskZombie && rt.node == n {
+			rt.state = taskPending
+			rt.node = -1
+			r.pendingReds = append(r.pendingReds, rt)
+			continue
+		}
+		if rt.state != taskRunning {
+			continue
+		}
+		if b := rt.buckets[n]; b != nil {
+			rt.needResupply += b.pending
+			delete(rt.buckets, n)
+		}
+		// Replace aborted replica writes with a new target.
+		var stillOwed []int
+		for _, dead := range rt.owedRewrites {
+			if dead != n {
+				stillOwed = append(stillOwed, dead)
+				continue
+			}
+			tgt := r.pickReplacementTarget(rt)
+			fl := r.net().Start(fmt.Sprintf("red%d-rewrite", rt.reducer), float64(rt.outBytes),
+				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+			rt.outFlows[fl] = tgt
+			for i, rep := range rt.outReplicas {
+				if rep == n {
+					rt.outReplicas[i] = tgt
+				}
+			}
+		}
+		rt.owedRewrites = stillOwed
+		r.maybeFinishShuffle(rt)
+	}
+	r.pump()
+}
+
+func (r *jobRun) pickReplacementTarget(rt *reduceTask) int {
+	alive := r.clus().Alive()
+	for _, n := range alive {
+		used := n == rt.node
+		for _, rep := range rt.outReplicas {
+			if rep == n {
+				used = true
+			}
+		}
+		if !used {
+			return n
+		}
+	}
+	return alive[0]
+}
+
+// cancel aborts the whole run (RCMP's reaction to irreversible data loss).
+func (r *jobRun) cancel() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.cancelled = true
+	if r.specEv != nil {
+		r.sim().Cancel(r.specEv)
+		r.specEv = nil
+	}
+	for _, mt := range r.maps {
+		if mt.state == taskRunning || mt.state == taskZombie {
+			r.abortMapWork(mt)
+		}
+	}
+	for _, dup := range r.specDups {
+		if dup.state == taskRunning || dup.state == taskZombie {
+			r.abortMapWork(dup)
+		}
+	}
+	for _, rt := range r.reduces {
+		if rt.state == taskRunning || rt.state == taskZombie {
+			r.abortReduceWork(rt)
+		}
+	}
+	r.d.rec.AddRun(metrics.RunStat{
+		RunIndex: r.runIndex, Job: r.job, Kind: r.kind, Start: r.start,
+		End: r.sim().Now(), Cancelled: true,
+	})
+}

@@ -1,0 +1,151 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/metrics"
+)
+
+// stragglerCluster is a tiny cluster with one node whose disk runs at a
+// fraction of full speed.
+func stragglerCluster(nodes int, slowNode int, scale float64) cluster.Config {
+	cc := tinyCluster(nodes, 1, 1)
+	cc.NodeDiskScale = map[int]float64{slowNode: scale}
+	return cc
+}
+
+func TestSpeculationHelpsWithStraggler(t *testing.T) {
+	cfg := tinyChain(2, 6, 192)
+	cc := stragglerCluster(6, 2, 0.2)
+
+	plain, err := RunChain(cc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cfg
+	spec.Speculation = true
+	fast, err := RunChain(cc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Total >= plain.Total {
+		t.Fatalf("speculation (%v) did not beat no-speculation (%v) with a straggler", fast.Total, plain.Total)
+	}
+	if fast.SpeculativeLaunched == 0 {
+		t.Fatal("no speculative tasks launched despite straggler")
+	}
+}
+
+func TestSpeculationHarmlessOnUniformCluster(t *testing.T) {
+	cfg := tinyChain(2, 4, 128)
+	cc := tinyCluster(4, 1, 1)
+	plain, err := RunChain(cc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cfg
+	spec.Speculation = true
+	specRes, err := RunChain(cc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform tasks never cross the 1.5x threshold: nothing launches and
+	// the schedule is unchanged.
+	if specRes.SpeculativeLaunched != 0 {
+		t.Fatalf("%d speculative launches on a uniform cluster", specRes.SpeculativeLaunched)
+	}
+	if specRes.Total != plain.Total {
+		t.Fatalf("speculation changed a uniform run: %v vs %v", specRes.Total, plain.Total)
+	}
+}
+
+func TestSpeculationAccounting(t *testing.T) {
+	cfg := tinyChain(3, 6, 192)
+	cfg.Speculation = true
+	res, err := RunChain(stragglerCluster(6, 4, 0.25), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeWasted > res.SpeculativeLaunched {
+		t.Fatalf("wasted (%d) exceeds launched (%d)", res.SpeculativeWasted, res.SpeculativeLaunched)
+	}
+}
+
+func TestSpeculationWithRCMPRecovery(t *testing.T) {
+	// Speculation and recomputation compose: a straggler-heavy cluster with
+	// a failure mid-chain still completes.
+	cfg := tinyChain(4, 6, 192)
+	cfg.Speculation = true
+	cfg.Split = true
+	cfg.Failures = []Injection{{AtRun: 3, After: 5, Node: 1}}
+	res, err := RunChain(stragglerCluster(6, 4, 0.3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Runs[len(res.Runs)-1]
+	if last.Cancelled {
+		t.Fatal("chain did not complete")
+	}
+}
+
+func TestSpeculationHadoopMode(t *testing.T) {
+	cfg := tinyChain(2, 6, 192)
+	cfg.Mode = ModeHadoop
+	cfg.OutputRepl = 2
+	cfg.Speculation = true
+	res, err := RunChain(stragglerCluster(6, 0, 0.2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeLaunched == 0 {
+		t.Fatal("hadoop-mode speculation never launched")
+	}
+}
+
+func TestDisableLocalityStillCompletes(t *testing.T) {
+	cfg := tinyChain(2, 4, 128)
+	cfg.DisableLocality = true
+	res, err := RunChain(tinyCluster(4, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartedRuns != 2 {
+		t.Fatalf("started %d runs", res.StartedRuns)
+	}
+}
+
+func TestLocalityMattersUnderOversubscription(t *testing.T) {
+	// Section III-A: locality matters when the network is the bottleneck
+	// and little otherwise. The map phase is where locality acts, so
+	// compare map-phase durations: remote reads cross the core switch,
+	// which hurts a lot at high oversubscription and little on a flat
+	// network (remote reads still pay some disk-imbalance tax there).
+	mapPhase := func(oversub float64, disable bool) float64 {
+		cc := tinyCluster(4, 1, 1)
+		cc.Oversubscription = oversub
+		cc.NICBW = 50 * cluster.MB // slow NICs make the network able to bottleneck
+		cfg := tinyChain(1, 4, 256)
+		cfg.InputRepl = 1 // single replica: placement decides local vs remote
+		cfg.DisableLocality = disable
+		res, err := RunChain(cc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end float64
+		for _, s := range res.Recorder.Tasks {
+			if s.Kind == metrics.TaskMap && float64(s.End) > end {
+				end = float64(s.End)
+			}
+		}
+		return end
+	}
+	congestedPenalty := mapPhase(16, true) / mapPhase(16, false)
+	flatPenalty := mapPhase(1, true) / mapPhase(1, false)
+	if congestedPenalty <= 1.05 {
+		t.Fatalf("no locality penalty under 16:1 oversubscription (%.3f)", congestedPenalty)
+	}
+	if flatPenalty >= congestedPenalty*0.9 {
+		t.Fatalf("flat-network penalty (%.3f) not clearly below congested (%.3f)", flatPenalty, congestedPenalty)
+	}
+}

@@ -1,0 +1,110 @@
+// Package textplot renders experiment results as aligned ASCII tables and
+// series, so every benchmark and example prints the same rows and series
+// the paper's tables and figures report.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Num formats a float compactly: integers without decimals, small values
+// with two decimals, NaN as "-".
+func Num(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Table renders a titled table with a header row, aligning columns.
+func Table(title string, header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series renders one or more y-series against a shared x column, in the
+// order the names are given.
+func Series(title, xName string, xs []float64, names []string, ys map[string][]float64) string {
+	header := append([]string{xName}, names...)
+	var rows [][]string
+	for i, x := range xs {
+		row := []string{Num(x)}
+		for _, n := range names {
+			s := ys[n]
+			if i < len(s) {
+				row = append(row, Num(s[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(title, header, rows)
+}
+
+// Bars renders labeled values with a proportional ASCII bar, like a bar
+// chart figure.
+func Bars(title string, labels []string, values []float64, barUnit float64) string {
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	for i, l := range labels {
+		v := values[i]
+		n := 0
+		if barUnit > 0 && !math.IsNaN(v) {
+			n = int(v / barUnit)
+		}
+		if n > 120 {
+			n = 120
+		}
+		fmt.Fprintf(&b, "%-*s  %8s  %s\n", width, l, Num(v), strings.Repeat("#", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.14"},
+		{123.456, "123.5"},
+		{math.NaN(), "-"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := Num(c.in); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table("t", []string{"name", "v"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "2.5"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== t ==") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All data lines align the second column.
+	idx := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "2.5")
+	if idx != idx2 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := Table("", []string{"a"}, nil)
+	if strings.Contains(out, "==") {
+		t.Fatalf("untitled table has title marker: %q", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("s", "x", []float64{1, 2}, []string{"a", "b"}, map[string][]float64{
+		"a": {10, 20},
+		"b": {30}, // short series pads with "-"
+	})
+	if !strings.Contains(out, "10") || !strings.Contains(out, "30") {
+		t.Fatalf("series values missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(strings.TrimRight(last, " "), "-") {
+		t.Fatalf("short series not padded: %q", last)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("b", []string{"x", "longer"}, []float64{2, 4}, 1)
+	if !strings.Contains(out, "##") || !strings.Contains(out, "####") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	// Bar width caps.
+	out = Bars("", []string{"big"}, []float64{1e9}, 1)
+	if strings.Count(out, "#") > 121 {
+		t.Fatalf("bar not capped:\n%s", out)
+	}
+	// NaN and zero unit render without bars.
+	out = Bars("", []string{"n"}, []float64{math.NaN()}, 0)
+	if strings.Contains(out, "#") {
+		t.Fatalf("NaN produced bars: %q", out)
+	}
+}

@@ -1,0 +1,372 @@
+// Package wire is a minimal message-passing RPC layer over TCP used by the
+// distributed RCMP runtime (internal/dmr). It carries gob-encoded request
+// and reply bodies inside framed envelopes, multiplexes concurrent calls
+// over one connection, and propagates application errors by value.
+//
+// It deliberately avoids net/rpc: the runtime needs (a) one bidirectional
+// connection per peer pair with many in-flight calls, (b) interface-typed
+// bodies dispatched by a single handler (the master and worker switch on
+// message type), and (c) hard per-call deadlines so a dead peer surfaces as
+// a timeout rather than a hung goroutine — the same property the paper's
+// 30 s failure-detection timeout relies on.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Envelope frames one message. Exactly one of Body or Err is meaningful in
+// a reply; requests carry Body. The Body is interface-typed: concrete
+// message types must be registered with gob (see Register).
+type Envelope struct {
+	ID    uint64
+	Reply bool
+	Err   string
+	Body  any
+}
+
+// Register makes a concrete message type transmissible in an Envelope body.
+// Call it from an init function in the package defining the messages.
+func Register(v any) { gob.Register(v) }
+
+// Handler processes one request body and returns a reply body or an error.
+// Handlers run on their own goroutine per call and must be safe for
+// concurrent use.
+type Handler func(from net.Addr, req any) (any, error)
+
+// ErrClosed is returned by calls on a closed client or server.
+var ErrClosed = errors.New("wire: closed")
+
+// conn wraps a net.Conn with gob codecs and a write lock. Gob streams are
+// stateful (type definitions are sent once), so each direction must be
+// written by one encoder guarded against interleaving.
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (c *conn) send(e *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(e)
+}
+
+// Server accepts connections and dispatches request envelopes to a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving on ln immediately. Close the server to stop.
+func NewServer(ln net.Listener, h Handler) *Server {
+	s := &Server{ln: ln, handler: h, conns: make(map[*conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := newConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c *conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.c.Close()
+	}()
+	for {
+		var env Envelope
+		if err := c.dec.Decode(&env); err != nil {
+			return
+		}
+		if env.Reply {
+			continue // a server connection never issues requests
+		}
+		go func(env Envelope) {
+			reply := Envelope{ID: env.ID, Reply: true}
+			body, err := s.handler(c.c.RemoteAddr(), env.Body)
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Body = body
+			}
+			_ = c.send(&reply) // peer gone: its Call times out on its own
+		}(env)
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client issues concurrent calls to one server over a single connection.
+type Client struct {
+	c *conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Envelope
+	closed  bool
+	readErr error
+}
+
+// Dial connects to addr within timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	cl := &Client{c: newConn(nc), pending: make(map[uint64]chan *Envelope)}
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (cl *Client) readLoop() {
+	for {
+		var env Envelope
+		if err := cl.c.dec.Decode(&env); err != nil {
+			cl.failAll(err)
+			return
+		}
+		cl.mu.Lock()
+		ch := cl.pending[env.ID]
+		delete(cl.pending, env.ID)
+		cl.mu.Unlock()
+		if ch != nil {
+			ch <- &env
+		}
+	}
+}
+
+// failAll wakes every pending call with the connection error.
+func (cl *Client) failAll(err error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.readErr == nil {
+		cl.readErr = err
+	}
+	for id, ch := range cl.pending {
+		delete(cl.pending, id)
+		close(ch)
+	}
+}
+
+// Call sends req and waits for the matching reply or the deadline. A nil
+// error means the handler succeeded and resp is its reply body.
+func (cl *Client) Call(req any, timeout time.Duration) (any, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cl.nextID++
+	id := cl.nextID
+	ch := make(chan *Envelope, 1)
+	cl.pending[id] = ch
+	cl.mu.Unlock()
+
+	if err := cl.c.send(&Envelope{ID: id, Body: req}); err != nil {
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("wire: connection lost: %w", cl.connErr())
+		}
+		if env.Err != "" {
+			return nil, errors.New(env.Err)
+		}
+		return env.Body, nil
+	case <-t.C:
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("wire: call timed out after %v", timeout)
+	}
+}
+
+func (cl *Client) connErr() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.readErr != nil {
+		return cl.readErr
+	}
+	return ErrClosed
+}
+
+// Close severs the connection; pending calls fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+	return cl.c.c.Close()
+}
+
+// Pool caches one Client per address, dialing lazily. Workers use it for
+// shuffle fetches (every reducer talks to every mapper's node) and replica
+// pushes; the master uses it for task dispatch.
+type Pool struct {
+	timeout time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	closed  bool
+}
+
+// NewPool creates a pool whose dials use the given timeout.
+func NewPool(dialTimeout time.Duration) *Pool {
+	return &Pool{timeout: dialTimeout, clients: make(map[string]*Client)}
+}
+
+// Get returns the cached client for addr, dialing if needed.
+func (p *Pool) Get(addr string) (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cl, ok := p.clients[addr]; ok {
+		p.mu.Unlock()
+		return cl, nil
+	}
+	p.mu.Unlock()
+
+	cl, err := Dial(addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		cl.Close()
+		return nil, ErrClosed
+	}
+	if old, ok := p.clients[addr]; ok { // lost a race; keep the first
+		cl.Close()
+		return old, nil
+	}
+	p.clients[addr] = cl
+	return cl, nil
+}
+
+// Drop discards the cached client for addr (e.g. after a call error), so the
+// next Get re-dials.
+func (p *Pool) Drop(addr string) {
+	p.mu.Lock()
+	cl := p.clients[addr]
+	delete(p.clients, addr)
+	p.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}
+
+// Call is Get followed by Client.Call, dropping the connection on transport
+// errors so a recovered peer gets a fresh dial.
+func (p *Pool) Call(addr string, req any, timeout time.Duration) (any, error) {
+	cl, err := p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(req, timeout)
+	if err != nil && !isAppError(err) {
+		p.Drop(addr)
+	}
+	return resp, err
+}
+
+// isAppError reports whether err came from the remote handler (the
+// connection is healthy) rather than from the transport.
+func isAppError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return false
+	}
+	s := err.Error()
+	return !errors.Is(err, ErrClosed) &&
+		!hasPrefix(s, "wire: send") &&
+		!hasPrefix(s, "wire: call timed out") &&
+		!hasPrefix(s, "wire: connection lost") &&
+		!hasPrefix(s, "wire: dial")
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Close severs every cached connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	clients := p.clients
+	p.clients = map[string]*Client{}
+	p.closed = true
+	p.mu.Unlock()
+	for _, cl := range clients {
+		cl.Close()
+	}
+}

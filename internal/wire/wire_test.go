@@ -1,0 +1,337 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoReq struct {
+	N       int
+	Payload []byte
+}
+
+type echoResp struct {
+	N       int
+	Payload []byte
+}
+
+type failReq struct{ Msg string }
+
+type slowReq struct{ Delay time.Duration }
+
+func init() {
+	Register(echoReq{})
+	Register(echoResp{})
+	Register(failReq{})
+	Register(slowReq{})
+}
+
+func testHandler(_ net.Addr, req any) (any, error) {
+	switch r := req.(type) {
+	case echoReq:
+		return echoResp{N: r.N, Payload: r.Payload}, nil
+	case failReq:
+		return nil, errors.New(r.Msg)
+	case slowReq:
+		time.Sleep(r.Delay)
+		return echoResp{N: -1}, nil
+	default:
+		return nil, fmt.Errorf("unknown request %T", req)
+	}
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln, testHandler)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	resp, err := cl.Call(echoReq{N: 42, Payload: []byte("hello")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := resp.(echoResp)
+	if !ok {
+		t.Fatalf("reply type %T", resp)
+	}
+	if e.N != 42 || string(e.Payload) != "hello" {
+		t.Fatalf("reply %+v", e)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	_, err := cl.Call(failReq{Msg: "boom with context"}, time.Second)
+	if err == nil || err.Error() != "boom with context" {
+		t.Fatalf("err = %v, want handler error by value", err)
+	}
+	// The connection must stay usable after an application error.
+	if _, err := cl.Call(echoReq{N: 1}, time.Second); err != nil {
+		t.Fatalf("call after app error: %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cl.Call(echoReq{N: i}, 5*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := resp.(echoResp).N; got != i {
+				errs[i] = fmt.Errorf("call %d answered %d", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	resp, err := cl.Call(echoReq{N: 7, Payload: big}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.(echoResp).Payload
+	if len(got) != len(big) {
+		t.Fatalf("len = %d, want %d", len(got), len(big))
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	start := time.Now()
+	_, err := cl.Call(slowReq{Delay: 2 * time.Second}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestServerCloseFailsPendingCalls(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(slowReq{Delay: 5 * time.Second}, 10*time.Second)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the call reach the server
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call survived server close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pending call not failed by server close")
+	}
+}
+
+func TestClientCloseRejectsCalls(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	cl.Close()
+	if _, err := cl.Call(echoReq{}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	// A listener that is immediately closed yields a port nothing accepts on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestPoolReusesAndRedials(t *testing.T) {
+	s := startServer(t)
+	p := NewPool(time.Second)
+	defer p.Close()
+
+	c1, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("pool did not reuse the cached client")
+	}
+	if _, err := p.Call(s.Addr(), echoReq{N: 3}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// After Drop, the pool must dial a fresh client.
+	p.Drop(s.Addr())
+	c3, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("pool returned the dropped client")
+	}
+}
+
+func TestPoolCallAppErrorKeepsConnection(t *testing.T) {
+	s := startServer(t)
+	p := NewPool(time.Second)
+	defer p.Close()
+	before, _ := p.Get(s.Addr())
+	if _, err := p.Call(s.Addr(), failReq{Msg: "app"}, time.Second); err == nil {
+		t.Fatal("expected app error")
+	}
+	after, _ := p.Get(s.Addr())
+	if before != after {
+		t.Fatal("pool dropped connection on application error")
+	}
+}
+
+func TestPoolCallTransportErrorDrops(t *testing.T) {
+	s := startServer(t)
+	p := NewPool(time.Second)
+	defer p.Close()
+	if _, err := p.Call(s.Addr(), echoReq{N: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := p.Call(s.Addr(), echoReq{N: 2}, 500*time.Millisecond); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+	p.mu.Lock()
+	_, cached := p.clients[s.Addr()]
+	p.mu.Unlock()
+	if cached {
+		t.Fatal("pool kept the dead connection")
+	}
+}
+
+func TestPoolClosedGet(t *testing.T) {
+	p := NewPool(time.Second)
+	p.Close()
+	if _, err := p.Get("127.0.0.1:1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestManyClientsOneServer(t *testing.T) {
+	s := startServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr(), time.Second)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 16; i++ {
+				resp, err := cl.Call(echoReq{N: c*100 + i}, 5*time.Second)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if got := resp.(echoResp).N; got != c*100+i {
+					errs[c] = fmt.Errorf("client %d call %d answered %d", c, i, got)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type unregistered struct{ X int }
+
+func TestUnregisteredBodyFailsTheCallNotTheSuite(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	// Gob cannot encode an interface holding an unregistered concrete type;
+	// the send must fail by value, not hang or panic.
+	if _, err := cl.Call(unregistered{X: 1}, time.Second); err == nil {
+		t.Fatal("call with unregistered body succeeded")
+	}
+}
+
+func TestServerIgnoresStrayReplyEnvelopes(t *testing.T) {
+	s := startServer(t)
+	cl := dial(t, s.Addr())
+	// Hand-craft a reply-flagged envelope to the server; it must be ignored
+	// and the connection must stay healthy.
+	if err := cl.c.send(&Envelope{ID: 99, Reply: true, Body: echoResp{N: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Call(echoReq{N: 5}, time.Second); err != nil {
+		t.Fatalf("call after stray reply: %v", err)
+	}
+}

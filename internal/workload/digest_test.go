@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestOrderIndependent(t *testing.T) {
+	rows := Generate(100, 1)
+	a := DigestRecords(rows)
+	shuffled := append([]Record(nil), rows...)
+	rand.New(rand.NewSource(2)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := DigestRecords(shuffled)
+	if !a.Equal(b) {
+		t.Fatalf("digest depends on order: %v vs %v", a, b)
+	}
+}
+
+func TestDigestDetectsMutation(t *testing.T) {
+	rows := Generate(50, 3)
+	a := DigestRecords(rows)
+
+	dropped := DigestRecords(rows[1:])
+	if a.Equal(dropped) {
+		t.Fatal("digest missed a dropped record")
+	}
+
+	dup := DigestRecords(append(append([]Record(nil), rows...), rows[0]))
+	if a.Equal(dup) {
+		t.Fatal("digest missed a duplicated record")
+	}
+
+	mutated := append([]Record(nil), rows...)
+	v := append([]byte(nil), mutated[7].Value...)
+	v[20] ^= 0xff
+	mutated[7] = Record{Key: mutated[7].Key, Value: v}
+	if a.Equal(DigestRecords(mutated)) {
+		t.Fatal("digest missed a corrupted value")
+	}
+}
+
+func TestDigestMergeEqualsConcat(t *testing.T) {
+	// Property: digest(a) merged with digest(b) == digest(a ++ b).
+	f := func(seedA, seedB int64, nA, nB uint8) bool {
+		a := Generate(int(nA), seedA)
+		b := Generate(int(nB), seedB)
+		da := DigestRecords(a)
+		db := DigestRecords(b)
+		da.Merge(db)
+		return da.Equal(DigestRecords(append(append([]Record(nil), a...), b...)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestZeroValueIsEmpty(t *testing.T) {
+	var d Digest
+	if !d.Equal(DigestRecords(nil)) {
+		t.Fatal("zero digest differs from digest of no records")
+	}
+	other := DigestRecords(Generate(1, 9))
+	d.Merge(other)
+	if !d.Equal(other) {
+		t.Fatal("merging into zero digest is not identity")
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, 7)
+	b := Generate(50, 7)
+	if len(a) != 50 {
+		t.Fatalf("generated %d records", len(a))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := Generate(50, 8)
+	same := 0
+	for i := range a {
+		if a[i].Key == c[i].Key {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d identical keys", same)
+	}
+}
+
+func TestGeneratedRecordsVerify(t *testing.T) {
+	for _, r := range Generate(100, 1) {
+		if err := Verify(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	r := Generate(1, 3)[0]
+	r.Value[len(r.Value)-1] ^= 0xff // corrupt payload
+	if err := Verify(r); err == nil {
+		t.Fatal("corrupted payload passed verification")
+	}
+	r2 := Generate(1, 3)[0]
+	r2.Value[9] ^= 0x01 // corrupt the byte-sum field
+	if err := Verify(r2); err == nil {
+		t.Fatal("corrupted byte-sum passed verification")
+	}
+	if err := Verify(Record{Value: []byte{1, 2}}); err == nil {
+		t.Fatal("short record passed verification")
+	}
+}
+
+func TestMapEmitsValidDeterministicRecord(t *testing.T) {
+	in := Generate(1, 11)[0]
+	var out1, out2 Record
+	if err := Map(in, func(r Record) { out1 = r }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Map(in, func(r Record) { out2 = r }); err != nil {
+		t.Fatal(err)
+	}
+	if out1.Key != out2.Key || !bytes.Equal(out1.Value, out2.Value) {
+		t.Fatal("Map not deterministic")
+	}
+	if err := Verify(out1); err != nil {
+		t.Fatalf("Map emitted invalid record: %v", err)
+	}
+	if out1.Key == in.Key {
+		t.Fatal("Map did not re-key the record")
+	}
+	if len(out1.Value) != len(in.Value) {
+		t.Fatalf("Map changed value size %d -> %d (breaks 1:1 ratio)", len(in.Value), len(out1.Value))
+	}
+}
+
+func TestMapRejectsCorruptInput(t *testing.T) {
+	r := Generate(1, 5)[0]
+	r.Value[20] ^= 0xff
+	if err := Map(r, func(Record) {}); err == nil {
+		t.Fatal("Map accepted corrupt input")
+	}
+}
+
+func TestMapChainsAcrossJobs(t *testing.T) {
+	// A record must survive 7 consecutive map steps, as in the 7-job chain.
+	r := Generate(1, 13)[0]
+	for j := 0; j < 7; j++ {
+		var next Record
+		if err := Map(r, func(o Record) { next = o }); err != nil {
+			t.Fatalf("job %d: %v", j+1, err)
+		}
+		r = next
+	}
+	if err := Verify(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	recs := Generate(3, 17)
+	var vals [][]byte
+	for _, r := range recs {
+		vals = append(vals, r.Value)
+	}
+	var out []Record
+	if err := Reduce(recs[0].Key, vals, func(r Record) { out = append(out, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("Reduce emitted %d records, want 3 (1:1)", len(out))
+	}
+	vals[1][30] ^= 0xff
+	if err := Reduce(recs[0].Key, vals, func(Record) {}); err == nil {
+		t.Fatal("Reduce accepted corrupt value")
+	}
+}
+
+func TestRekeyUniformity(t *testing.T) {
+	// Re-keyed records should spread evenly across reducers.
+	const R = 10
+	counts := make([]int, R)
+	for _, r := range Generate(5000, 23) {
+		var out Record
+		if err := Map(r, func(o Record) { out = o }); err != nil {
+			t.Fatal(err)
+		}
+		counts[out.Key%R]++
+	}
+	for i, c := range counts {
+		if c < 350 || c > 650 {
+			t.Fatalf("reducer %d would receive %d of 5000 records (skewed): %v", i, c, counts)
+		}
+	}
+}
+
+func TestKeyBytesRoundTrip(t *testing.T) {
+	check := func(k uint64) bool {
+		b := KeyBytes(k)
+		if len(b) != 8 {
+			return false
+		}
+		var back uint64
+		for i := 7; i >= 0; i-- {
+			back = back<<8 | uint64(b[i])
+		}
+		return back == k
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
