@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the experiment runner
+# fans simulations out across goroutines, so this gate keeps it honest.
+race:
+	$(GO) test -race ./...
+
+# bench-smoke executes every benchmark exactly once at the smoke tier
+# (experiments.ScaleSmoke) — a fast end-to-end sanity pass, not a timing run.
+bench-smoke:
+	RCMP_BENCH_SCALE=smoke $(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench runs the paper-scale benchmarks (seconds of wall time each).
+bench:
+	$(GO) test -run xxx -bench . ./...
+
+# verify is the tier-1 gate plus the race and smoke checks in one command.
+verify:
+	./scripts/verify.sh

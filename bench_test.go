@@ -8,6 +8,8 @@
 package rcmp_test
 
 import (
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"rcmp/internal/experiments"
 	"rcmp/internal/flow"
 	"rcmp/internal/mapreduce"
+	"rcmp/internal/runner"
 	"rcmp/internal/workload"
 )
 
@@ -28,71 +31,117 @@ func logOnce(b *testing.B, i int, text string) {
 	}
 }
 
+// benchCfg selects the benchmark sizing: paper scale by default, or the
+// smoke tier (experiments.ScaleSmoke) when RCMP_BENCH_SCALE=smoke or
+// =quick — what `make bench-smoke` sets for a fast 1x sanity pass.
+func benchCfg() experiments.Config {
+	switch os.Getenv("RCMP_BENCH_SCALE") {
+	case "smoke", "quick":
+		return experiments.Config{Scale: experiments.ScaleSmoke}
+	default:
+		return experiments.Paper()
+	}
+}
+
+// ---- Experiment-runner benchmarks ----
+
+// BenchmarkAllSerial regenerates every registered artifact one-by-one, the
+// pre-runner execution path and the baseline for BenchmarkAllParallel.
+func BenchmarkAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, res := range experiments.All(benchCfg().Scale) {
+			if res == nil {
+				b.Fatal("nil experiment result")
+			}
+		}
+	}
+}
+
+// BenchmarkAllParallel runs the same artifact set through the worker-pool
+// runner at GOMAXPROCS workers. On a 4+ core machine this demonstrates the
+// wall-clock win of fanning independent simulations out; the output is
+// byte-identical to the serial path for the same seed.
+func BenchmarkAllParallel(b *testing.B) {
+	pool := runner.Runner{Workers: runtime.GOMAXPROCS(0)}
+	jobs := runner.Grid{
+		Specs:  experiments.Registry(),
+		Scales: []experiments.Scale{benchCfg().Scale},
+	}.Jobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range pool.Run(jobs) {
+			if res.Err != "" {
+				b.Fatalf("%s: %s", res.Name, res.Err)
+			}
+		}
+	}
+}
+
 // ---- Figure benchmarks (one per paper artifact) ----
 
 func BenchmarkFig2FailureTraceCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig2().Text)
+		logOnce(b, i, experiments.Fig2(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig8aNoFailure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8a(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig8a(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig8bSingleFailureEarly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8b(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig8b(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig8cSingleFailureLate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8c(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig8c(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig9DoubleFailures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig9(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig9(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig10ChainLength(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig10(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig10(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig11SpeedupVsNodes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig11(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig11(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig12MapperCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig12(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig12(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig13ReducerWaves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig13(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig13(benchCfg()).Text)
 	}
 }
 
 func BenchmarkFig14MapperWaves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig14(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Fig14(benchCfg()).Text)
 	}
 }
 
 func BenchmarkHybridEvery5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Hybrid(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.Hybrid(benchCfg()).Text)
 	}
 }
 
@@ -100,49 +149,49 @@ func BenchmarkHybridEvery5(b *testing.B) {
 
 func BenchmarkAblationScatterVsSplit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationScatterVsSplit(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationScatterVsSplit(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationSplitRatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationSplitRatio(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationSplitRatio(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationMapReuse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationMapReuse(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationMapReuse(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationDetectionTimeout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationDetectionTimeout(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationDetectionTimeout(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationIORatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationIORatio(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationIORatio(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationReclamation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationReclamation(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationReclamation(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationSpeculation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationSpeculation(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationSpeculation(benchCfg()).Text)
 	}
 }
 
 func BenchmarkAblationLocality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationLocality(experiments.ScalePaper).Text)
+		logOnce(b, i, experiments.AblationLocality(benchCfg()).Text)
 	}
 }
 
@@ -150,7 +199,7 @@ func BenchmarkAblationLocality(b *testing.B) {
 // replication-guesswork tables.
 func BenchmarkCostModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.CostModels().Text)
+		logOnce(b, i, experiments.CostModels(benchCfg()).Text)
 	}
 }
 

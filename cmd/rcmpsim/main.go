@@ -1,81 +1,149 @@
 // Command rcmpsim runs the RCMP reproduction experiments and prints the
 // rows/series of each table and figure in the paper's evaluation.
 //
+// Experiments come from the registry in internal/experiments and execute
+// on the parallel deterministic runner in internal/runner: -parallel picks
+// the worker count, and for a given -seed the output (text or -json) is
+// byte-identical whatever the parallelism.
+//
 // Usage:
 //
 //	rcmpsim -list
-//	rcmpsim -fig 8a            # one experiment at paper scale
-//	rcmpsim -fig all -quick    # everything, small scale
+//	rcmpsim -fig 8a                      # one experiment at paper scale
+//	rcmpsim -fig all -quick              # everything, small scale
+//	rcmpsim -fig all -parallel 8 -json   # everything, 8 workers, JSON
+//	rcmpsim -run 'Fig8|Hybrid' -seeds 0,1,2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"rcmp/internal/experiments"
+	"rcmp/internal/runner"
 )
 
-var figures = []struct {
-	key  string
-	desc string
-	run  func(experiments.Scale) *experiments.Result
-}{
-	{"2", "failure-trace CDFs (STIC, SUG@R)", func(experiments.Scale) *experiments.Result { return experiments.Fig2() }},
-	{"8a", "no-failure slowdowns: RCMP vs REPL-2/3 vs OPTIMISTIC", experiments.Fig8a},
-	{"8b", "single failure early (job 2)", experiments.Fig8b},
-	{"8c", "single failure late (job 7)", experiments.Fig8c},
-	{"9", "double failures on STIC", experiments.Fig9},
-	{"10", "chain-length extrapolation", experiments.Fig10},
-	{"11", "recomputation speed-up vs nodes", experiments.Fig11},
-	{"12", "hot-spot mapper-time CDFs", experiments.Fig12},
-	{"13", "reducer-wave speed-up", experiments.Fig13},
-	{"14", "mapper-wave speed-up", experiments.Fig14},
-	{"hybrid", "hybrid replication every 5 jobs", experiments.Hybrid},
-	{"ablation-scatter", "split vs scatter-only vs none", experiments.AblationScatterVsSplit},
-	{"ablation-ratio", "split ratio sweep", experiments.AblationSplitRatio},
-	{"ablation-reuse", "map-output reuse on/off", experiments.AblationMapReuse},
-	{"ablation-timeout", "detection timeout sweep", experiments.AblationDetectionTimeout},
-	{"ablation-ioratio", "input/shuffle/output ratio shapes", experiments.AblationIORatio},
-	{"ablation-reclaim", "checkpoint storage reclamation", experiments.AblationReclamation},
-	{"ablation-speculation", "speculative execution with a straggler", experiments.AblationSpeculation},
-	{"ablation-locality", "data locality vs oversubscription", experiments.AblationLocality},
-	{"cost", "Section III-B provisioning and replication-guesswork models", func(experiments.Scale) *experiments.Result { return experiments.CostModels() }},
-}
-
 func main() {
-	fig := flag.String("fig", "", "figure to run (see -list), or 'all'")
+	fig := flag.String("fig", "", "figure key to run (see -list), or 'all'")
+	runPat := flag.String("run", "", "regexp selecting experiments by name or key (e.g. 'Fig8|Hybrid')")
 	quick := flag.Bool("quick", false, "run at reduced scale (fast)")
+	seed := flag.Int64("seed", 0, "experiment seed (0 reproduces the paper harness)")
+	seeds := flag.String("seeds", "", "comma-separated seed sweep, overrides -seed (e.g. '0,1,2')")
+	failAt := flag.Int("failure-at", 0, "override the single-failure injection run (0 = figure default)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment runner")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text figures")
+	timing := flag.Bool("timing", false, "include per-run wall-clock timings in -json output (non-deterministic)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
-	if *list || *fig == "" {
-		fmt.Println("available experiments (-fig KEY):")
-		for _, f := range figures {
-			fmt.Printf("  %-17s %s\n", f.key, f.desc)
+	if *list || (*fig == "" && *runPat == "") {
+		fmt.Println("available experiments (-fig KEY or -run REGEXP):")
+		for _, sp := range experiments.Registry() {
+			fmt.Printf("  %-21s %s\n", sp.Key, sp.Desc)
 		}
-		if *fig == "" && !*list {
+		if !*list {
 			os.Exit(2)
 		}
 		return
+	}
+
+	specs, err := selectSpecs(*fig, *runPat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
+		os.Exit(2)
 	}
 
 	scale := experiments.ScalePaper
 	if *quick {
 		scale = experiments.ScaleQuick
 	}
-	key := strings.ToLower(strings.TrimPrefix(*fig, "fig"))
-	ran := false
-	for _, f := range figures {
-		if key == "all" || f.key == key {
-			res := f.run(scale)
-			fmt.Println(res.Text)
-			ran = true
-		}
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "rcmpsim: unknown figure %q (try -list)\n", *fig)
+	seedList, err := parseSeeds(*seeds, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
 		os.Exit(2)
 	}
+	jobs := runner.Grid{
+		Specs:      specs,
+		Scales:     []experiments.Scale{scale},
+		Seeds:      seedList,
+		FailureAts: []int{*failAt},
+	}.Jobs()
+
+	pool := runner.Runner{Workers: *parallel}
+	results := pool.Run(jobs)
+
+	if *jsonOut {
+		if err := runner.WriteJSON(os.Stdout, results, *timing); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, res := range results {
+			if res.Err != "" {
+				continue
+			}
+			fmt.Println(res.Res.Text)
+		}
+	}
+	failed := false
+	for _, res := range results {
+		if res.Err != "" {
+			fmt.Fprintf(os.Stderr, "rcmpsim: %s: %s\n", res.Name, res.Err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// selectSpecs filters the registry by the -fig key and/or -run regexp.
+func selectSpecs(fig, pattern string) ([]experiments.Spec, error) {
+	specs := experiments.Registry()
+	if fig != "" && strings.ToLower(fig) != "all" {
+		key := strings.ToLower(strings.TrimPrefix(fig, "fig"))
+		sp, ok := experiments.Lookup(key)
+		if !ok {
+			return nil, fmt.Errorf("unknown figure %q (try -list)", fig)
+		}
+		specs = []experiments.Spec{sp}
+	}
+	if pattern != "" {
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad -run pattern: %v", err)
+		}
+		var kept []experiments.Spec
+		for _, sp := range specs {
+			if re.MatchString(sp.Name) || re.MatchString(sp.Key) {
+				kept = append(kept, sp)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("-run %q matches no experiments (try -list)", pattern)
+		}
+		specs = kept
+	}
+	return specs, nil
+}
+
+// parseSeeds expands the -seeds list, falling back to the single -seed.
+func parseSeeds(list string, single int64) ([]int64, error) {
+	if list == "" {
+		return []int64{single}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

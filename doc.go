@@ -9,14 +9,24 @@
 // contribution (core, lineage), a functional data-plane engine used to
 // verify recovery correctness record by record (engine, workload), a
 // distributed master/worker runtime that runs the whole system over real
-// TCP sockets with heartbeat failure detection (wire, dmr), and the
-// per-figure experiment harnesses (experiments, analysis, failure, metrics,
-// textplot).
+// TCP sockets with heartbeat failure detection (wire, dmr), the per-figure
+// experiment harnesses (experiments, analysis, failure, metrics, textplot),
+// and a parallel deterministic experiment runner (runner).
+//
+// Every experiment is registered in experiments.Registry() and is a pure
+// function of its experiments.Config (scale, seed, failure position): all
+// randomness flows from per-run seeded RNGs and each simulation owns its
+// state, so the runner can execute figures across GOMAXPROCS workers while
+// producing output byte-identical to a serial run. `go run ./cmd/rcmpsim
+// -fig all -parallel 8 -json` regenerates the whole evaluation that way;
+// docs/experiments.md describes the registry, seeds and the determinism
+// guarantee.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
 // bench_test.go regenerate every table and figure of the paper's
-// evaluation; `go run ./cmd/rcmpsim -fig all` prints them directly, and
-// `go run ./cmd/rcmpd demo` exercises failure recovery on the distributed
-// runtime.
+// evaluation (BenchmarkAllParallel measures the runner's wall-clock win
+// over serial execution); `go run ./cmd/rcmpd demo` exercises failure
+// recovery on the distributed runtime, and `make verify` runs the build,
+// test, race and benchmark-smoke gates in one command.
 package rcmp

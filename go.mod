@@ -1,0 +1,3 @@
+module rcmp
+
+go 1.24

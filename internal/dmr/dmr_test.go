@@ -314,6 +314,13 @@ func TestNestedFailureDuringRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertDigestsEqual(t, digs, want)
+	// The second kill is asynchronous and may land so late in the run that
+	// the chain completes before worker 5's heartbeats go stale; detection
+	// keeps running after RunChain, so wait for it rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.m.FailedNodes()[5] && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	failed := c.m.FailedNodes()
 	if !failed[2] || !failed[5] {
 		t.Fatalf("failed set %v, want workers 2 and 5 dead", failed)

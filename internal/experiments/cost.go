@@ -12,7 +12,9 @@ import (
 // measured anchors: the provisioning overhead replication adds to a cluster
 // sized for a chain rate, and the replication-factor guessing game of
 // Section V-B against RCMP's pay-per-failure recovery.
-func CostModels() *Result {
+// The analytic models take no simulation input, so Config is accepted only
+// for signature uniformity with the simulated figures.
+func CostModels(Config) *Result {
 	r := newResult("Section III-B cost models")
 	var sb strings.Builder
 

@@ -35,6 +35,48 @@ const (
 	ScaleQuick
 )
 
+// ScaleSmoke is the sizing used by `make bench-smoke`: an alias of
+// ScaleQuick, named separately so build targets and docs can refer to the
+// smoke tier without implying a third cluster shape.
+const ScaleSmoke = ScaleQuick
+
+func (s Scale) String() string {
+	switch s {
+	case ScalePaper:
+		return "paper"
+	case ScaleQuick:
+		return "quick"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Config parameterizes one experiment execution. The zero value runs at
+// paper scale with seed 0 and reproduces the original harness byte for
+// byte; equal Configs always produce identical Results, which is what lets
+// the runner fan experiments out across workers without losing
+// reproducibility.
+type Config struct {
+	// Scale selects experiment sizing.
+	Scale Scale
+	// Seed perturbs every pseudo-random choice an experiment makes: it is
+	// threaded into the chain-level RNG of each simulated run and offsets
+	// the failure-trace generator seeds.
+	Seed int64
+	// FailureAt, when positive, overrides the started-run index of the
+	// single-failure injection in figures where "which job fails" is the
+	// experimental knob (Fig8b/8c, Fig12, Hybrid and the single-failure
+	// ablations). Figures whose chain shape dictates the failure position
+	// (Fig9's double failures, Fig11/13/14's short chains) ignore it.
+	FailureAt int
+}
+
+// Paper returns the default paper-scale configuration.
+func Paper() Config { return Config{Scale: ScalePaper} }
+
+// Quick returns the reduced-scale configuration used by fast tests.
+func Quick() Config { return Config{Scale: ScaleQuick} }
+
 // Result is one executed experiment.
 type Result struct {
 	Name   string
@@ -55,15 +97,16 @@ type setup struct {
 
 // sticSetup builds the paper's STIC configuration: 10 nodes, 4 GB/node
 // (40 GB jobs), reducers sized for one wave.
-func sticSetup(s Scale, mapSlots, redSlots int) setup {
+func sticSetup(c Config, mapSlots, redSlots int) setup {
 	ccfg := cluster.STICConfig(mapSlots, redSlots)
 	cfg := mapreduce.ChainConfig{
 		Mode:         mapreduce.ModeRCMP,
 		NumJobs:      7,
 		NumReducers:  ccfg.Nodes * redSlots,
 		InputPerNode: 4 * cluster.GB,
+		Seed:         c.Seed,
 	}
-	if s == ScaleQuick {
+	if c.Scale == ScaleQuick {
 		ccfg.Nodes = 5
 		cfg.NumReducers = ccfg.Nodes * redSlots
 		cfg.NumJobs = 4
@@ -76,7 +119,7 @@ func sticSetup(s Scale, mapSlots, redSlots int) setup {
 // dcoSetup builds the DCO configuration: 60 nodes, one reducer wave.
 // Per-node volume is 2 GB (vs the paper's 20 GB) to keep simulation event
 // counts tractable; wave structure per node is preserved via block size.
-func dcoSetup(s Scale, nodes int) setup {
+func dcoSetup(c Config, nodes int) setup {
 	ccfg := cluster.DCOConfig(nodes, 1, 1)
 	cfg := mapreduce.ChainConfig{
 		Mode:         mapreduce.ModeRCMP,
@@ -84,8 +127,9 @@ func dcoSetup(s Scale, nodes int) setup {
 		NumReducers:  nodes,
 		InputPerNode: 2 * cluster.GB,
 		BlockSize:    256 * cluster.MB,
+		Seed:         c.Seed,
 	}
-	if s == ScaleQuick {
+	if c.Scale == ScaleQuick {
 		ccfg.Nodes = 8
 		cfg.NumReducers = 8
 		cfg.NumJobs = 4
@@ -111,10 +155,43 @@ func splitRatioFor(st setup) int {
 // same share of work.
 const victim = 3
 
-// singleFailure builds the paper's injection: 15s after the start of the
-// AtRun-th started run.
-func singleFailure(atRun int) []mapreduce.Injection {
+// fixedFailure builds the paper's injection at a structurally fixed run:
+// 15s after the start of the AtRun-th started run.
+func fixedFailure(atRun int) []mapreduce.Injection {
 	return []mapreduce.Injection{{AtRun: atRun, After: 15, Node: victim}}
+}
+
+// effectiveFailureAt applies the Config.FailureAt override to a figure's
+// default injection run.
+func effectiveFailureAt(c Config, def int) int {
+	if c.FailureAt > 0 {
+		return c.FailureAt
+	}
+	return def
+}
+
+// singleFailure is fixedFailure with the FailureAt override applied, for
+// figures where the failure position is the experimental knob. A single
+// injection only fires while initial runs are still starting, so an
+// override beyond the chain length would silently yield failure-free data
+// mislabeled as a failure figure — that is a configuration error.
+func singleFailure(c Config, st setup, atRun int) []mapreduce.Injection {
+	at := effectiveFailureAt(c, atRun)
+	if c.FailureAt > 0 && at > st.cfg.NumJobs {
+		panic(fmt.Sprintf("experiments: FailureAt=%d exceeds the %d-job chain (%s); the injection would never fire",
+			at, st.cfg.NumJobs, st.name))
+	}
+	return fixedFailure(at)
+}
+
+// failureNote marks a figure title when the failure position was
+// overridden, so the output cannot masquerade as the paper's default
+// scenario.
+func failureNote(c Config, name string) string {
+	if c.FailureAt > 0 {
+		return fmt.Sprintf("%s [failure-at %d]", name, c.FailureAt)
+	}
+	return name
 }
 
 // run executes one chain, panicking on configuration errors (experiment
@@ -131,12 +208,13 @@ func run(st setup) *mapreduce.Result {
 
 // Fig2 reproduces the failure-trace CDFs: new failures per day for the
 // STIC-like and SUG@R-like clusters.
-func Fig2() *Result {
+func Fig2(c Config) *Result {
 	r := newResult("Fig2: CDF of new failures per day")
 	var names []string
 	series := make(map[string][]float64)
 	var xs []float64
 	for _, cfg := range []failure.TraceConfig{failure.STICTrace(), failure.SUGARTrace()} {
+		cfg.Seed += c.Seed
 		days, err := failure.Generate(cfg)
 		if err != nil {
 			panic(err)
@@ -237,10 +315,10 @@ func perJobFromRuns(res *mapreduce.Result, failRun int) analysis.PerJob {
 }
 
 // fig8 assembles one Figure 8 sub-figure across setups.
-func fig8(name string, s Scale, failures func(setup) []mapreduce.Injection, strategies []string) *Result {
+func fig8(name string, c Config, failures func(setup) []mapreduce.Injection, strategies []string) *Result {
 	r := newResult(name)
-	setups := []setup{sticSetup(s, 1, 1), sticSetup(s, 2, 2), dcoSetup(s, 60)}
-	if s == ScaleQuick {
+	setups := []setup{sticSetup(c, 1, 1), sticSetup(c, 2, 2), dcoSetup(c, 60)}
+	if c.Scale == ScaleQuick {
 		setups = setups[:1]
 	}
 	header := append([]string{"strategy"}, nil...)
@@ -281,23 +359,23 @@ func fig8(name string, s Scale, failures func(setup) []mapreduce.Injection, stra
 
 // Fig8a reproduces Figure 8a: no failures; RCMP vs REPL-2 vs REPL-3 vs
 // OPTIMISTIC (equal to RCMP NO-SPLIT without failures).
-func Fig8a(s Scale) *Result {
-	return fig8("Fig8a: no failure", s,
+func Fig8a(c Config) *Result {
+	return fig8("Fig8a: no failure", c,
 		func(setup) []mapreduce.Injection { return nil },
 		[]string{"RCMP NO-SPLIT", "OPTIMISTIC", "HADOOP REPL-2", "HADOOP REPL-3"})
 }
 
 // Fig8b reproduces Figure 8b: a single failure early (at job 2).
-func Fig8b(s Scale) *Result {
-	return fig8("Fig8b: single failure early (job 2)", s,
-		func(setup) []mapreduce.Injection { return singleFailure(2) },
+func Fig8b(c Config) *Result {
+	return fig8(failureNote(c, "Fig8b: single failure early (job 2)"), c,
+		func(st setup) []mapreduce.Injection { return singleFailure(c, st, 2) },
 		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
 }
 
 // Fig8c reproduces Figure 8c: a single failure late (at job 7).
-func Fig8c(s Scale) *Result {
-	lastJob := func(st setup) []mapreduce.Injection { return singleFailure(st.cfg.NumJobs) }
-	return fig8("Fig8c: single failure late (job 7)", s, lastJob,
+func Fig8c(c Config) *Result {
+	lastJob := func(st setup) []mapreduce.Injection { return singleFailure(c, st, st.cfg.NumJobs) }
+	return fig8(failureNote(c, "Fig8c: single failure late (job 7)"), c, lastJob,
 		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
 }
 
@@ -306,9 +384,9 @@ func Fig8c(s Scale) *Result {
 // Fig9 reproduces the double-failure comparison on STIC: FAIL X,Y injects
 // at started-runs X and Y (the paper's job numbering counts recomputation
 // runs). RCMP is run with split-8 and without; Hadoop uses REPL-3.
-func Fig9(s Scale) *Result {
+func Fig9(c Config) *Result {
 	r := newResult("Fig9: double failures (STIC, SLOTS 1-1)")
-	st := sticSetup(s, 1, 1)
+	st := sticSetup(c, 1, 1)
 	last := st.cfg.NumJobs
 	mid := last/2 + 1 // job 4 on the paper's 7-job chain
 
@@ -379,16 +457,17 @@ func Fig9(s Scale) *Result {
 // REPL-2/REPL-3 versus RCMP (split) under a failure at job 2, for chains of
 // 10 to 100 jobs, built from per-job averages measured on the 7-job chain
 // (STIC, SLOTS 2-2 at paper scale).
-func Fig10(s Scale) *Result {
-	r := newResult("Fig10: longer chains (failure at job 2)")
-	st := sticSetup(s, 2, 2)
+func Fig10(c Config) *Result {
+	r := newResult(failureNote(c, "Fig10: longer chains (failure at job 2)"))
+	st := sticSetup(c, 2, 2)
+	failAt := effectiveFailureAt(c, 2)
 
 	rcmp := st
 	rcmp.cfg.Split = true
 	rcmp.cfg.SplitRatio = splitRatioFor(st)
-	rcmp.cfg.Failures = singleFailure(2)
+	rcmp.cfg.Failures = singleFailure(c, st, 2)
 	rcmpRes := run(rcmp)
-	rcmpP := perJobFromRuns(rcmpRes, 2)
+	rcmpP := perJobFromRuns(rcmpRes, failAt)
 	rec := recoveryFromRuns(rcmpRes, st)
 
 	hadoopTotals := make(map[int]func(int) float64)
@@ -396,16 +475,16 @@ func Fig10(s Scale) *Result {
 		h := st
 		h.cfg.Mode = mapreduce.ModeHadoop
 		h.cfg.OutputRepl = repl
-		h.cfg.Failures = singleFailure(2)
+		h.cfg.Failures = singleFailure(c, st, 2)
 		hres := run(h)
-		p := perJobFromRuns(hres, 2)
-		failedJob := failedRunDuration(hres, 2)
+		p := perJobFromRuns(hres, failAt)
+		failedJob := failedRunDuration(hres, failAt)
 		hadoopTotals[repl] = func(jobs int) float64 {
-			return analysis.HadoopTotalWithFailure(jobs, 2, p, failedJob)
+			return analysis.HadoopTotalWithFailure(jobs, failAt, p, failedJob)
 		}
 	}
 	rcmpTotal := func(jobs int) float64 {
-		return analysis.RCMPTotalWithFailure(jobs, 2, rcmpP, rec)
+		return analysis.RCMPTotalWithFailure(jobs, failAt, rcmpP, rec)
 	}
 
 	var xs []float64
@@ -461,19 +540,19 @@ func failedRunDuration(res *mapreduce.Result, atRun int) float64 {
 // nodes with constant per-node work, a failure at the last job, split ratio
 // N-1 versus no splitting. Speed-up is the mean initial job time over the
 // mean recomputation-run time.
-func Fig11(s Scale) *Result {
+func Fig11(c Config) *Result {
 	r := newResult("Fig11: recomputation speed-up vs nodes")
 	nodeCounts := []int{12, 24, 36, 48, 60}
-	if s == ScaleQuick {
+	if c.Scale == ScaleQuick {
 		nodeCounts = []int{6, 10}
 	}
 	var xs []float64
 	series := map[string][]float64{}
 	for _, n := range nodeCounts {
-		st := dcoSetup(s, n)
+		st := dcoSetup(c, n)
 		st.cfg.NumJobs = 3
 		st.cfg.NumReducers = n
-		st.cfg.Failures = singleFailure(3)
+		st.cfg.Failures = fixedFailure(3)
 		for _, split := range []bool{false, true} {
 			stv := st
 			stv.cfg.Split = split
@@ -510,10 +589,10 @@ func recomputeSpeedup(res *mapreduce.Result) float64 {
 // Fig12 reproduces the hot-spot CDF: mapper running times during the
 // recomputation runs of a late failure on STIC SLOTS 2-2, with and without
 // splitting.
-func Fig12(s Scale) *Result {
-	r := newResult("Fig12: mapper time CDF under recomputation")
-	st := sticSetup(s, 2, 2)
-	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+func Fig12(c Config) *Result {
+	r := newResult(failureNote(c, "Fig12: mapper time CDF under recomputation"))
+	st := sticSetup(c, 2, 2)
+	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 
 	var names []string
 	cdfs := make(map[string]metrics.CDF)
@@ -565,7 +644,7 @@ func Fig12(s Scale) *Result {
 // Fig13 reproduces the reducer-wave speed-up: initial runs with 1, 2 and 4
 // reducer waves; recomputed reducers always fit one wave; map outputs are
 // not reused so the reduce phase is isolated; FAST vs SLOW shuffle.
-func Fig13(s Scale) *Result {
+func Fig13(c Config) *Result {
 	r := newResult("Fig13: speed-up from fewer reducer waves")
 	labels := []string{"1:1", "2:1", "4:1"}
 	waveCounts := []int{1, 2, 4}
@@ -573,11 +652,11 @@ func Fig13(s Scale) *Result {
 	var xs []float64
 	for i, w := range waveCounts {
 		for _, slow := range []bool{false, true} {
-			st := sticSetup(s, 1, 1)
+			st := sticSetup(c, 1, 1)
 			st.cfg.NumJobs = 2
 			st.cfg.NumReducers = st.ccfg.Nodes * w
 			st.cfg.NoMapOutputReuse = true
-			st.cfg.Failures = singleFailure(2)
+			st.cfg.Failures = fixedFailure(2)
 			if slow {
 				st.ccfg.ShuffleTransferDelay = 10
 			}
@@ -600,21 +679,21 @@ func Fig13(s Scale) *Result {
 // Fig14 reproduces the mapper-wave speed-up: one reducer wave throughout,
 // and the number of mapper waves during recomputation dialed from 2 to 18
 // via ForceRecomputeMappers; FAST vs SLOW shuffle.
-func Fig14(s Scale) *Result {
+func Fig14(c Config) *Result {
 	r := newResult("Fig14: speed-up vs recomputation mapper waves")
 	waves := []int{2, 6, 10, 14, 18}
-	if s == ScaleQuick {
+	if c.Scale == ScaleQuick {
 		waves = []int{2, 6}
 	}
 	series := map[string][]float64{}
 	var xs []float64
 	for _, w := range waves {
 		for _, slow := range []bool{false, true} {
-			st := sticSetup(s, 1, 1)
+			st := sticSetup(c, 1, 1)
 			st.cfg.NumJobs = 2
 			st.cfg.NumReducers = st.ccfg.Nodes
-			st.cfg.Failures = singleFailure(2)
-			if s == ScaleQuick {
+			st.cfg.Failures = fixedFailure(2)
+			if c.Scale == ScaleQuick {
 				// Keep enough initial mapper waves that the map phase
 				// dominates, so the wave effect is visible at small scale.
 				st.cfg.InputPerNode = cluster.GB
@@ -646,15 +725,15 @@ func Fig14(s Scale) *Result {
 // Hybrid reproduces the hybrid data point of Section V-B: replication
 // factor 2 once every 5 jobs combined with recomputation, under the late
 // single failure, compared to pure RCMP with splitting.
-func Hybrid(s Scale) *Result {
-	r := newResult("Hybrid: replicate every 5th job + recompute")
-	st := sticSetup(s, 1, 1)
+func Hybrid(c Config) *Result {
+	r := newResult(failureNote(c, "Hybrid: replicate every 5th job + recompute"))
+	st := sticSetup(c, 1, 1)
 	last := st.cfg.NumJobs
 
 	pure := st
 	pure.cfg.Split = true
 	pure.cfg.SplitRatio = splitRatioFor(st)
-	pure.cfg.Failures = singleFailure(last)
+	pure.cfg.Failures = singleFailure(c, st, last)
 	pureT := float64(run(pure).Total)
 
 	hyb := st
@@ -662,7 +741,7 @@ func Hybrid(s Scale) *Result {
 	hyb.cfg.SplitRatio = splitRatioFor(st)
 	hyb.cfg.HybridEveryK = 5
 	hyb.cfg.HybridRepl = 2
-	hyb.cfg.Failures = singleFailure(last)
+	hyb.cfg.Failures = singleFailure(c, st, last)
 	hybT := float64(run(hyb).Total)
 
 	r.Values["pure RCMP"] = 1
@@ -676,10 +755,10 @@ func Hybrid(s Scale) *Result {
 
 // AblationScatterVsSplit compares reducer splitting against the
 // scatter-only alternative of Section IV-B2 under the late failure.
-func AblationScatterVsSplit(s Scale) *Result {
-	r := newResult("Ablation: split vs scatter-only vs none")
-	st := sticSetup(s, 1, 1)
-	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+func AblationScatterVsSplit(c Config) *Result {
+	r := newResult(failureNote(c, "Ablation: split vs scatter-only vs none"))
+	st := sticSetup(c, 1, 1)
+	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 
 	variants := []struct {
 		name   string
@@ -713,10 +792,10 @@ func AblationScatterVsSplit(s Scale) *Result {
 }
 
 // AblationSplitRatio sweeps the split ratio under the late failure.
-func AblationSplitRatio(s Scale) *Result {
-	r := newResult("Ablation: split ratio sweep")
-	st := sticSetup(s, 1, 1)
-	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+func AblationSplitRatio(c Config) *Result {
+	r := newResult(failureNote(c, "Ablation: split ratio sweep"))
+	st := sticSetup(c, 1, 1)
+	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 	ratios := []int{1, 2, 4, 8}
 	if n := st.ccfg.Nodes - 1; n < 8 {
 		ratios = []int{1, 2, n}
@@ -739,10 +818,10 @@ func AblationSplitRatio(s Scale) *Result {
 }
 
 // AblationMapReuse isolates the benefit of reusing persisted map outputs.
-func AblationMapReuse(s Scale) *Result {
-	r := newResult("Ablation: persisted map output reuse")
-	st := sticSetup(s, 1, 1)
-	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+func AblationMapReuse(c Config) *Result {
+	r := newResult(failureNote(c, "Ablation: persisted map output reuse"))
+	st := sticSetup(c, 1, 1)
+	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 	st.cfg.Split = true
 	st.cfg.SplitRatio = splitRatioFor(st)
 
@@ -761,7 +840,7 @@ func AblationMapReuse(s Scale) *Result {
 // replication grows when the job output is large relative to input and
 // shuffle (ratios like Pig Cogroup or web indexing): the replicated bytes
 // scale with the output term only.
-func AblationIORatio(s Scale) *Result {
+func AblationIORatio(c Config) *Result {
 	r := newResult("Ablation: input/shuffle/output ratio")
 	type shape struct {
 		name     string
@@ -776,7 +855,7 @@ func AblationIORatio(s Scale) *Result {
 	var labels []string
 	var vals []float64
 	for _, sh := range shapes {
-		rcmp := sticSetup(s, 1, 1)
+		rcmp := sticSetup(c, 1, 1)
 		rcmp.cfg.MapOutputRatio = sh.mapRatio
 		rcmp.cfg.ReduceOutputRatio = sh.redRatio
 		rcmpT := float64(run(rcmp).Total)
@@ -797,12 +876,12 @@ func AblationIORatio(s Scale) *Result {
 // AblationReclamation measures the hybrid checkpoint + storage reclamation
 // mode of Section IV-C: performance must be indistinguishable from plain
 // hybrid (reclamation is metadata-only) while intermediate files vanish.
-func AblationReclamation(s Scale) *Result {
-	r := newResult("Ablation: checkpoint storage reclamation")
-	st := sticSetup(s, 1, 1)
+func AblationReclamation(c Config) *Result {
+	r := newResult(failureNote(c, "Ablation: checkpoint storage reclamation"))
+	st := sticSetup(c, 1, 1)
 	st.cfg.HybridEveryK = 3
 	st.cfg.HybridRepl = 2
-	st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 	base := float64(run(st).Total)
 
 	st.cfg.ReclaimAtCheckpoints = true
@@ -818,9 +897,9 @@ func AblationReclamation(s Scale) *Result {
 // execution: with a straggler node it trims the tail, but a large share of
 // speculative launches provide no benefit, and it cannot help at all when
 // the slow task's input has no second replica.
-func AblationSpeculation(s Scale) *Result {
+func AblationSpeculation(c Config) *Result {
 	r := newResult("Ablation: speculative execution with a straggler")
-	st := sticSetup(s, 1, 1)
+	st := sticSetup(c, 1, 1)
 	st.cfg.NumJobs = 2
 	st.ccfg.NodeDiskScale = map[int]float64{victim: 0.25}
 
@@ -850,14 +929,14 @@ func AblationSpeculation(s Scale) *Result {
 // matters only when the network is the bottleneck: the map-phase penalty of
 // locality-blind scheduling, at increasing core oversubscription, with a
 // single-replicated input so placement truly decides local versus remote.
-func AblationLocality(s Scale) *Result {
+func AblationLocality(c Config) *Result {
 	r := newResult("Ablation: data locality vs network oversubscription")
 	oversubs := []float64{1, 4, 16}
 	var labels []string
 	var vals []float64
 	for _, ov := range oversubs {
 		mapEnd := func(disable bool) float64 {
-			st := sticSetup(s, 1, 1)
+			st := sticSetup(c, 1, 1)
 			st.cfg.NumJobs = 1
 			st.cfg.InputRepl = 1
 			st.cfg.DisableLocality = disable
@@ -882,17 +961,17 @@ func AblationLocality(s Scale) *Result {
 }
 
 // AblationDetectionTimeout sweeps the failure detection timeout.
-func AblationDetectionTimeout(s Scale) *Result {
-	r := newResult("Ablation: failure detection timeout")
+func AblationDetectionTimeout(c Config) *Result {
+	r := newResult(failureNote(c, "Ablation: failure detection timeout"))
 	timeouts := []float64{10, 30, 60, 120}
 	var labels []string
 	var vals []float64
 	for _, to := range timeouts {
-		st := sticSetup(s, 1, 1)
+		st := sticSetup(c, 1, 1)
 		st.ccfg.FailureDetectionTimeout = des.Time(to)
 		st.cfg.Split = true
 		st.cfg.SplitRatio = splitRatioFor(st)
-		st.cfg.Failures = singleFailure(st.cfg.NumJobs)
+		st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
 		res := run(st)
 		labels = append(labels, fmt.Sprintf("%.0fs", to))
 		vals = append(vals, float64(res.Total))
@@ -900,19 +979,4 @@ func AblationDetectionTimeout(s Scale) *Result {
 	}
 	r.Text = textplot.Bars(r.Name+" (total seconds)", labels, vals, vals[0]/40)
 	return r
-}
-
-// All runs every experiment at the given scale, in presentation order.
-func All(s Scale) []*Result {
-	return []*Result{
-		Fig2(),
-		Fig8a(s), Fig8b(s), Fig8c(s),
-		Fig9(s), Fig10(s), Fig11(s), Fig12(s), Fig13(s), Fig14(s),
-		Hybrid(s),
-		AblationScatterVsSplit(s), AblationSplitRatio(s),
-		AblationMapReuse(s), AblationDetectionTimeout(s),
-		AblationIORatio(s), AblationReclamation(s),
-		AblationSpeculation(s), AblationLocality(s),
-		CostModels(),
-	}
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import "sort"
+
+// Spec is one registered experiment artifact: a figure, table or ablation
+// of the paper's evaluation. The registry is the single source of truth the
+// CLI, the parallel runner and the benchmarks enumerate — a new Fig* or
+// Ablation* function is added here once and every consumer picks it up
+// (registry_test.go enforces the invariant).
+type Spec struct {
+	// Key is the short CLI selector ("8a", "ablation-reuse", ...).
+	Key string
+	// Name is the display name prefix of the produced Result.
+	Name string
+	// Desc is a one-line description for -list output.
+	Desc string
+	// Scale and Seed are the per-spec defaults: All and runner sweeps fall
+	// back to them for any dimension the caller leaves unspecified.
+	Scale Scale
+	Seed  int64
+	// Run executes the experiment. Equal Configs yield identical Results.
+	Run func(Config) *Result
+}
+
+// Registry returns every experiment in presentation order. The slice is
+// freshly allocated; callers may filter or reorder it.
+func Registry() []Spec {
+	return []Spec{
+		{Key: "2", Name: "Fig2", Desc: "failure-trace CDFs (STIC, SUG@R)", Run: Fig2},
+		{Key: "8a", Name: "Fig8a", Desc: "no-failure slowdowns: RCMP vs REPL-2/3 vs OPTIMISTIC", Run: Fig8a},
+		{Key: "8b", Name: "Fig8b", Desc: "single failure early (job 2)", Run: Fig8b},
+		{Key: "8c", Name: "Fig8c", Desc: "single failure late (job 7)", Run: Fig8c},
+		{Key: "9", Name: "Fig9", Desc: "double failures on STIC", Run: Fig9},
+		{Key: "10", Name: "Fig10", Desc: "chain-length extrapolation", Run: Fig10},
+		{Key: "11", Name: "Fig11", Desc: "recomputation speed-up vs nodes", Run: Fig11},
+		{Key: "12", Name: "Fig12", Desc: "hot-spot mapper-time CDFs", Run: Fig12},
+		{Key: "13", Name: "Fig13", Desc: "reducer-wave speed-up", Run: Fig13},
+		{Key: "14", Name: "Fig14", Desc: "mapper-wave speed-up", Run: Fig14},
+		{Key: "hybrid", Name: "Hybrid", Desc: "hybrid replication every 5 jobs", Run: Hybrid},
+		{Key: "ablation-scatter", Name: "AblationScatterVsSplit", Desc: "split vs scatter-only vs none", Run: AblationScatterVsSplit},
+		{Key: "ablation-ratio", Name: "AblationSplitRatio", Desc: "split ratio sweep", Run: AblationSplitRatio},
+		{Key: "ablation-reuse", Name: "AblationMapReuse", Desc: "map-output reuse on/off", Run: AblationMapReuse},
+		{Key: "ablation-timeout", Name: "AblationDetectionTimeout", Desc: "detection timeout sweep", Run: AblationDetectionTimeout},
+		{Key: "ablation-ioratio", Name: "AblationIORatio", Desc: "input/shuffle/output ratio shapes", Run: AblationIORatio},
+		{Key: "ablation-reclaim", Name: "AblationReclamation", Desc: "checkpoint storage reclamation", Run: AblationReclamation},
+		{Key: "ablation-speculation", Name: "AblationSpeculation", Desc: "speculative execution with a straggler", Run: AblationSpeculation},
+		{Key: "ablation-locality", Name: "AblationLocality", Desc: "data locality vs oversubscription", Run: AblationLocality},
+		{Key: "cost", Name: "CostModels", Desc: "Section III-B provisioning and replication-guesswork models", Run: CostModels},
+	}
+}
+
+// Lookup returns the spec with the given CLI key.
+func Lookup(key string) (Spec, bool) {
+	for _, sp := range Registry() {
+		if sp.Key == key {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Keys returns every registered CLI key, sorted.
+func Keys() []string {
+	var out []string
+	for _, sp := range Registry() {
+		out = append(out, sp.Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All runs every experiment serially at the given scale with each spec's
+// default seed, in presentation order — the pre-runner execution path,
+// kept as the baseline the parallel runner is benchmarked against.
+func All(s Scale) []*Result {
+	var out []*Result
+	for _, sp := range Registry() {
+		out = append(out, sp.Run(Config{Scale: s, Seed: sp.Seed}))
+	}
+	return out
+}

@@ -304,7 +304,8 @@ func (d *Driver) recomputeRunDone(r *jobRun, step core.JobStep) {
 	for _, rt := range r.reduces {
 		byReducer[rt.reducer] = append(byReducer[rt.reducer], rt)
 	}
-	for reducer, rts := range byReducer {
+	for _, reducer := range sortedKeys(byReducer) {
+		rts := byReducer[reducer]
 		var nodes []int
 		var bytes int64
 		for _, rt := range rts {

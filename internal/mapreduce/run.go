@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"rcmp/internal/cluster"
 	"rcmp/internal/des"
@@ -76,12 +77,44 @@ type reduceTask struct {
 	fetched      float64
 	shuffling    bool
 	ev           *des.Event
-	outFlows     map[*flow.Flow]int // in-progress output writes -> target node
-	owedRewrites []int              // dead replica targets awaiting replacement
+	// outFlows tracks in-progress output writes and their target nodes in
+	// start order — a slice, not a map, so abort/retarget sweeps touch the
+	// flow network in a deterministic order.
+	outFlows     []outFlow
+	owedRewrites []int // dead replica targets awaiting replacement
 	outPending   int
 	outReplicas  []int
 	outBytes     int64
 	start        des.Time
+}
+
+// sortedKeys returns a node-keyed map's keys in ascending order. Every
+// sweep whose side effects reach the flow network or the event queue must
+// iterate this way: Go's randomized map order would otherwise leak into
+// event sequence numbers and break run-to-run determinism.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// outFlow is one in-progress output-write flow and its target node.
+type outFlow struct {
+	fl  *flow.Flow
+	tgt int
+}
+
+// removeOutFlow deletes the entry for fl, preserving order.
+func (rt *reduceTask) removeOutFlow(fl *flow.Flow) {
+	for i, of := range rt.outFlows {
+		if of.fl == fl {
+			rt.outFlows = append(rt.outFlows[:i], rt.outFlows[i+1:]...)
+			return
+		}
+	}
 }
 
 func (rt *reduceTask) shareFrac(numReducers int) float64 {
@@ -499,7 +532,8 @@ func (r *jobRun) reduceShuffle(rt *reduceTask) {
 	// Persisted (reused) outputs and any mappers that completed before this
 	// reducer launched. Outputs on a node that died but is not yet detected
 	// become a resupply debt settled by the post-detection re-executions.
-	for n, bytes := range r.aggOut {
+	for _, n := range sortedKeys(r.aggOut) {
+		bytes := r.aggOut[n]
 		if bytes <= 0 {
 			continue
 		}
@@ -538,7 +572,11 @@ func (r *jobRun) kickFetch(rt *reduceTask) {
 	if r.mapsRemaining > 0 {
 		minChunk = float64(r.cfg().BlockSize) / 4
 	}
-	for n, b := range rt.buckets {
+	// Sources are visited in node order: with a bounded fetch parallelism
+	// the visit order decides which flows exist, so it must not depend on
+	// map iteration order.
+	for _, n := range sortedKeys(rt.buckets) {
+		b := rt.buckets[n]
 		if rt.inflight >= r.cfg().FetchParallelism {
 			return
 		}
@@ -592,7 +630,7 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 	rt.outBytes = int64(rt.fetched * r.cfg().ReduceOutputRatio)
 	alive := r.clus().Alive()
 	rt.outReplicas = r.fs().PlanReplicas(rt.node, r.repl, alive)
-	rt.outFlows = make(map[*flow.Flow]int)
+	rt.outFlows = rt.outFlows[:0]
 
 	if r.scatter && rt.splits == 1 {
 		// Scatter-only hot-spot mitigation (Section IV-B2 alternative): the
@@ -604,7 +642,7 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 			tgt := tgt
 			fl := r.net().Start(fmt.Sprintf("red%d-scatter", rt.reducer), per,
 				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-			rt.outFlows[fl] = tgt
+			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 		}
 		rt.outReplicas = alive
 		return
@@ -614,12 +652,12 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 	for _, tgt := range rt.outReplicas {
 		fl := r.net().Start(fmt.Sprintf("red%d.%d-out", rt.reducer, rt.split), float64(rt.outBytes),
 			r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-		rt.outFlows[fl] = tgt
+		rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 	}
 }
 
 func (r *jobRun) outWriteDone(rt *reduceTask, f *flow.Flow) {
-	delete(rt.outFlows, f)
+	rt.removeOutFlow(f)
 	rt.outPending--
 	if rt.outPending > 0 {
 		return
@@ -727,13 +765,16 @@ func (r *jobRun) nodeDown(n int) {
 			b.stalled = true
 		}
 		// Output-write replicas targeting n will be retargeted at detection.
-		for fl, tgt := range rt.outFlows {
-			if tgt == n {
-				r.net().Abort(fl)
-				delete(rt.outFlows, fl)
+		kept := rt.outFlows[:0]
+		for _, of := range rt.outFlows {
+			if of.tgt == n {
+				r.net().Abort(of.fl)
 				rt.owedRewrites = append(rt.owedRewrites, n)
+				continue
 			}
+			kept = append(kept, of)
 		}
+		rt.outFlows = kept
 	}
 }
 
@@ -749,7 +790,8 @@ func (r *jobRun) abortMapWork(mt *mapTask) {
 }
 
 func (r *jobRun) abortReduceWork(rt *reduceTask) {
-	for _, b := range rt.buckets {
+	for _, n := range sortedKeys(rt.buckets) {
+		b := rt.buckets[n]
 		if b.fl != nil {
 			r.net().Abort(b.fl)
 			b.fl = nil
@@ -762,12 +804,12 @@ func (r *jobRun) abortReduceWork(rt *reduceTask) {
 		r.sim().Cancel(rt.ev)
 		rt.ev = nil
 	}
-	for fl := range rt.outFlows {
-		if fl != nil {
-			r.net().Abort(fl)
+	for _, of := range rt.outFlows {
+		if of.fl != nil {
+			r.net().Abort(of.fl)
 		}
-		delete(rt.outFlows, fl)
 	}
+	rt.outFlows = rt.outFlows[:0]
 	rt.shuffling = false
 }
 
@@ -823,7 +865,7 @@ func (r *jobRun) handleDetection(n int) {
 			tgt := r.pickReplacementTarget(rt)
 			fl := r.net().Start(fmt.Sprintf("red%d-rewrite", rt.reducer), float64(rt.outBytes),
 				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-			rt.outFlows[fl] = tgt
+			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 			for i, rep := range rt.outReplicas {
 				if rep == n {
 					rt.outReplicas[i] = tgt

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// ReportResult is the machine-readable form of one Result.
+type ReportResult struct {
+	Name      string `json:"name"`
+	Scale     string `json:"scale"`
+	Seed      int64  `json:"seed"`
+	FailureAt int    `json:"failure_at,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Experiment is the Result.Name the experiment itself reported.
+	Experiment string `json:"experiment,omitempty"`
+	// Values holds the figure's key numbers. Non-finite values are encoded
+	// as the strings "NaN", "+Inf" and "-Inf" (JSON has no such numbers).
+	Values map[string]any `json:"values,omitempty"`
+	Text   string         `json:"text,omitempty"`
+	// ElapsedMS is wall-clock time, present only when the report was built
+	// with timing enabled — it is the one non-deterministic field.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// Report is a full result set ready for JSON encoding.
+type Report struct {
+	Results []ReportResult `json:"results"`
+}
+
+// NewReport converts runner results. With withTiming false the report is a
+// pure function of the jobs' Configs: encoding it for the same jobs and
+// seeds yields byte-identical output whatever the worker count.
+func NewReport(results []Result, withTiming bool) Report {
+	rep := Report{Results: make([]ReportResult, 0, len(results))}
+	for _, res := range results {
+		rr := ReportResult{
+			Name:      res.Name,
+			Scale:     res.Config.Scale.String(),
+			Seed:      res.Config.Seed,
+			FailureAt: res.Config.FailureAt,
+			Error:     res.Err,
+		}
+		if res.Res != nil {
+			rr.Experiment = res.Res.Name
+			rr.Text = res.Res.Text
+			rr.Values = finiteValues(res.Res.Values)
+		}
+		if withTiming {
+			rr.ElapsedMS = float64(res.Elapsed.Microseconds()) / 1000
+		}
+		rep.Results = append(rep.Results, rr)
+	}
+	return rep
+}
+
+// finiteValues maps non-finite floats to strings; encoding/json rejects
+// NaN and infinities, and a few figures legitimately produce them (missing
+// strategies, empty duration sets). Map keys are sorted by the encoder, so
+// the result is deterministic.
+func finiteValues(vals map[string]float64) map[string]any {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(vals))
+	for k, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			out[k] = "NaN"
+		case math.IsInf(v, 1):
+			out[k] = "+Inf"
+		case math.IsInf(v, -1):
+			out[k] = "-Inf"
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// WriteJSON encodes results as indented JSON.
+func WriteJSON(w io.Writer, results []Result, withTiming bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewReport(results, withTiming))
+}
+
+// MarshalJSONDeterministic returns the timing-free encoding of results —
+// the byte string the determinism guarantee is stated over.
+func MarshalJSONDeterministic(results []Result) ([]byte, error) {
+	return json.MarshalIndent(NewReport(results, false), "", "  ")
+}

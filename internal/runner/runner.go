@@ -1,0 +1,111 @@
+// Package runner executes sets of experiment artifacts concurrently.
+//
+// Each experiment in internal/experiments is a pure function of its Config:
+// every simulation builds a fresh des.Simulator, cluster and recorder, and
+// all randomness flows from per-run seeded RNGs, so runs share no mutable
+// state. The Runner exploits that: it fans jobs out across a fixed-size
+// worker pool (GOMAXPROCS by default) while keeping results in input order,
+// so a parallel run is byte-identical to a serial run of the same jobs —
+// reproducibility is never traded for wall-clock speed.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rcmp/internal/experiments"
+)
+
+// Job is one experiment execution request.
+type Job struct {
+	// Name uniquely identifies the job in results and reports,
+	// e.g. "Fig8b/quick/seed=3".
+	Name string
+	// Config parameterizes the run; equal Configs yield identical Results.
+	Config experiments.Config
+	// Run executes the experiment (typically a Spec.Run from the registry).
+	Run func(experiments.Config) *experiments.Result
+}
+
+// Result is one finished job.
+type Result struct {
+	Name   string
+	Config experiments.Config
+	// Res is the experiment's output; nil when Err is set.
+	Res *experiments.Result
+	// Err carries a recovered panic message (experiment definitions panic
+	// on configuration errors) so one bad job cannot take down the pool.
+	Err string
+	// Elapsed is per-job wall-clock time. It is reported for scheduling
+	// insight only and excluded from deterministic JSON output.
+	Elapsed time.Duration
+}
+
+// Runner is a fixed-size worker pool over experiment jobs.
+type Runner struct {
+	// Workers is the pool size; values <= 0 mean GOMAXPROCS.
+	Workers int
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes jobs on the pool and returns one Result per job, indexed
+// and ordered like the input regardless of completion order.
+func (r *Runner) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func runOne(j Job) (res Result) {
+	res.Name = j.Name
+	res.Config = j.Config
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Res = nil
+			res.Err = fmt.Sprint(p)
+		}
+	}()
+	res.Res = j.Run(j.Config)
+	return res
+}
+
+// jobName names a job after its spec, suffixed with any non-default scale,
+// seed and failure position so sweep output stays self-describing.
+func jobName(sp experiments.Spec, c experiments.Config) string {
+	name := sp.Name
+	if c.Scale != experiments.ScalePaper {
+		name += "/" + c.Scale.String()
+	}
+	if c.Seed != 0 {
+		name += fmt.Sprintf("/seed=%d", c.Seed)
+	}
+	if c.FailureAt > 0 {
+		name += fmt.Sprintf("/fail@%d", c.FailureAt)
+	}
+	return name
+}

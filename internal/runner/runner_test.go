@@ -1,0 +1,222 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rcmp/internal/experiments"
+)
+
+// TestDeterminismAcrossWorkerCounts is the core guarantee: the same jobs
+// with the same seeds produce byte-identical text and JSON whether they run
+// on one worker or eight.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Specs:  experiments.Registry(),
+		Scales: []experiments.Scale{experiments.ScaleQuick},
+		Seeds:  []int64{0, 3},
+	}
+	serial := (&Runner{Workers: 1}).Run(grid.Jobs())
+	parallel := (&Runner{Workers: 8}).Run(grid.Jobs())
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name {
+			t.Fatalf("result %d ordering differs: %q vs %q", i, s.Name, p.Name)
+		}
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("%s failed: serial=%q parallel=%q", s.Name, s.Err, p.Err)
+		}
+		if s.Res.Text != p.Res.Text {
+			t.Errorf("%s: Text differs between 1 and 8 workers:\n%s\n----\n%s",
+				s.Name, s.Res.Text, p.Res.Text)
+		}
+	}
+	js, err := MarshalJSONDeterministic(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := MarshalJSONDeterministic(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jp) {
+		t.Fatal("deterministic JSON differs between 1 and 8 workers")
+	}
+}
+
+// TestSeedChangesSimulatedFigures checks the seed actually reaches the
+// simulations: a different seed must change at least one figure payload
+// (the failure traces of Fig2 are directly seed-driven).
+func TestSeedChangesSimulatedFigures(t *testing.T) {
+	fig2, ok := experiments.Lookup("2")
+	if !ok {
+		t.Fatal("Fig2 not registered")
+	}
+	a := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 0})
+	b := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 1})
+	if a.Text == b.Text {
+		t.Fatal("seed 0 and seed 1 produced identical Fig2 traces; seed not threaded")
+	}
+}
+
+// TestRunPreservesInputOrder gives early jobs the longest work so they
+// finish last, then checks results still come back in input order.
+func TestRunPreservesInputOrder(t *testing.T) {
+	const n = 12
+	var started atomic.Int32
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func(experiments.Config) *experiments.Result {
+				started.Add(1)
+				// Earlier jobs sleep longer, inverting completion order.
+				time.Sleep(time.Duration(n-i) * 2 * time.Millisecond)
+				return &experiments.Result{Name: fmt.Sprintf("job-%02d", i)}
+			},
+		}
+	}
+	results := (&Runner{Workers: 4}).Run(jobs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, res := range results {
+		want := fmt.Sprintf("job-%02d", i)
+		if res.Name != want || res.Res == nil || res.Res.Name != want {
+			t.Fatalf("result %d = %q (res %v), want %q", i, res.Name, res.Res, want)
+		}
+	}
+	if got := started.Load(); got != n {
+		t.Fatalf("ran %d jobs, want %d", got, n)
+	}
+}
+
+// TestRunUsesThePool proves jobs overlap: with W workers, W long-running
+// jobs must all be in flight at once.
+func TestRunUsesThePool(t *testing.T) {
+	const workers = 4
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	jobs := make([]Job, workers*3)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("j%d", i),
+			Run: func(experiments.Config) *experiments.Result {
+				mu.Lock()
+				inFlight++
+				if inFlight > peak {
+					peak = inFlight
+				}
+				mu.Unlock()
+				time.Sleep(20 * time.Millisecond)
+				mu.Lock()
+				inFlight--
+				mu.Unlock()
+				return &experiments.Result{}
+			},
+		}
+	}
+	(&Runner{Workers: workers}).Run(jobs)
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d; worker pool never overlapped jobs", peak)
+	}
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak, workers)
+	}
+}
+
+// TestPanicIsIsolated: one panicking experiment is reported in its slot and
+// does not poison the others or the pool.
+func TestPanicIsIsolated(t *testing.T) {
+	jobs := []Job{
+		{Name: "ok-1", Run: func(experiments.Config) *experiments.Result {
+			return &experiments.Result{Name: "ok-1"}
+		}},
+		{Name: "boom", Run: func(experiments.Config) *experiments.Result {
+			panic("experiment misconfigured")
+		}},
+		{Name: "ok-2", Run: func(experiments.Config) *experiments.Result {
+			return &experiments.Result{Name: "ok-2"}
+		}},
+	}
+	results := (&Runner{Workers: 2}).Run(jobs)
+	if results[0].Err != "" || results[2].Err != "" {
+		t.Fatalf("healthy jobs errored: %q / %q", results[0].Err, results[2].Err)
+	}
+	if results[1].Res != nil || !strings.Contains(results[1].Err, "misconfigured") {
+		t.Fatalf("panic not captured: res=%v err=%q", results[1].Res, results[1].Err)
+	}
+}
+
+// TestGridExpansion checks the sweep cross product and name uniqueness.
+func TestGridExpansion(t *testing.T) {
+	specs := experiments.Registry()[:3]
+	g := Grid{
+		Specs:      specs,
+		Scales:     []experiments.Scale{experiments.ScalePaper, experiments.ScaleQuick},
+		Seeds:      []int64{0, 1, 2},
+		FailureAts: []int{0, 3},
+	}
+	jobs := g.Jobs()
+	want := 3 * 2 * 3 * 2
+	if len(jobs) != want {
+		t.Fatalf("grid expanded to %d jobs, want %d", len(jobs), want)
+	}
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		if seen[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	// Defaults: empty dimensions collapse to one combination each.
+	def := Grid{Specs: specs}.Jobs()
+	if len(def) != len(specs) {
+		t.Fatalf("default grid expanded to %d jobs, want %d", len(def), len(specs))
+	}
+	for i, j := range def {
+		if j.Name != specs[i].Name {
+			t.Fatalf("default job %d named %q, want bare %q", i, j.Name, specs[i].Name)
+		}
+	}
+}
+
+// TestJSONSanitizesNonFinite: NaN and infinities must encode, as strings.
+func TestJSONSanitizesNonFinite(t *testing.T) {
+	res := []Result{{
+		Name: "x",
+		Res: &experiments.Result{
+			Name:   "x",
+			Values: map[string]float64{"nan": math.NaN(), "inf": math.Inf(1), "ninf": math.Inf(-1), "ok": 2.5},
+		},
+	}}
+	b, err := MarshalJSONDeterministic(res)
+	if err != nil {
+		t.Fatalf("marshal failed on non-finite values: %v", err)
+	}
+	for _, want := range []string{`"NaN"`, `"+Inf"`, `"-Inf"`, "2.5"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("encoded report missing %s:\n%s", want, b)
+		}
+	}
+	// Timing must be absent from deterministic output even when set.
+	res[0].Elapsed = time.Second
+	b2, err := MarshalJSONDeterministic(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b2), "elapsed_ms") {
+		t.Fatal("deterministic JSON leaked elapsed_ms")
+	}
+}

@@ -1,0 +1,45 @@
+package runner
+
+import "rcmp/internal/experiments"
+
+// Grid expands a (spec × scale × seed × failure-injection) scenario grid
+// into runner jobs. An empty dimension falls back to a single default per
+// spec: the spec's registered Scale and Seed, and each figure's own
+// failure position.
+type Grid struct {
+	Specs  []experiments.Spec
+	Scales []experiments.Scale
+	Seeds  []int64
+	// FailureAts overrides the single-failure injection run; 0 keeps each
+	// figure's default (see experiments.Config.FailureAt).
+	FailureAts []int
+}
+
+// Jobs materializes the grid in deterministic order: specs outermost, then
+// scales, seeds and failure positions — the order Run reports results in.
+func (g Grid) Jobs() []Job {
+	fails := g.FailureAts
+	if len(fails) == 0 {
+		fails = []int{0}
+	}
+	var out []Job
+	for _, sp := range g.Specs {
+		scales := g.Scales
+		if len(scales) == 0 {
+			scales = []experiments.Scale{sp.Scale}
+		}
+		seeds := g.Seeds
+		if len(seeds) == 0 {
+			seeds = []int64{sp.Seed}
+		}
+		for _, sc := range scales {
+			for _, seed := range seeds {
+				for _, fa := range fails {
+					c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa}
+					out = append(out, Job{Name: jobName(sp, c), Config: c, Run: sp.Run})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the repo's one-command gate:
+#   1. tier-1: go build ./... && go test ./...
+#   2. full suite under the race detector (the parallel experiment runner
+#      executes simulations concurrently; -race keeps that honest)
+#   3. benchmark smoke pass: every benchmark once at the smoke tier
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race =="
+go test -race ./...
+
+echo "== bench-smoke =="
+RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
+
+echo "verify: OK"
