@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench verify
+.PHONY: all build test race bench-smoke bench bench-full verify
 
 all: build test
 
@@ -20,10 +20,18 @@ race:
 bench-smoke:
 	RCMP_BENCH_SCALE=smoke $(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# bench runs the paper-scale benchmarks (seconds of wall time each).
+# bench runs the perf-trajectory benchmarks of the simulation core
+# (BenchmarkRebalance*, BenchmarkAllSerial, BenchmarkAllParallel) and
+# emits their ns/op as BENCH_flow.json, so successive PRs can diff the
+# trajectory.
 bench:
+	./scripts/bench_json.sh
+
+# bench-full runs every benchmark at paper scale (seconds of wall time each).
+bench-full:
 	$(GO) test -run xxx -bench . ./...
 
-# verify is the tier-1 gate plus the race and smoke checks in one command.
+# verify is the tier-1 gate plus vet/format, race and smoke checks in one
+# command.
 verify:
 	./scripts/verify.sh

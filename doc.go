@@ -20,7 +20,20 @@
 // producing output byte-identical to a serial run. `go run ./cmd/rcmpsim
 // -fig all -parallel 8 -json` regenerates the whole evaluation that way;
 // docs/experiments.md describes the registry, seeds and the determinism
-// guarantee.
+// guarantee, and experiments/golden_digest_test.go pins a SHA-256 digest
+// of every figure's output so behaviour changes cannot land unnoticed.
+//
+// The simulation core is built for scale: the flow network rebalances
+// max-min fair rates incrementally per connected component, coalesces
+// same-path transfers onto trunks (shuffle traffic is arbitrated per node
+// pair, not per reducer), and reschedules its completion event in place;
+// docs/flow.md describes the algorithm, its invariants and how the default
+// strict mode preserves the historical global rebalance's rounding
+// behaviour (the golden-digest suite pins the resulting outputs) while
+// lazy mode trades that for per-component banking. The mapreduce layer is
+// decomposed into phase modules (map_phase, shuffle_phase, output_phase,
+// recovery) around the explicit task-lifecycle state machine in
+// lifecycle.go.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in

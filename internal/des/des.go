@@ -96,6 +96,25 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	return e
 }
 
+// Reschedule moves a pending event to absolute time t without allocating a
+// new one. It is the in-place equivalent of Cancel followed by At with the
+// same callback: the event is assigned a fresh sequence number, so its
+// ordering against same-time events is exactly what the cancel+push pair
+// would produce. Rescheduling a fired or cancelled event panics — the
+// callback is gone, so it always indicates a lifecycle bug in the model.
+func (s *Simulator) Reschedule(e *Event, t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: rescheduling event at %v before now %v", t, s.now))
+	}
+	if e == nil || e.fired || e.cancel || e.index < 0 {
+		panic("des: Reschedule of a fired, cancelled or unqueued event")
+	}
+	e.at = t
+	s.seq++
+	e.seq = s.seq
+	heap.Fix(&s.queue, e.index)
+}
+
 // After schedules fn to run d seconds from now. Negative d panics.
 func (s *Simulator) After(d Time, fn func()) *Event {
 	if d < 0 {
@@ -157,16 +176,12 @@ func (s *Simulator) RunUntil(t Time) {
 // Stop makes the current Run/RunUntil return after the current event.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (uncancelled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (uncancelled) events in O(1), so
+// callers may poll it per event without turning the run into an O(n^2)
+// scan. Cancel removes events from the heap eagerly and Step pops fired
+// ones, so every event still queued is live and the queue length IS the
+// pending count — no separately maintained counter to drift out of sync.
+func (s *Simulator) Pending() int { return len(s.queue) }
 
 func (s *Simulator) peek() *Event {
 	// The heap may have cancelled events removed eagerly, so the root is live.

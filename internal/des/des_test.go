@@ -169,6 +169,130 @@ func TestRandomizedOrdering(t *testing.T) {
 	}
 }
 
+// TestPendingLiveCounter is the regression test for O(1) Pending: it must
+// track every way an event leaves the queue (firing, cancellation,
+// rescheduling) without ever scanning the heap for cancelled entries.
+func TestPendingLiveCounter(t *testing.T) {
+	s := New()
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		events = append(events, s.At(Time(i+1), func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d after 10 At, want 10", s.Pending())
+	}
+	s.Cancel(events[3])
+	s.Cancel(events[3]) // double cancel must not double-decrement
+	if s.Pending() != 9 {
+		t.Fatalf("Pending = %d after cancel, want 9", s.Pending())
+	}
+	s.Reschedule(events[7], 20) // moving an event must not change the count
+	if s.Pending() != 9 {
+		t.Fatalf("Pending = %d after reschedule, want 9", s.Pending())
+	}
+	fired := 0
+	for s.Step() {
+		fired++
+		if want := 9 - fired; s.Pending() != want {
+			t.Fatalf("Pending = %d after %d fires, want %d", s.Pending(), fired, want)
+		}
+	}
+	if fired != 9 {
+		t.Fatalf("fired %d events, want 9", fired)
+	}
+	s.Cancel(events[0]) // cancel after fire: no-op, no underflow
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d at drain, want 0", s.Pending())
+	}
+}
+
+// TestPendingIsConstantTime checks Pending stays exact under a large
+// randomized schedule/cancel/fire mix — the pattern that made the old
+// O(n)-scan Pending a per-event hot spot.
+func TestPendingIsConstantTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := New()
+	var liveEvents []*Event
+	want := 0
+	for i := 0; i < 5000; i++ {
+		switch {
+		case len(liveEvents) > 0 && rng.Intn(3) == 0:
+			j := rng.Intn(len(liveEvents))
+			s.Cancel(liveEvents[j])
+			liveEvents = append(liveEvents[:j], liveEvents[j+1:]...)
+			want--
+		default:
+			liveEvents = append(liveEvents, s.At(s.Now()+Time(rng.Float64()*10), func() {}))
+			want++
+		}
+		if rng.Intn(5) == 0 && s.Step() {
+			want--
+			// The fired event is somewhere in liveEvents; drop it by scanning
+			// for the fired flag rather than tracking pop order.
+			for j, e := range liveEvents {
+				if e.fired {
+					liveEvents = append(liveEvents[:j], liveEvents[j+1:]...)
+					break
+				}
+			}
+		}
+		if s.Pending() != want {
+			t.Fatalf("step %d: Pending = %d, want %d", i, s.Pending(), want)
+		}
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	s := New()
+	var got []string
+	e := s.At(1, func() { got = append(got, "moved") })
+	s.At(2, func() { got = append(got, "fixed") })
+	s.Reschedule(e, 3)
+	s.Run()
+	if len(got) != 2 || got[0] != "fixed" || got[1] != "moved" {
+		t.Fatalf("order %v, want [fixed moved]", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock %v, want 3", s.Now())
+	}
+}
+
+// TestRescheduleTieOrder pins the cancel+push parity: a rescheduled event
+// landing on the same time as an existing one must fire after it, exactly
+// as a freshly scheduled replacement would.
+func TestRescheduleTieOrder(t *testing.T) {
+	s := New()
+	var got []string
+	e := s.At(1, func() { got = append(got, "rescheduled") })
+	s.At(5, func() { got = append(got, "older") })
+	s.Reschedule(e, 5) // fresh seq: must now sort after the t=5 event
+	s.Run()
+	if len(got) != 2 || got[0] != "older" || got[1] != "rescheduled" {
+		t.Fatalf("tie order %v, want [older rescheduled]", got)
+	}
+}
+
+func TestRescheduleMisusePanics(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.Run()
+	for name, fn := range map[string]func(){
+		"fired":     func() { s.Reschedule(e, 2) },
+		"cancelled": func() { c := s.At(3, func() {}); s.Cancel(c); s.Reschedule(c, 4) },
+		"past":      func() { p := s.At(3, func() {}); s.Reschedule(p, 0) },
+		"nil":       func() { s.Reschedule(nil, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reschedule(%s) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestProcessedCount(t *testing.T) {
 	s := New()
 	for i := 0; i < 5; i++ {

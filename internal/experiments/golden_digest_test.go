@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// goldenDigests pins a SHA-256 digest of every registered experiment's full
+// output (figure text plus all Values at full float precision) at quick
+// scale with each spec's default seed.
+//
+// These digests were captured from the pre-refactor global-rebalance
+// simulator and held byte-for-byte through the incremental flow core, the
+// jobRun decomposition and the shuffle-fetch coalescing — they are the
+// determinism contract of the simulation stack. A change here means the
+// simulator's observable behaviour changed, not just its speed; that is
+// sometimes intentional (AblationIORatio below was re-modeled onto a single
+// representative job, so its digest is from the re-modeled form), but it
+// must always be a conscious, documented decision.
+var goldenDigests = map[string]string{
+	"2":                    "bdf581e0592816d03e6bba99d500c48edcb83316dc14e18a4e237399969237fd",
+	"8a":                   "cd71bb03ccce3b9e7c31dd4505e3b5a92a3af55031bd39eb36dcd79f340631f0",
+	"8b":                   "743e30ee7fdb08f02e7c8654d8a46a14694d1ef0f3324be8a0adc3321b5be080",
+	"8c":                   "0786c682a0f65cf3b3c3a7592bb1c019160d4b4fa31fcc0335dc1b267b503b03",
+	"9":                    "8550e52539b87d3e76bb1c28660cfde616f1bad22e447a4c58ecaa4b4a142eca",
+	"10":                   "2b81219c30226d011fe71f90ca3c7ddf25c815c63c4838e35a6706c00ff147f0",
+	"11":                   "060dfe30db814f7a10b5a0b2eaf5649f9dcedb2989035905d72dc552888cb469",
+	"12":                   "fa07612c8674913073dc51709615924da6ac1bfa9b4698ceafe33a94acfb1d29",
+	"13":                   "e88346f9e2ae3c508206e07717da67abc45f194c0f295164bd065a44d88f7104",
+	"14":                   "21653678505042b7e37488635960378fea5704fc4032d3936494e742802777dc",
+	"hybrid":               "349ffa76f4a43cbeb55a685fcf1d8265ec3793ec8a4498d035b42e44cc07931a",
+	"ablation-scatter":     "19620a0141b6101b6d236ee386fe4a25173126204908dfa4a2d1994d7177b3a9",
+	"ablation-ratio":       "60e1310feca48e568327211feceb2bdcaac91807f0b7de133da758d0ebf97ea2",
+	"ablation-reuse":       "9ce612f882fb1a2df8592e409be5d6481340ebf02725e3029d0b85912213a692",
+	"ablation-timeout":     "a02b3e0b703370041cc209acf8425db1d508343503e4b4b717535568e11b7f6e",
+	"ablation-ioratio":     "f6e58f049214e6c8fdbb37804fd558cb7f7d8d6fca6c8c730a0388b7989be053", // re-modeled: single representative job (PR 2)
+	"ablation-reclaim":     "b92ecb6db430a27bdb18f1f2c4a9100d3486477f51b2b3af335ec1eede10f9f6",
+	"ablation-speculation": "975fbfe12c1d9ff271f397e2b15efe57a2fb6ac64c01409c49e739e5fd441d3c",
+	"ablation-locality":    "db09369123e57aa83385dbc4b6aec77360e2a7d88afa052bc6cdfba79e78c402",
+	"cost":                 "e00e71af610bdf65cf8405593b485a697e05a09dfcee64446b379877ee8eb50f",
+}
+
+// resultDigest hashes the complete observable output of one experiment:
+// the rendered figure text and every value at full float64 precision, so
+// even a one-ulp drift in a simulated timestamp is caught.
+func resultDigest(res *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", res.Name, res.Text)
+	keys := make([]string, 0, len(res.Values))
+	for k := range res.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%v\n", k, res.Values[k])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGoldenDigests regenerates every registered experiment at quick scale
+// and compares against the pinned digests.
+func TestGoldenDigests(t *testing.T) {
+	for _, sp := range Registry() {
+		sp := sp
+		t.Run(sp.Key, func(t *testing.T) {
+			want, ok := goldenDigests[sp.Key]
+			if !ok {
+				t.Fatalf("experiment %q has no golden digest; run the digest harness and add one", sp.Key)
+			}
+			got := resultDigest(sp.Run(Config{Scale: ScaleQuick, Seed: sp.Seed}))
+			if got != want {
+				t.Errorf("output digest drifted:\n  got  %s\n  want %s\n"+
+					"The simulation produced different bytes for a fixed seed. If this is an intentional "+
+					"behaviour change, update the digest and document the change; otherwise the determinism "+
+					"contract is broken.", got, want)
+			}
+		})
+	}
+	// The registry and the golden set must stay in lockstep.
+	for key := range goldenDigests {
+		if _, ok := Lookup(key); !ok {
+			t.Errorf("golden digest for unknown experiment %q", key)
+		}
+	}
+}
+
+// TestGoldenDigestsStableAcrossRuns guards the weaker (but load-bearing)
+// property used by the parallel runner: running the same spec twice in one
+// process yields identical bytes.
+func TestGoldenDigestsStableAcrossRuns(t *testing.T) {
+	sp, ok := Lookup("8b")
+	if !ok {
+		t.Fatal("spec 8b missing")
+	}
+	cfg := Config{Scale: ScaleQuick, Seed: 3}
+	if a, b := resultDigest(sp.Run(cfg)), resultDigest(sp.Run(cfg)); a != b {
+		t.Fatalf("same config produced different output: %s vs %s", a, b)
+	}
+}

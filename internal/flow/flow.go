@@ -5,20 +5,34 @@
 // of bytes across an ordered set of resources (e.g. source disk -> source
 // NIC -> core -> destination NIC -> destination disk). At any instant every
 // active flow progresses at its max-min fair rate, computed by progressive
-// water-filling across all resources. Whenever the set of active flows
-// changes, accrued progress is banked and rates are recomputed; the network
-// schedules a single simulator event for the earliest flow completion.
+// water-filling. Whenever the set of active flows changes, accrued progress
+// is banked and rates are recomputed.
+//
+// Rebalancing is incremental: the network partitions active flows into
+// connected components of the flow/resource sharing graph and confines
+// every recomputation to the component actually touched by a change.
+// Progress is banked lazily per component (a component's flows are only
+// advanced when one of its own flows starts, aborts or completes), each
+// component caches its earliest-completion candidate, and a single
+// simulator event — rescheduled in place — covers the network-wide minimum.
+// Flows in untouched components keep their rates, which is sound because
+// max-min allocations decompose across connected components. See
+// docs/flow.md for the algorithm and the determinism argument.
+//
+// Transfers that share an identical resource path can be coalesced onto a
+// Trunk: the water-filler then arbitrates the trunk as one unit while each
+// member transfer keeps its own size, rate and completion. k members of a
+// trunk behave exactly like k separate flows over the same path — same
+// rates, same completion times — so coalescing changes simulation cost, not
+// simulated behaviour. The shuffle layer uses this to keep the network's
+// arbitration units proportional to communicating node pairs rather than
+// reducer×node pairs.
 //
 // Resources support a concurrency penalty that shrinks effective capacity
 // as the number of concurrent flows grows. This models the seek-bound
 // behaviour of spinning disks under concurrent streams, which the RCMP
 // paper identifies as a key source of both replication overhead (Section
 // III) and recomputation hot-spots (Section IV-B2).
-//
-// The implementation is allocation-free on the rebalance path: resources
-// carry generation-stamped scratch state and flows live in a swap-remove
-// slice, so large experiments (hundreds of thousands of flow events) spend
-// their time in arithmetic, not in map traffic and GC.
 package flow
 
 import (
@@ -42,11 +56,17 @@ type Resource struct {
 	// rather than degrading without limit. Zero means an uncapped penalty.
 	PenaltyCap float64
 
-	active int // flows currently using this resource
+	active int        // member transfers currently using this resource
+	comp   *component // owning component while active > 0, else nil
+	cindex int        // position in comp.resources
+	users  []*Trunk   // trunks with live members that use this resource
 
 	// Water-filling scratch, valid when gen matches the network's current
-	// rebalance generation.
+	// generation stamp. bfsGen marks the resource visited during component
+	// traversal, so each user list is walked once per BFS regardless of how
+	// many trunks share the resource.
 	gen       uint64
+	bfsGen    uint64
 	remaining float64
 	weight    float64
 	count     int
@@ -76,17 +96,57 @@ type Use struct {
 	Weight float64
 }
 
+// Trunk is a bundle of flows sharing one identical resource path. The
+// water-filler treats the trunk as a single arbitration unit whose members
+// all progress at the same per-member max-min rate; k members are exactly
+// equivalent to k separate flows over the same uses. A trunk with no
+// members is dormant and holds no resources; it can be reused indefinitely,
+// so callers coalescing traffic (e.g. shuffle fetches between one node
+// pair) keep one trunk per path and Start members on it as transfers come
+// and go.
+type Trunk struct {
+	label   string
+	net     *Network
+	uses    []Use
+	userIdx []int // position of this trunk in uses[i].R.users, while active
+	members []*Flow
+	comp    *component
+	tindex  int // position in comp.trunks, while active
+
+	frozen bool   // water-filling scratch
+	gen    uint64 // traversal stamp
+}
+
+// NewTrunk returns a dormant trunk over the given resource path. The
+// per-use bookkeeping slice is allocated lazily on first activation, so
+// trunks that never carry a sized member (e.g. a singleton wrapping a
+// zero-size flow) stay a single small allocation.
+func (n *Network) NewTrunk(label string, uses []Use) *Trunk {
+	for _, u := range uses {
+		if u.Weight <= 0 {
+			panic(fmt.Sprintf("trunk %q: non-positive weight %v on %s", label, u.Weight, u.R.Name))
+		}
+	}
+	return &Trunk{label: label, net: n, uses: uses}
+}
+
+// Label returns the trunk's display label.
+func (t *Trunk) Label() string { return t.label }
+
+// Members returns the number of in-flight flows multiplexed on the trunk.
+func (t *Trunk) Members() int { return len(t.members) }
+
 // Flow is an in-progress transfer.
 type Flow struct {
 	Label    string
 	size     float64
 	done     float64
-	rate     float64 // current bytes/sec, set by rebalance
-	uses     []Use
+	rate     float64 // current bytes/sec, set by the water-filler
+	tr       *Trunk  // owning trunk (nil for zero-size flows)
+	mindex   int     // position in tr.members, -1 when inactive
+	gindex   int     // position in Network.flows, -1 when inactive
 	started  des.Time
 	finished bool
-	frozen   bool // water-filling scratch
-	index    int  // position in Network.flows, -1 when inactive
 	onDone   func(*Flow)
 	extra    des.Time // fixed latency added after the bytes finish
 }
@@ -95,7 +155,7 @@ type Flow struct {
 func (f *Flow) Size() float64 { return f.size }
 
 // Done returns the bytes transferred so far (valid after completion; during
-// a run it is only current as of the last rebalance).
+// a run it is only current as of the component's last banking).
 func (f *Flow) Done() float64 { return f.done }
 
 // Rate returns the flow's current max-min fair rate in bytes/sec.
@@ -104,14 +164,61 @@ func (f *Flow) Rate() float64 { return f.rate }
 // Started returns the virtual time the flow was started.
 func (f *Flow) Started() des.Time { return f.started }
 
+// component is one connected piece of the flow/resource sharing graph.
+// Rates, banking and completion candidates are maintained per component;
+// changes in one component never touch another.
+type component struct {
+	cindex    int // position in Network.comps
+	trunks    []*Trunk
+	resources []*Resource // resources with active > 0 used by these trunks
+	lastBank  des.Time    // member progress is banked up to here
+	nextAt    des.Time    // cached earliest completion among members
+	next      *Flow       // member achieving nextAt, nil if none has rate > 0
+}
+
+// bank accrues member progress up to now at the current rates.
+func (c *component) bank(now des.Time) {
+	dt := float64(now - c.lastBank)
+	if dt > 0 {
+		for _, t := range c.trunks {
+			for _, f := range t.members {
+				f.done += f.rate * dt
+				if f.done > f.size {
+					f.done = f.size
+				}
+			}
+		}
+	}
+	c.lastBank = now
+}
+
 // Network manages all active flows and keeps their rates max-min fair.
 type Network struct {
-	sim        *des.Simulator
+	sim   *des.Simulator
+	comps []*component
+	// flows is the global in-flight list in start/swap-remove order. It
+	// exists purely so simultaneous completions are finalized in the same
+	// deterministic order as a global rebalance would produce; all rate and
+	// banking work is per component.
 	flows      []*Flow
-	lastUpdate des.Time
-	completion *des.Event
+	completion *des.Event // single event at the earliest completion network-wide
+	nextFlow   *Flow      // flow the completion event targets
 	gen        uint64
-	touched    []*Resource // scratch: resources seen this rebalance
+	// lazy selects per-component progress banking and cached per-component
+	// completion candidates (see EnableLazyBanking). Off by default: strict
+	// mode banks globally and rescans completions globally so float
+	// accumulation chunks and event times keep the historical global
+	// rebalance's rounding behaviour (see docs/flow.md for the exact
+	// contract and its limits).
+	lazy       bool
+	lastUpdate des.Time // strict mode: progress banked up to here, globally
+
+	// Reused scratch to keep the hot path allocation-free.
+	scratchDirty  []*Resource
+	scratchDone   []*Flow
+	scratchTrunks []*Trunk
+	scratchBounds []int
+
 	// Completed counts flows that have finished, for diagnostics.
 	Completed uint64
 }
@@ -127,71 +234,30 @@ func (n *Network) Sim() *des.Simulator { return n.sim }
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 
-// Start begins a transfer of size bytes across the given resource uses.
-// onDone, if non-nil, fires (inside a simulator event) when the last byte
-// arrives plus extraLatency. A zero-size flow completes after extraLatency.
-func (n *Network) Start(label string, size float64, uses []Use, extraLatency des.Time, onDone func(*Flow)) *Flow {
-	if size < 0 {
-		panic(fmt.Sprintf("flow: negative size %v", size))
+// Components returns the number of connected components currently tracked,
+// for tests and diagnostics.
+func (n *Network) Components() int { return len(n.comps) }
+
+// EnableLazyBanking switches the network to fully lazy accounting: member
+// progress is banked per component only when that component changes, and
+// each component caches its earliest-completion candidate so scheduling
+// scans components instead of flows. Rates and completion times are
+// mathematically identical to strict mode, but progress accumulates in
+// different floating-point chunks, so simulated timestamps can drift by
+// ulps relative to a strict-mode run. Use it for sweeps that do not need
+// bit-compatibility with recorded strict-mode traces; it must be called
+// before the first flow starts.
+func (n *Network) EnableLazyBanking() {
+	if len(n.flows) > 0 {
+		panic("flow: EnableLazyBanking after flows started")
 	}
-	for _, u := range uses {
-		if u.Weight <= 0 {
-			panic(fmt.Sprintf("flow %q: non-positive weight %v on %s", label, u.Weight, u.R.Name))
-		}
-	}
-	f := &Flow{
-		Label:   label,
-		size:    size,
-		uses:    uses,
-		started: n.sim.Now(),
-		onDone:  onDone,
-		index:   -1,
-		extra:   extraLatency,
-	}
-	if size == 0 {
-		// Nothing to transfer; complete after the fixed latency without
-		// occupying any resource.
-		n.sim.After(extraLatency, func() { n.finish(f) })
-		return f
-	}
-	n.advance()
-	f.index = len(n.flows)
-	n.flows = append(n.flows, f)
-	for _, u := range f.uses {
-		u.R.active++
-	}
-	n.rebalance()
-	return f
+	n.lazy = true
 }
 
-// Abort removes a flow before completion (e.g. its endpoint failed).
-// The onDone callback does not fire.
-func (n *Network) Abort(f *Flow) {
-	if f.finished || f.index < 0 {
-		return
-	}
-	n.advance()
-	n.remove(f)
-	f.finished = true
-	n.rebalance()
-}
-
-func (n *Network) remove(f *Flow) {
-	last := len(n.flows) - 1
-	i := f.index
-	n.flows[i] = n.flows[last]
-	n.flows[i].index = i
-	n.flows[last] = nil
-	n.flows = n.flows[:last]
-	f.index = -1
-	for _, u := range f.uses {
-		u.R.active--
-	}
-}
-
-// advance banks progress for all active flows up to the current time.
-func (n *Network) advance() {
-	now := n.sim.Now()
+// bankAll banks progress for every active flow up to now (strict mode),
+// with the same per-flow arithmetic and chunk boundaries as the historical
+// global rebalance.
+func (n *Network) bankAll(now des.Time) {
 	dt := float64(now - n.lastUpdate)
 	if dt > 0 {
 		for _, f := range n.flows {
@@ -204,44 +270,402 @@ func (n *Network) advance() {
 	n.lastUpdate = now
 }
 
-// rebalance recomputes max-min fair rates by progressive water-filling and
-// schedules the next completion event.
-func (n *Network) rebalance() {
-	if n.completion != nil {
-		n.sim.Cancel(n.completion)
-		n.completion = nil
+// bankFor banks whatever the current mode requires before c changes.
+func (n *Network) bankFor(c *component, now des.Time) {
+	if n.lazy {
+		c.bank(now)
+	} else {
+		n.bankAll(now)
 	}
-	if len(n.flows) == 0 {
+}
+
+func (n *Network) nextGen() uint64 {
+	n.gen++
+	return n.gen
+}
+
+// Start begins a transfer of size bytes across the given resource uses as
+// the sole member of a fresh trunk. onDone, if non-nil, fires (inside a
+// simulator event) when the last byte arrives plus extraLatency. A
+// zero-size flow completes after extraLatency.
+func (n *Network) Start(label string, size float64, uses []Use, extraLatency des.Time, onDone func(*Flow)) *Flow {
+	return n.NewTrunk(label, uses).Start(label, size, extraLatency, onDone)
+}
+
+// Start begins a transfer of size bytes as a member of the trunk. onDone,
+// if non-nil, fires (inside a simulator event) when the last byte arrives
+// plus extraLatency. A zero-size flow completes after extraLatency without
+// joining the trunk.
+func (t *Trunk) Start(label string, size float64, extraLatency des.Time, onDone func(*Flow)) *Flow {
+	n := t.net
+	if size < 0 {
+		panic(fmt.Sprintf("flow: negative size %v", size))
+	}
+	f := &Flow{
+		Label:   label,
+		size:    size,
+		tr:      t,
+		mindex:  -1,
+		gindex:  -1,
+		started: n.sim.Now(),
+		onDone:  onDone,
+		extra:   extraLatency,
+	}
+	if size == 0 {
+		// Nothing to transfer; complete after the fixed latency without
+		// occupying any resource.
+		f.tr = nil
+		n.sim.After(extraLatency, func() { n.finish(f) })
+		return f
+	}
+	now := n.sim.Now()
+	c := t.comp
+	if !n.lazy {
+		n.bankAll(now)
+	}
+	if c == nil {
+		c = n.placeTrunk(t, now)
+	} else if n.lazy {
+		c.bank(now)
+	}
+	f.mindex = len(t.members)
+	t.members = append(t.members, f)
+	f.gindex = len(n.flows)
+	n.flows = append(n.flows, f)
+	for _, u := range t.uses {
+		u.R.active++
+	}
+	n.waterfill(c, now)
+	n.scheduleCompletion()
+	return f
+}
+
+// placeTrunk attaches a dormant trunk to the component its resources imply,
+// merging components the trunk bridges, or creating a fresh one. Progress
+// of every involved component is banked to now first.
+func (n *Network) placeTrunk(t *Trunk, now des.Time) *component {
+	// Collect the distinct components already owning the trunk's resources.
+	var found [8]*component
+	comps := found[:0]
+	for _, u := range t.uses {
+		rc := u.R.comp
+		if rc == nil {
+			continue
+		}
+		dup := false
+		for _, c := range comps {
+			if c == rc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			comps = append(comps, rc)
+		}
+	}
+	var c *component
+	if len(comps) == 0 {
+		c = &component{cindex: len(n.comps), lastBank: now}
+		n.comps = append(n.comps, c)
+	} else {
+		// The largest component absorbs the rest: the trunk bridges them, so
+		// after the merge the union is connected.
+		c = comps[0]
+		for _, o := range comps[1:] {
+			if len(o.trunks) > len(c.trunks) {
+				c = o
+			}
+		}
+		if n.lazy {
+			c.bank(now)
+		}
+		for _, o := range comps {
+			if o == c {
+				continue
+			}
+			if n.lazy {
+				o.bank(now)
+			}
+			for _, ot := range o.trunks {
+				ot.comp = c
+				ot.tindex = len(c.trunks)
+				c.trunks = append(c.trunks, ot)
+			}
+			for _, r := range o.resources {
+				r.comp = c
+				r.cindex = len(c.resources)
+				c.resources = append(c.resources, r)
+			}
+			n.removeComp(o)
+		}
+	}
+	t.comp = c
+	t.tindex = len(c.trunks)
+	c.trunks = append(c.trunks, t)
+	if t.userIdx == nil {
+		t.userIdx = make([]int, len(t.uses))
+	}
+	for i, u := range t.uses {
+		r := u.R
+		if r.comp == nil {
+			r.comp = c
+			r.cindex = len(c.resources)
+			c.resources = append(c.resources, r)
+		}
+		t.userIdx[i] = len(r.users)
+		r.users = append(r.users, t)
+	}
+	return c
+}
+
+func (n *Network) removeComp(c *component) {
+	last := len(n.comps) - 1
+	moved := n.comps[last]
+	n.comps[c.cindex] = moved
+	moved.cindex = c.cindex
+	n.comps[last] = nil
+	n.comps = n.comps[:last]
+}
+
+// deactivateTrunk detaches a trunk whose last member left from its
+// component and from its resources' user lists.
+func (n *Network) deactivateTrunk(t *Trunk) {
+	c := t.comp
+	last := len(c.trunks) - 1
+	moved := c.trunks[last]
+	c.trunks[t.tindex] = moved
+	moved.tindex = t.tindex
+	c.trunks[last] = nil
+	c.trunks = c.trunks[:last]
+	t.comp = nil
+	for i, u := range t.uses {
+		r := u.R
+		j := t.userIdx[i]
+		lastU := len(r.users) - 1
+		if j != lastU {
+			mu := r.users[lastU]
+			r.users[j] = mu
+			for k := range mu.uses {
+				if mu.uses[k].R == r && mu.userIdx[k] == lastU {
+					mu.userIdx[k] = j
+					break
+				}
+			}
+		}
+		r.users[lastU] = nil
+		r.users = r.users[:lastU]
+	}
+}
+
+// detachMember removes f from its trunk and releases its resource claims.
+// Resources that keep other users are stamped with dirtyGen and appended to
+// dirty: their capacity split changed, so the group that contains them must
+// be re-filled. It reports whether the removal could have disconnected the
+// component: only deactivating a trunk that still spans two or more active
+// resources can cut a path, so leaf removals (the common case — node-local
+// disk flows) skip the connectivity sweep entirely. The caller must have
+// banked f's component already.
+func (n *Network) detachMember(f *Flow, c *component, dirtyGen uint64, dirty *[]*Resource) (maySplit bool) {
+	t := f.tr
+	last := len(t.members) - 1
+	moved := t.members[last]
+	t.members[f.mindex] = moved
+	moved.mindex = f.mindex
+	t.members[last] = nil
+	t.members = t.members[:last]
+	f.mindex = -1
+	lastG := len(n.flows) - 1
+	movedG := n.flows[lastG]
+	n.flows[f.gindex] = movedG
+	movedG.gindex = f.gindex
+	n.flows[lastG] = nil
+	n.flows = n.flows[:lastG]
+	f.gindex = -1
+	for _, u := range t.uses {
+		r := u.R
+		r.active--
+		if r.active == 0 {
+			lastR := len(c.resources) - 1
+			if r.cindex != lastR {
+				mr := c.resources[lastR]
+				c.resources[r.cindex] = mr
+				mr.cindex = r.cindex
+			}
+			c.resources[lastR] = nil
+			c.resources = c.resources[:lastR]
+			r.comp = nil
+		} else if r.gen != dirtyGen {
+			r.gen = dirtyGen
+			*dirty = append(*dirty, r)
+		}
+	}
+	if len(t.members) == 0 {
+		stillActive := 0
+		for _, u := range t.uses {
+			if u.R.active > 0 {
+				stillActive++
+			}
+		}
+		n.deactivateTrunk(t)
+		return stillActive >= 2
+	}
+	return false
+}
+
+// Abort removes a flow before completion (e.g. its endpoint failed).
+// The onDone callback does not fire.
+func (n *Network) Abort(f *Flow) {
+	if f.finished || f.mindex < 0 {
+		return
+	}
+	now := n.sim.Now()
+	c := f.tr.comp
+	n.bankFor(c, now)
+	f.finished = true
+	dirtyGen := n.nextGen()
+	dirty := n.scratchDirty[:0]
+	maySplit := n.detachMember(f, c, dirtyGen, &dirty)
+	n.refresh(c, dirtyGen, len(dirty) > 0, maySplit, now)
+	n.scratchDirty = dirty[:0]
+	n.scheduleCompletion()
+}
+
+// refresh re-establishes the component invariant after removals: it splits
+// c into its true connected groups, re-fills rates only in groups that
+// contain a dirty resource (one whose capacity split changed), and rescans
+// completion candidates for the rest. Groups untouched by the removal keep
+// their rates — the max-min allocation of a connected group is independent
+// of the rest of the network.
+func (n *Network) refresh(c *component, dirtyGen uint64, anyDirty, maySplit bool, now des.Time) {
+	if len(c.trunks) == 0 {
+		n.removeComp(c)
+		return
+	}
+	if !maySplit {
+		// No bridge was removed, so the component is still connected.
+		if anyDirty {
+			n.waterfill(c, now)
+		} else if n.lazy {
+			n.rescanNext(c, now)
+		}
+		return
+	}
+	// Partition the trunks into connected groups by BFS over shared
+	// resources. Resource user lists only ever reference trunks of the same
+	// component, so the traversal stays inside c.
+	bfsGen := n.nextGen()
+	trunks := n.scratchTrunks[:0]
+	bounds := n.scratchBounds[:0]
+	for _, t0 := range c.trunks {
+		if t0.gen == bfsGen {
+			continue
+		}
+		bounds = append(bounds, len(trunks))
+		t0.gen = bfsGen
+		trunks = append(trunks, t0)
+		for head := bounds[len(bounds)-1]; head < len(trunks); head++ {
+			t := trunks[head]
+			for _, u := range t.uses {
+				r := u.R
+				if r.bfsGen == bfsGen {
+					continue
+				}
+				r.bfsGen = bfsGen
+				for _, s := range r.users {
+					if s.gen != bfsGen {
+						s.gen = bfsGen
+						trunks = append(trunks, s)
+					}
+				}
+			}
+		}
+	}
+	bounds = append(bounds, len(trunks))
+	n.scratchTrunks = trunks
+	n.scratchBounds = bounds
+
+	if len(bounds) == 2 {
+		// Still one connected component.
+		if anyDirty {
+			n.waterfill(c, now)
+		} else if n.lazy {
+			n.rescanNext(c, now)
+		}
 		return
 	}
 
-	// Stamp scratch state on every resource touched by an active flow.
-	n.gen++
-	n.touched = n.touched[:0]
-	for _, f := range n.flows {
-		f.frozen = false
-		for _, u := range f.uses {
+	// The component split. Reuse c for the first group and mint components
+	// for the rest; every group was just banked, so lastBank = now.
+	for _, r := range c.resources {
+		r.comp = nil
+	}
+	c.trunks = c.trunks[:0]
+	c.resources = c.resources[:0]
+	for gi := 0; gi+1 < len(bounds); gi++ {
+		group := trunks[bounds[gi]:bounds[gi+1]]
+		gc := c
+		if gi > 0 {
+			gc = &component{cindex: len(n.comps), lastBank: now}
+			n.comps = append(n.comps, gc)
+		}
+		dirtyGroup := false
+		for _, t := range group {
+			t.comp = gc
+			t.tindex = len(gc.trunks)
+			gc.trunks = append(gc.trunks, t)
+			for _, u := range t.uses {
+				r := u.R
+				if r.gen == dirtyGen {
+					dirtyGroup = true
+				}
+				if r.comp == nil {
+					r.comp = gc
+					r.cindex = len(gc.resources)
+					gc.resources = append(gc.resources, r)
+				}
+			}
+		}
+		if dirtyGroup {
+			n.waterfill(gc, now)
+		} else if n.lazy {
+			n.rescanNext(gc, now)
+		}
+	}
+}
+
+// waterfill recomputes max-min fair rates for one component by progressive
+// water-filling and refreshes its completion candidate. A trunk with k
+// members contributes exactly like k identical flows: weights accumulate
+// and capacity drains one member at a time, so coalesced and separate
+// transfers produce bit-identical arithmetic.
+func (n *Network) waterfill(c *component, now des.Time) {
+	gen := n.nextGen()
+	for _, t := range c.trunks {
+		t.frozen = false
+		k := len(t.members)
+		for _, u := range t.uses {
 			r := u.R
-			if r.gen != n.gen {
-				r.gen = n.gen
+			if r.gen != gen {
+				r.gen = gen
 				// Effective capacity depends on total concurrency on the
 				// resource; r.active is exactly that.
 				r.remaining = r.Effective(r.active)
 				r.weight = 0
 				r.count = 0
-				n.touched = append(n.touched, r)
 			}
-			r.weight += u.Weight
-			r.count++
+			for j := 0; j < k; j++ {
+				r.weight += u.Weight
+			}
+			r.count += k
 		}
 	}
 
 	// Progressive filling: find the bottleneck rate, freeze every unfrozen
-	// flow whose own limit equals it, subtract consumed capacity, repeat.
-	unfrozen := len(n.flows)
+	// trunk whose own limit equals it, subtract consumed capacity, repeat.
+	unfrozen := len(c.trunks)
 	for unfrozen > 0 {
 		bottleneck := math.Inf(1)
-		for _, r := range n.touched {
+		for _, r := range c.resources {
 			if r.count == 0 || r.weight <= 0 {
 				continue
 			}
@@ -250,10 +674,12 @@ func (n *Network) rebalance() {
 			}
 		}
 		if math.IsInf(bottleneck, 1) {
-			for _, f := range n.flows {
-				if !f.frozen {
-					f.frozen = true
-					f.rate = math.MaxFloat64 / 4
+			for _, t := range c.trunks {
+				if !t.frozen {
+					t.frozen = true
+					for _, f := range t.members {
+						f.rate = math.MaxFloat64 / 4
+					}
 					unfrozen--
 				}
 			}
@@ -263,105 +689,212 @@ func (n *Network) rebalance() {
 			bottleneck = 0
 		}
 		frozenAny := false
-		for _, f := range n.flows {
-			if f.frozen {
+		for _, t := range c.trunks {
+			if t.frozen {
 				continue
 			}
 			limit := math.Inf(1)
-			for _, u := range f.uses {
+			for _, u := range t.uses {
 				if l := u.R.remaining / u.R.weight; l < limit {
 					limit = l
 				}
 			}
 			if limit <= bottleneck*(1+1e-12) {
-				f.frozen = true
-				f.rate = bottleneck
+				t.frozen = true
 				unfrozen--
 				frozenAny = true
-				for _, u := range f.uses {
-					r := u.R
-					r.remaining -= bottleneck * u.Weight
-					if r.remaining < 0 {
-						r.remaining = 0
-					}
-					r.weight -= u.Weight
-					r.count--
-				}
+				n.freezeTrunk(t, bottleneck)
 			}
 		}
 		if !frozenAny {
-			// Numerical corner: freeze the single slowest flow to guarantee
+			// Numerical corner: freeze the single slowest trunk to guarantee
 			// progress.
-			var worst *Flow
+			var worst *Trunk
 			worstLimit := math.Inf(1)
-			for _, f := range n.flows {
-				if f.frozen {
+			for _, t := range c.trunks {
+				if t.frozen {
 					continue
 				}
 				limit := math.Inf(1)
-				for _, u := range f.uses {
+				for _, u := range t.uses {
 					if l := u.R.remaining / u.R.weight; l < limit {
 						limit = l
 					}
 				}
 				if limit < worstLimit {
 					worstLimit = limit
-					worst = f
+					worst = t
 				}
 			}
 			worst.frozen = true
-			worst.rate = worstLimit
 			unfrozen--
-			for _, u := range worst.uses {
-				r := u.R
-				r.remaining -= worstLimit * u.Weight
-				if r.remaining < 0 {
-					r.remaining = 0
-				}
-				r.weight -= u.Weight
-				r.count--
+			n.freezeTrunk(worst, worstLimit)
+		}
+	}
+	if n.lazy {
+		n.rescanNext(c, now)
+	}
+}
+
+// freezeTrunk locks every member at the given rate and drains the members'
+// consumption from the trunk's resources, one member at a time so the
+// arithmetic matches k independent flows exactly.
+func (n *Network) freezeTrunk(t *Trunk, rate float64) {
+	k := len(t.members)
+	for _, f := range t.members {
+		f.rate = rate
+	}
+	for _, u := range t.uses {
+		r := u.R
+		for j := 0; j < k; j++ {
+			r.remaining -= rate * u.Weight
+			if r.remaining < 0 {
+				r.remaining = 0
+			}
+		}
+		r.weight -= float64(k) * u.Weight
+		r.count -= k
+	}
+}
+
+// rescanNext refreshes the component's cached earliest-completion
+// candidate from current rates and progress.
+func (n *Network) rescanNext(c *component, now des.Time) {
+	c.next = nil
+	c.nextAt = des.Forever
+	for _, t := range c.trunks {
+		for _, f := range t.members {
+			if f.rate <= 0 {
+				continue
+			}
+			eta := now + des.Time((f.size-f.done)/f.rate)
+			if eta < c.nextAt {
+				c.nextAt = eta
+				c.next = f
 			}
 		}
 	}
+}
 
-	// Schedule the earliest completion.
+// scheduleCompletion points the network's single completion event at the
+// earliest candidate, rescheduling in place. It must be called after every
+// operation that can change a completion time. Lazy mode takes the minimum
+// over the components' cached candidates; strict mode rescans every flow
+// with freshly banked progress so the scheduled instant is bit-identical to
+// what the historical global rebalance produced.
+func (n *Network) scheduleCompletion() {
 	var next *Flow
 	nextAt := des.Forever
-	for _, f := range n.flows {
-		if f.rate <= 0 {
-			continue
+	if n.lazy {
+		for _, c := range n.comps {
+			if c.next != nil && c.nextAt < nextAt {
+				nextAt = c.nextAt
+				next = c.next
+			}
 		}
-		eta := n.sim.Now() + des.Time((f.size-f.done)/f.rate)
-		if eta < nextAt {
-			nextAt = eta
-			next = f
+	} else {
+		now := n.sim.Now()
+		for _, f := range n.flows {
+			if f.rate <= 0 {
+				continue
+			}
+			eta := now + des.Time((f.size-f.done)/f.rate)
+			if eta < nextAt {
+				nextAt = eta
+				next = f
+			}
 		}
 	}
 	if next == nil {
-		panic("flow: active flows but no positive rate; deadlock")
+		if len(n.flows) > 0 {
+			panic("flow: active flows but no positive rate; deadlock")
+		}
+		if n.completion != nil {
+			n.sim.Cancel(n.completion)
+			n.completion = nil
+		}
+		n.nextFlow = nil
+		return
 	}
-	target := next
-	n.completion = n.sim.At(nextAt, func() { n.complete(target) })
+	n.nextFlow = next
+	if n.completion != nil {
+		n.sim.Reschedule(n.completion, nextAt)
+	} else {
+		n.completion = n.sim.At(nextAt, n.complete)
+	}
 }
 
-// complete fires when the network believes target has finished; it banks
-// progress, finalizes every flow that is (numerically) done, and rebalances.
-func (n *Network) complete(target *Flow) {
+// complete fires when the network believes the target flow has finished; it
+// finalizes every flow that is (numerically) done, refreshes the affected
+// components and reschedules.
+func (n *Network) complete() {
 	n.completion = nil
-	n.advance()
+	target := n.nextFlow
+	n.nextFlow = nil
+	now := n.sim.Now()
 	// Finish all flows within epsilon of completion, not just the target:
-	// equal-rate flows finish simultaneously and must all be finalized now.
-	var doneFlows []*Flow
+	// equal-rate flows finish simultaneously and must all be finalized now,
+	// in global start/swap-remove order, even across components. Strict mode
+	// banks everyone first; lazy mode compares virtual progress so
+	// lazily-banked components need no banking writes.
+	if !n.lazy {
+		n.bankAll(now)
+	}
+	doneFlows := n.scratchDone[:0]
 	for _, f := range n.flows {
-		if f == target || f.size-f.done <= 1e-6*math.Max(1, f.size) {
+		vdone := f.done
+		if n.lazy {
+			if dt := float64(now - f.tr.comp.lastBank); dt > 0 {
+				vdone += f.rate * dt
+				if vdone > f.size {
+					vdone = f.size
+				}
+			}
+		}
+		if f == target || f.size-vdone <= 1e-6*math.Max(1, f.size) {
 			doneFlows = append(doneFlows, f)
 		}
 	}
+	// Prune each affected component, then re-establish its invariants.
+	// Components are processed in first-affected order; state is independent
+	// across components, so only the finish order below is behaviorally
+	// visible.
+	dirtyGen := n.nextGen()
+	var affectedArr [8]*component
+	affected := affectedArr[:0]
 	for _, f := range doneFlows {
-		f.done = f.size
-		n.remove(f)
+		c := f.tr.comp
+		seen := false
+		for _, a := range affected {
+			if a == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			if n.lazy {
+				c.bank(now)
+			}
+			affected = append(affected, c)
+		}
 	}
-	n.rebalance()
+	dirty := n.scratchDirty[:0]
+	for _, c := range affected {
+		lo := len(dirty)
+		maySplit := false
+		for _, f := range doneFlows {
+			if f.tr.comp != c {
+				continue
+			}
+			f.done = f.size
+			if n.detachMember(f, c, dirtyGen, &dirty) {
+				maySplit = true
+			}
+		}
+		n.refresh(c, dirtyGen, len(dirty) > lo, maySplit, now)
+	}
+	n.scratchDirty = dirty[:0]
+	n.scheduleCompletion()
 	for _, f := range doneFlows {
 		if f.extra > 0 {
 			f := f
@@ -370,6 +903,7 @@ func (n *Network) complete(target *Flow) {
 			n.finish(f)
 		}
 	}
+	n.scratchDone = doneFlows[:0]
 }
 
 func (n *Network) finish(f *Flow) {

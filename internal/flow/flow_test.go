@@ -296,7 +296,7 @@ func TestRatesNeverExceedCapacity(t *testing.T) {
 		// Check utilization per resource.
 		load := make(map[*Resource]float64)
 		for _, f := range flows {
-			for _, u := range f.uses {
+			for _, u := range f.tr.uses {
 				load[u.R] += f.Rate() * u.Weight
 			}
 		}

@@ -1,0 +1,332 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rcmp/internal/des"
+)
+
+// refRates recomputes max-min fair rates for every active flow with a
+// direct port of the pre-refactor global water-filler: one flat pass over
+// all flows and resources, no components, no trunks. It is the oracle the
+// incremental rebalance is cross-checked against.
+func refRates(net *Network) map[*Flow]float64 {
+	type scratch struct {
+		remaining float64
+		weight    float64
+		count     int
+	}
+	res := make(map[*Resource]*scratch)
+	type refFlow struct {
+		f    *Flow
+		uses []Use
+	}
+	var flows []*refFlow
+	for _, f := range net.flows {
+		rf := &refFlow{f: f, uses: f.tr.uses}
+		flows = append(flows, rf)
+		for _, u := range rf.uses {
+			if _, ok := res[u.R]; !ok {
+				res[u.R] = &scratch{remaining: u.R.Effective(u.R.active)}
+			}
+			res[u.R].weight += u.Weight
+			res[u.R].count++
+		}
+	}
+	rates := make(map[*Flow]float64)
+	frozen := make(map[*refFlow]bool)
+	for len(frozen) < len(flows) {
+		bottleneck := math.Inf(1)
+		for _, s := range res {
+			if s.count == 0 || s.weight <= 0 {
+				continue
+			}
+			if rate := s.remaining / s.weight; rate < bottleneck {
+				bottleneck = rate
+			}
+		}
+		if math.IsInf(bottleneck, 1) {
+			for _, rf := range flows {
+				if !frozen[rf] {
+					frozen[rf] = true
+					rates[rf.f] = math.MaxFloat64 / 4
+				}
+			}
+			break
+		}
+		if bottleneck < 0 {
+			bottleneck = 0
+		}
+		progressed := false
+		for _, rf := range flows {
+			if frozen[rf] {
+				continue
+			}
+			limit := math.Inf(1)
+			for _, u := range rf.uses {
+				if l := res[u.R].remaining / res[u.R].weight; l < limit {
+					limit = l
+				}
+			}
+			if limit <= bottleneck*(1+1e-12) {
+				frozen[rf] = true
+				progressed = true
+				rates[rf.f] = bottleneck
+				for _, u := range rf.uses {
+					s := res[u.R]
+					s.remaining -= bottleneck * u.Weight
+					if s.remaining < 0 {
+						s.remaining = 0
+					}
+					s.weight -= u.Weight
+					s.count--
+				}
+			}
+		}
+		if !progressed {
+			var worst *refFlow
+			worstLimit := math.Inf(1)
+			for _, rf := range flows {
+				if frozen[rf] {
+					continue
+				}
+				limit := math.Inf(1)
+				for _, u := range rf.uses {
+					if l := res[u.R].remaining / res[u.R].weight; l < limit {
+						limit = l
+					}
+				}
+				if limit < worstLimit {
+					worstLimit = limit
+					worst = rf
+				}
+			}
+			frozen[worst] = true
+			rates[worst.f] = worstLimit
+			for _, u := range worst.uses {
+				s := res[u.R]
+				s.remaining -= worstLimit * u.Weight
+				if s.remaining < 0 {
+					s.remaining = 0
+				}
+				s.weight -= u.Weight
+				s.count--
+			}
+		}
+	}
+	return rates
+}
+
+// checkInvariants asserts, for the current network state:
+//   - cross-check: every live rate equals the reference global water-filler;
+//   - conservation: no resource carries more than its effective capacity;
+//   - max-min fairness: every flow is pinned by a saturated resource on
+//     which no competing flow runs faster (so no flow's rate can be raised
+//     without lowering a slower-or-equal one).
+func checkInvariants(t *testing.T, net *Network, where string) {
+	t.Helper()
+	ref := refRates(net)
+	load := make(map[*Resource]float64)
+	maxRate := make(map[*Resource]float64)
+	for _, f := range net.flows {
+		want := ref[f]
+		if diff := math.Abs(f.rate - want); diff > 1e-9*math.Max(1, want) {
+			t.Fatalf("%s: flow %q rate %g diverges from reference %g", where, f.Label, f.rate, want)
+		}
+		for _, u := range f.tr.uses {
+			load[u.R] += f.rate * u.Weight
+			if f.rate > maxRate[u.R] {
+				maxRate[u.R] = f.rate
+			}
+		}
+	}
+	for r, l := range load {
+		if eff := r.Effective(r.active); l > eff*(1+1e-9) {
+			t.Fatalf("%s: resource %s oversubscribed: load %g > effective %g", where, r.Name, l, eff)
+		}
+	}
+	for _, f := range net.flows {
+		if f.rate >= math.MaxFloat64/8 {
+			continue // unconstrained flow: nothing pins it
+		}
+		pinned := false
+		for _, u := range f.tr.uses {
+			eff := u.R.Effective(u.R.active)
+			saturated := load[u.R] >= eff*(1-1e-9)
+			if saturated && maxRate[u.R] <= f.rate*(1+1e-9) {
+				pinned = true
+				break
+			}
+		}
+		if !pinned {
+			t.Fatalf("%s: flow %q rate %g has no saturated bottleneck where it is fastest; "+
+				"it could be increased without hurting a slower flow (max-min violated)", where, f.Label, f.rate)
+		}
+	}
+}
+
+// TestPropertyRandomChurn drives random start/abort/complete sequences
+// through the incremental rebalance, in strict and lazy mode, re-checking
+// conservation, max-min fairness and the reference cross-check after every
+// step.
+func TestPropertyRandomChurn(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		mode := map[bool]string{false: "strict", true: "lazy"}[lazy]
+		rng := rand.New(rand.NewSource(23))
+		for trial := 0; trial < 20; trial++ {
+			sim := des.New()
+			net := NewNetwork(sim)
+			if lazy {
+				net.EnableLazyBanking()
+			}
+			nres := 3 + rng.Intn(8)
+			resources := make([]*Resource, nres)
+			for i := range resources {
+				resources[i] = &Resource{
+					Name:        "r",
+					Capacity:    20 + rng.Float64()*300,
+					SeekPenalty: rng.Float64() * 0.4,
+				}
+				if rng.Intn(2) == 0 {
+					resources[i].PenaltyCap = 0.5 + rng.Float64()
+				}
+			}
+			var live []*Flow
+			for step := 0; step < 120; step++ {
+				where := mode + " trial/step"
+				switch op := rng.Intn(10); {
+				case op < 5 || len(live) == 0: // start
+					k := 1 + rng.Intn(3)
+					uses := make([]Use, 0, k)
+					seen := map[int]bool{}
+					for len(uses) < k {
+						j := rng.Intn(nres)
+						if seen[j] {
+							continue
+						}
+						seen[j] = true
+						uses = append(uses, Use{resources[j], []float64{0.25, 0.5, 1, 2}[rng.Intn(4)]})
+					}
+					live = append(live, net.Start("f", 100+rng.Float64()*5000, uses, 0, nil))
+				case op < 8: // abort a random live flow
+					j := rng.Intn(len(live))
+					net.Abort(live[j])
+					live = append(live[:j], live[j+1:]...)
+				default: // let the earliest completion fire
+					before := net.Completed
+					for sim.Step() && net.Completed == before {
+					}
+					kept := live[:0]
+					for _, f := range live {
+						if !f.finished {
+							kept = append(kept, f)
+						}
+					}
+					live = kept
+				}
+				checkInvariants(t, net, where)
+			}
+			for _, f := range live {
+				net.Abort(f)
+			}
+			if net.ActiveFlows() != 0 || net.Components() != 0 {
+				t.Fatalf("%s: leaked %d flows / %d components", mode, net.ActiveFlows(), net.Components())
+			}
+			for _, r := range resources {
+				if r.Active() != 0 {
+					t.Fatalf("%s: resource leaked %d active members", mode, r.Active())
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyTrunkEquivalence runs one coalesced network (fetch-like
+// members multiplexed on shared trunks) against a twin network where every
+// transfer is a standalone flow, through an identical op sequence. Rates
+// and completion times must match exactly: k trunk members are defined to
+// behave like k separate flows.
+func TestPropertyTrunkEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		simA := des.New()
+		netA := NewNetwork(simA) // coalesced
+		simB := des.New()
+		netB := NewNetwork(simB) // singleton flows
+
+		const nodes = 6
+		mkres := func() ([]*Resource, *Resource) {
+			disks := make([]*Resource, nodes)
+			for i := range disks {
+				disks[i] = &Resource{Name: "disk", Capacity: 100, SeekPenalty: 0.35, PenaltyCap: 1.2}
+			}
+			return disks, &Resource{Name: "core", Capacity: 400}
+		}
+		disksA, coreA := mkres()
+		disksB, coreB := mkres()
+		uses := func(disks []*Resource, core *Resource, src, dst int) []Use {
+			return []Use{
+				{disks[src], 0.25}, {core, 1}, {disks[dst], 0.25},
+			}
+		}
+		trunks := map[int]*Trunk{}
+		trunkFor := func(src, dst int) *Trunk {
+			key := src*nodes + dst
+			if trunks[key] == nil {
+				trunks[key] = netA.NewTrunk("pair", uses(disksA, coreA, src, dst))
+			}
+			return trunks[key]
+		}
+
+		type pair struct{ a, b *Flow }
+		var live []pair
+		var doneA, doneB []des.Time
+		for step := 0; step < 80; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				src, dst := rng.Intn(nodes), rng.Intn(nodes)
+				if src == dst {
+					dst = (dst + 1) % nodes
+				}
+				size := 50 + rng.Float64()*2000
+				a := trunkFor(src, dst).Start("m", size, 0, func(*Flow) { doneA = append(doneA, simA.Now()) })
+				b := netB.Start("m", size, uses(disksB, coreB, src, dst), 0, func(*Flow) { doneB = append(doneB, simB.Now()) })
+				live = append(live, pair{a, b})
+			} else {
+				j := rng.Intn(len(live))
+				netA.Abort(live[j].a)
+				netB.Abort(live[j].b)
+				live = append(live[:j], live[j+1:]...)
+			}
+			// Advance both sims identically: fire any completions due before
+			// the next op at a random time step.
+			dt := des.Time(rng.Float64() * 10)
+			simA.RunUntil(simA.Now() + dt)
+			simB.RunUntil(simB.Now() + dt)
+			kept := live[:0]
+			for _, p := range live {
+				if p.a.finished != p.b.finished {
+					t.Fatalf("trial %d: coalesced and singleton twins disagree on completion", trial)
+				}
+				if !p.a.finished {
+					if p.a.rate != p.b.rate {
+						t.Fatalf("trial %d: member rate %g != singleton rate %g", trial, p.a.rate, p.b.rate)
+					}
+					kept = append(kept, p)
+				}
+			}
+			live = kept
+		}
+		simA.Run()
+		simB.Run()
+		if len(doneA) != len(doneB) {
+			t.Fatalf("trial %d: %d coalesced completions vs %d singleton", trial, len(doneA), len(doneB))
+		}
+		for i := range doneA {
+			if doneA[i] != doneB[i] {
+				t.Fatalf("trial %d: completion %d at %v (coalesced) vs %v (singleton)", trial, i, doneA[i], doneB[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package mapreduce
+
+import "fmt"
+
+// taskState is the shared lifecycle state of a map or reduce task. Every
+// phase module (map_phase.go, shuffle_phase.go, output_phase.go,
+// recovery.go) drives tasks through the same machine; transitions go
+// through taskLife.to so an illegal hop (e.g. resurrecting a finished
+// reducer) fails loudly at the point of the bug instead of corrupting
+// slot accounting three events later.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskZombie  // on a failed node, awaiting detection
+	taskBlocked // input unreadable after a failure, awaiting detection
+	taskDone
+	numTaskStates
+)
+
+func (s taskState) String() string {
+	switch s {
+	case taskPending:
+		return "pending"
+	case taskRunning:
+		return "running"
+	case taskZombie:
+		return "zombie"
+	case taskBlocked:
+		return "blocked"
+	case taskDone:
+		return "done"
+	default:
+		return fmt.Sprintf("taskState(%d)", int(s))
+	}
+}
+
+// taskTransitions is the lifecycle adjacency matrix. Legal moves:
+//
+//	pending -> running        scheduler launch
+//	pending -> done           queued speculative copy resolved by the winner
+//	running -> done           completion, or a speculative copy losing the race
+//	running -> zombie         the task's node died, master not yet aware
+//	running -> blocked        input block lost under the task mid-read
+//	zombie  -> pending        detection re-queues the stranded attempt
+//	zombie  -> done           a speculative duplicate died with its node
+//	blocked -> pending        detection re-queues the blocked attempt
+//	blocked -> done           blocked speculative copy resolved by the winner
+//	done    -> pending        Hadoop recovery re-executes a lost map output
+var taskTransitions = [numTaskStates][numTaskStates]bool{
+	taskPending: {taskRunning: true, taskDone: true},
+	taskRunning: {taskDone: true, taskZombie: true, taskBlocked: true},
+	taskZombie:  {taskPending: true, taskDone: true},
+	taskBlocked: {taskPending: true, taskDone: true},
+	taskDone:    {taskPending: true},
+}
+
+// taskLife is the embedded state-machine handle shared by mapTask and
+// reduceTask. Reads go straight at .state; writes must use to().
+type taskLife struct {
+	state taskState
+}
+
+// to advances the lifecycle, panicking on an illegal transition: task
+// states are driven entirely by simulator events, so an illegal hop is a
+// scheduler bug, never an input error.
+func (l *taskLife) to(s taskState) {
+	if s < 0 || s >= numTaskStates || !taskTransitions[l.state][s] {
+		panic(fmt.Sprintf("mapreduce: illegal task transition %v -> %v", l.state, s))
+	}
+	l.state = s
+}

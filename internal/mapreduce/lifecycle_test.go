@@ -1,0 +1,85 @@
+package mapreduce
+
+import "testing"
+
+// TestLifecycleTransitions exercises the task state machine in isolation:
+// every legal edge advances, every illegal edge panics.
+func TestLifecycleTransitions(t *testing.T) {
+	legal := map[taskState][]taskState{
+		taskPending: {taskRunning, taskDone},
+		taskRunning: {taskDone, taskZombie, taskBlocked},
+		taskZombie:  {taskPending, taskDone},
+		taskBlocked: {taskPending, taskDone},
+		taskDone:    {taskPending},
+	}
+	states := []taskState{taskPending, taskRunning, taskZombie, taskBlocked, taskDone}
+	for _, from := range states {
+		for _, to := range states {
+			ok := false
+			for _, l := range legal[from] {
+				if l == to {
+					ok = true
+				}
+			}
+			l := taskLife{state: from}
+			if ok {
+				l.to(to)
+				if l.state != to {
+					t.Fatalf("%v -> %v did not advance (got %v)", from, to, l.state)
+				}
+				continue
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("illegal transition %v -> %v did not panic", from, to)
+					}
+				}()
+				l.to(to)
+			}()
+		}
+	}
+}
+
+// TestLifecycleWalks drives the machine through the canonical task lives:
+// the happy path, within-job failure recovery, and a lost-output rerun.
+func TestLifecycleWalks(t *testing.T) {
+	walks := [][]taskState{
+		// Happy path.
+		{taskRunning, taskDone},
+		// Node died mid-run, detection re-queues, reruns to completion.
+		{taskRunning, taskZombie, taskPending, taskRunning, taskDone},
+		// Input block lost mid-read, re-queued at detection.
+		{taskRunning, taskBlocked, taskPending, taskRunning, taskDone},
+		// Completed map output lost with its node: Hadoop re-executes.
+		{taskRunning, taskDone, taskPending, taskRunning, taskDone},
+		// Queued speculative duplicate resolved when the original wins.
+		{taskDone},
+	}
+	for wi, walk := range walks {
+		var l taskLife
+		for si, s := range walk {
+			l.to(s)
+			if l.state != s {
+				t.Fatalf("walk %d step %d: state %v, want %v", wi, si, l.state, s)
+			}
+		}
+	}
+}
+
+// TestLifecycleStateStrings pins the diagnostic names.
+func TestLifecycleStateStrings(t *testing.T) {
+	want := map[taskState]string{
+		taskPending:   "pending",
+		taskRunning:   "running",
+		taskZombie:    "zombie",
+		taskBlocked:   "blocked",
+		taskDone:      "done",
+		numTaskStates: "taskState(5)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), got, w)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"rcmp/internal/flow"
+	"rcmp/internal/metrics"
+)
+
+// output_phase.go writes reducer output to the DFS: replica (or scatter)
+// write flows, replacement writes owed after failures are retargeted in
+// recovery.go, and the partition commit that makes the output visible once
+// every split has landed.
+
+// outFlow is one in-progress output-write flow and its target node.
+type outFlow struct {
+	fl  *flow.Flow
+	tgt int
+}
+
+// removeOutFlow deletes the entry for fl, preserving order.
+func (rt *reduceTask) removeOutFlow(fl *flow.Flow) {
+	for i, of := range rt.outFlows {
+		if of.fl == fl {
+			rt.outFlows = append(rt.outFlows[:i], rt.outFlows[i+1:]...)
+			return
+		}
+	}
+}
+
+// partCommit accumulates finished splits of one output partition until all
+// have completed and the partition can be registered in the DFS.
+type partCommit struct {
+	done     int
+	bytes    int64
+	replicas [][]int // one replica set per split, ordered by split index
+}
+
+func (r *jobRun) reduceWrite(rt *reduceTask) {
+	rt.ev = nil
+	rt.outBytes = int64(rt.fetched * r.cfg().ReduceOutputRatio)
+	alive := r.clus().Alive()
+	rt.outReplicas = r.fs().PlanReplicas(rt.node, r.repl, alive)
+	rt.outFlows = rt.outFlows[:0]
+
+	if r.scatter && rt.splits == 1 {
+		// Scatter-only hot-spot mitigation (Section IV-B2 alternative): the
+		// reducer spreads its output blocks over all alive nodes. Model as
+		// one write flow per target carrying an equal share.
+		per := float64(rt.outBytes) / float64(len(alive))
+		rt.outPending = len(alive)
+		for _, tgt := range alive {
+			tgt := tgt
+			fl := r.net().Start(fmt.Sprintf("red%d-scatter", rt.reducer), per,
+				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
+		}
+		rt.outReplicas = alive
+		return
+	}
+
+	rt.outPending = len(rt.outReplicas)
+	for _, tgt := range rt.outReplicas {
+		fl := r.net().Start(fmt.Sprintf("red%d.%d-out", rt.reducer, rt.split), float64(rt.outBytes),
+			r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+		rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
+	}
+}
+
+func (r *jobRun) outWriteDone(rt *reduceTask, f *flow.Flow) {
+	rt.removeOutFlow(f)
+	rt.outPending--
+	if rt.outPending > 0 {
+		return
+	}
+	r.reduceDone(rt)
+}
+
+func (r *jobRun) reduceDone(rt *reduceTask) {
+	rt.to(taskDone)
+	r.redFree[rt.node]++
+	r.redRemaining--
+	r.d.rec.AddTask(metrics.TaskSample{
+		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskReduce,
+		Index: rt.reducer, Split: rt.split, Node: rt.node, Start: rt.start, End: r.sim().Now(),
+	})
+
+	// Commit the partition when all splits of the reducer have finished.
+	c := r.commits[rt.reducer]
+	if c == nil {
+		c = &partCommit{replicas: make([][]int, rt.splits)}
+		r.commits[rt.reducer] = c
+	}
+	c.done++
+	c.bytes += rt.outBytes
+	if r.scatter && rt.splits == 1 {
+		// Blocks were scattered: register one single-replica set per target
+		// so blocks deal round-robin across all of them.
+		sets := make([][]int, 0, len(rt.outReplicas))
+		for _, n := range rt.outReplicas {
+			sets = append(sets, []int{n})
+		}
+		c.replicas = sets
+	} else {
+		c.replicas[rt.split] = rt.outReplicas
+	}
+	if c.done == rt.splits {
+		if _, err := r.fs().SetPartition(r.outputFile, rt.reducer, c.bytes, c.replicas); err != nil {
+			r.d.unrecoverable(fmt.Errorf("commit %s/p%d: %w", r.outputFile, rt.reducer, err))
+			return
+		}
+	}
+	r.pump()
+}

@@ -1,7 +1,13 @@
+// run.go holds the shared skeleton of one job run: the task structs, the
+// jobRun state, slot bookkeeping and the pump that assigns pending tasks.
+// The phase logic lives in dedicated modules — map_phase.go (assignment,
+// read/compute/write, speculation), shuffle_phase.go (buckets and fetch
+// batching), output_phase.go (replica writes and partition commit) and
+// recovery.go (failure reactions) — all driving the task lifecycle machine
+// defined in lifecycle.go.
 package mapreduce
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
@@ -12,25 +18,15 @@ import (
 	"rcmp/internal/metrics"
 )
 
-type taskState int
-
-const (
-	taskPending taskState = iota
-	taskRunning
-	taskZombie  // on a failed node, awaiting detection
-	taskBlocked // input unreadable after a failure, awaiting detection
-	taskDone
-)
-
 // mapTask is one mapper execution within a run.
 type mapTask struct {
+	taskLife
 	index      int
 	part       int // partition of the run's input file
 	block      int // block within the partition
 	inputBytes int64
 	outBytes   int64
 
-	state taskState
 	node  int
 	fl    *flow.Flow
 	ev    *des.Event
@@ -51,22 +47,13 @@ func (mt *mapTask) primary() *mapTask {
 	return mt
 }
 
-// srcBucket tracks shuffle bytes a reduce task owes to / has pulled from one
-// source node.
-type srcBucket struct {
-	pending  float64 // bytes ready to fetch
-	inflight float64 // bytes in the current fetch flow
-	fl       *flow.Flow
-	stalled  bool // source node down, no new fetches
-}
-
 // reduceTask is one reducer (or one split of a split reducer) execution.
 type reduceTask struct {
+	taskLife
 	reducer int
 	split   int
 	splits  int
 
-	state   taskState
 	node    int
 	buckets map[int]*srcBucket
 	seen    []bool // map outputs accounted, by mapper index
@@ -88,6 +75,10 @@ type reduceTask struct {
 	start        des.Time
 }
 
+func (rt *reduceTask) shareFrac(numReducers int) float64 {
+	return 1 / (float64(numReducers) * float64(rt.splits))
+}
+
 // sortedKeys returns a node-keyed map's keys in ascending order. Every
 // sweep whose side effects reach the flow network or the event queue must
 // iterate this way: Go's randomized map order would otherwise leak into
@@ -99,34 +90,6 @@ func sortedKeys[V any](m map[int]V) []int {
 	}
 	sort.Ints(keys)
 	return keys
-}
-
-// outFlow is one in-progress output-write flow and its target node.
-type outFlow struct {
-	fl  *flow.Flow
-	tgt int
-}
-
-// removeOutFlow deletes the entry for fl, preserving order.
-func (rt *reduceTask) removeOutFlow(fl *flow.Flow) {
-	for i, of := range rt.outFlows {
-		if of.fl == fl {
-			rt.outFlows = append(rt.outFlows[:i], rt.outFlows[i+1:]...)
-			return
-		}
-	}
-}
-
-func (rt *reduceTask) shareFrac(numReducers int) float64 {
-	return 1 / (float64(numReducers) * float64(rt.splits))
-}
-
-// partCommit accumulates finished splits of one output partition until all
-// have completed and the partition can be registered in the DFS.
-type partCommit struct {
-	done     int
-	bytes    int64
-	replicas [][]int // one replica set per split, ordered by split index
 }
 
 // jobRun executes one job run (initial, recompute step, or restart).
@@ -172,6 +135,11 @@ type jobRun struct {
 	// rerunOutputs are maps re-executed during Hadoop recovery whose shares
 	// feed reducers' needResupply instead of full new contributions.
 	onComplete func()
+
+	locBuf []int // scratch for inputLocations, reused across calls
+	// shufTrunks coalesces shuffle fetches per (source, destination) node
+	// pair, keyed src*NumNodes+dst; see shuffleTrunk.
+	shufTrunks map[int]*flow.Trunk
 }
 
 func (r *jobRun) sim() *des.Simulator    { return r.d.sim }
@@ -191,6 +159,7 @@ func (r *jobRun) begin() {
 		r.redFree[n] = r.ccfg().ReduceSlots
 	}
 	r.commits = make(map[int]*partCommit)
+	r.shufTrunks = make(map[int]*flow.Trunk)
 	r.mapsRemaining = len(r.maps)
 	r.redRemaining = len(r.reduces)
 	r.pendingMaps = append(r.pendingMaps, r.maps...)
@@ -233,475 +202,6 @@ func (r *jobRun) pump() {
 	r.checkDone()
 }
 
-// assignOneMap launches at most one mapper, preferring data-local placement.
-func (r *jobRun) assignOneMap() bool {
-	if len(r.pendingMaps) == 0 {
-		return false
-	}
-	// Pass 1: a node with a free slot holding a pending task's input block.
-	if !r.cfg().DisableLocality {
-		for qi, mt := range r.pendingMaps {
-			for _, n := range r.inputLocations(mt) {
-				if r.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
-					r.launchMap(mt, n, qi)
-					return true
-				}
-			}
-		}
-	}
-	// Pass 2: any free slot. A speculative duplicate avoids its original's
-	// node — rerunning a straggler in place defeats the purpose.
-	for _, n := range r.clus().Alive() {
-		if r.mapFree[n] <= 0 {
-			continue
-		}
-		for qi, mt := range r.pendingMaps {
-			if mt.dupOf != nil && mt.dupOf.state == taskRunning && mt.dupOf.node == n {
-				continue
-			}
-			r.launchMap(mt, n, qi)
-			return true
-		}
-	}
-	return false
-}
-
-func (r *jobRun) inputLocations(mt *mapTask) []int {
-	locs := r.fs().BlockLocations(r.inputFile, mt.part)
-	if mt.block >= len(locs) {
-		return nil
-	}
-	return locs[mt.block]
-}
-
-func (r *jobRun) launchMap(mt *mapTask, node int, queueIdx int) {
-	r.pendingMaps = append(r.pendingMaps[:queueIdx], r.pendingMaps[queueIdx+1:]...)
-	r.mapFree[node]--
-	mt.state = taskRunning
-	mt.node = node
-	mt.start = r.sim().Now()
-	mt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.mapRead(mt) })
-}
-
-func (r *jobRun) mapRead(mt *mapTask) {
-	mt.ev = nil
-	locs := r.inputLocations(mt)
-	if len(locs) == 0 {
-		// A failure just destroyed the input block. The task fails and its
-		// slot frees; the master sorts the situation out at detection time
-		// (RCMP cancels the run, Hadoop either finds a replica or aborts).
-		mt.state = taskBlocked
-		r.mapFree[mt.node]++
-		mt.node = -1
-		return
-	}
-	// Prefer a local replica; otherwise read from the least-loaded holder
-	// (HDFS clients balance across replicas the same way). This is what
-	// lets a speculative duplicate escape a straggler: it pulls its input
-	// from a healthy replica instead of the slow source.
-	src := locs[0]
-	bestLoad := int(^uint(0) >> 1)
-	for _, n := range locs {
-		if n == mt.node {
-			src = n
-			bestLoad = -1
-			break
-		}
-		if a := r.clus().Node(n).Disk.Active(); a < bestLoad {
-			bestLoad = a
-			src = n
-		}
-	}
-	mt.fl = r.net().Start(fmt.Sprintf("map%d-read", mt.index), float64(mt.inputBytes),
-		r.clus().ReadUses(src, mt.node), 0, func(*flow.Flow) { r.mapCompute(mt) })
-}
-
-func (r *jobRun) mapCompute(mt *mapTask) {
-	mt.fl = nil
-	d := des.Time(0)
-	if cpu := r.ccfg().MapCPU; cpu > 0 {
-		d = des.Time(float64(mt.inputBytes) / cpu)
-	}
-	mt.ev = r.sim().After(d, func() { r.mapWrite(mt) })
-}
-
-func (r *jobRun) mapWrite(mt *mapTask) {
-	mt.ev = nil
-	disk := r.clus().Node(mt.node).Disk
-	mt.fl = r.net().Start(fmt.Sprintf("map%d-write", mt.index), float64(mt.outBytes),
-		[]flow.Use{{R: disk, Weight: 1}}, 0, func(*flow.Flow) { r.mapDone(mt) })
-}
-
-func (r *jobRun) mapDone(mt *mapTask) {
-	mt.fl = nil
-	mt.state = taskDone
-	r.mapFree[mt.node]++
-
-	// Speculation: the losing copy of a pair is killed now; only the
-	// winner's output counts.
-	prim := mt.primary()
-	if prim.state == taskDone && prim != mt && prim.node != mt.node {
-		// The original already finished; this duplicate's completion would
-		// have been aborted — defensive, should not happen.
-		return
-	}
-	if loser := r.specLoser(mt); loser != nil {
-		r.killSpeculative(loser)
-	}
-	prim.node = mt.node // canonical output location is the winner's
-	prim.state = taskDone
-
-	r.mapsRemaining--
-	r.mapDoneCount++
-	r.mapDoneSum += float64(r.sim().Now() - mt.start)
-	r.aggOut[mt.node] += float64(mt.outBytes)
-	r.d.rec.AddTask(metrics.TaskSample{
-		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskMap,
-		Index: mt.index, Node: mt.node, Start: mt.start, End: r.sim().Now(),
-	})
-	// Feed every shuffling reducer.
-	for _, rt := range r.reduces {
-		if rt.state == taskRunning && rt.shuffling {
-			r.offerMapOutput(rt, mt)
-		}
-	}
-	if r.cfg().Speculation {
-		r.speculate()
-	}
-	r.pump()
-}
-
-// specLoser returns the other copy of a speculative pair if it is still in
-// flight when `winner` completes.
-func (r *jobRun) specLoser(winner *mapTask) *mapTask {
-	var other *mapTask
-	if winner.dupOf != nil {
-		other = winner.dupOf
-	} else {
-		other = winner.dup
-	}
-	if other == nil || other.state == taskDone {
-		return nil
-	}
-	return other
-}
-
-// killSpeculative aborts the losing copy: running work stops, a queued
-// copy is dropped. A duplicate that loses provided no benefit (the paper's
-// wasted speculation); an original that loses means the duplicate paid off.
-func (r *jobRun) killSpeculative(loser *mapTask) {
-	switch loser.state {
-	case taskRunning:
-		r.abortMapWork(loser)
-		r.mapFree[loser.node]++
-		if loser.dupOf != nil {
-			r.d.specWasted++
-		}
-	case taskPending, taskBlocked:
-		for i, p := range r.pendingMaps {
-			if p == loser {
-				r.pendingMaps = append(r.pendingMaps[:i], r.pendingMaps[i+1:]...)
-				break
-			}
-		}
-		if loser.dupOf != nil {
-			r.d.specWasted++ // queued duplicate never even ran
-		}
-	}
-	loser.state = taskDone // resolved; never runs again
-	loser.primary().dup = nil
-}
-
-// speculate queues duplicates for straggling mappers: running longer than
-// SpeculationFactor times the mean completed duration, with no duplicate
-// yet. Requires a handful of completions for a stable mean, like Hadoop.
-// Tasks that will cross the threshold later get a wake-up, so stragglers
-// are caught even when no more completions arrive.
-func (r *jobRun) speculate() {
-	if r.mapDoneCount < 5 || r.done {
-		return
-	}
-	threshold := des.Time(r.cfg().SpeculationFactor * r.mapDoneSum / float64(r.mapDoneCount))
-	now := r.sim().Now()
-	nextCheck := des.Forever
-	for _, mt := range r.maps {
-		if mt.state != taskRunning || mt.dup != nil || mt.dupOf != nil {
-			continue
-		}
-		if now-mt.start <= threshold {
-			if eta := mt.start + threshold; eta < nextCheck {
-				nextCheck = eta
-			}
-			continue
-		}
-		// Section III-A: speculation only pays off when the duplicate can
-		// bypass the problem — i.e. another input replica exists. A task
-		// whose input is single-replicated would drag its duplicate to the
-		// same (possibly slow) source and just add contention there.
-		if len(r.inputLocations(mt)) < 2 {
-			continue
-		}
-		dup := &mapTask{
-			index:      mt.index,
-			part:       mt.part,
-			block:      mt.block,
-			inputBytes: mt.inputBytes,
-			outBytes:   mt.outBytes,
-			node:       -1,
-			dupOf:      mt,
-		}
-		mt.dup = dup
-		r.specDups = append(r.specDups, dup)
-		r.pendingMaps = append(r.pendingMaps, dup)
-		r.d.specLaunched++
-	}
-	if nextCheck < des.Forever {
-		if r.specEv != nil {
-			r.sim().Cancel(r.specEv)
-		}
-		r.specEv = r.sim().At(nextCheck+1e-9, func() {
-			r.specEv = nil
-			r.speculate()
-			r.pump()
-		})
-	}
-}
-
-// offerMapOutput accounts one completed map output to one shuffling reducer.
-func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
-	share := float64(mt.outBytes) * rt.shareFrac(r.cfg().NumReducers)
-	if rt.seen[mt.index] {
-		// A re-execution of an output this reducer already counted: it only
-		// covers bytes the reducer lost with the dead node.
-		if share > rt.needResupply {
-			share = rt.needResupply
-		}
-		rt.needResupply -= share
-	} else {
-		rt.seen[mt.index] = true
-	}
-	if share > 0 {
-		b := rt.buckets[mt.node]
-		if b == nil {
-			b = &srcBucket{}
-			rt.buckets[mt.node] = b
-		}
-		b.pending += share
-	}
-	r.kickFetch(rt)
-	r.maybeFinishShuffle(rt)
-}
-
-// assignOneReduce launches at most one reducer, round-robin across nodes so
-// a handful of recomputed tasks spread over the cluster.
-func (r *jobRun) assignOneReduce() bool {
-	if len(r.pendingReds) == 0 {
-		return false
-	}
-	alive := r.clus().Alive()
-	for i := 0; i < len(alive); i++ {
-		n := alive[(r.redCursor+i)%len(alive)]
-		if r.redFree[n] > 0 {
-			r.redCursor = (r.redCursor + i + 1) % len(alive)
-			rt := r.pendingReds[0]
-			r.pendingReds = r.pendingReds[1:]
-			r.launchReduce(rt, n)
-			return true
-		}
-	}
-	return false
-}
-
-func (r *jobRun) launchReduce(rt *reduceTask, node int) {
-	r.redFree[node]--
-	rt.state = taskRunning
-	rt.node = node
-	rt.start = r.sim().Now()
-	rt.buckets = make(map[int]*srcBucket)
-	rt.seen = make([]bool, r.seenSize)
-	rt.fetched = 0
-	rt.needResupply = 0
-	rt.shuffling = false
-	rt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.reduceShuffle(rt) })
-}
-
-func (r *jobRun) reduceShuffle(rt *reduceTask) {
-	rt.ev = nil
-	rt.shuffling = true
-	frac := rt.shareFrac(r.cfg().NumReducers)
-	// Persisted (reused) outputs and any mappers that completed before this
-	// reducer launched. Outputs on a node that died but is not yet detected
-	// become a resupply debt settled by the post-detection re-executions.
-	for _, n := range sortedKeys(r.aggOut) {
-		bytes := r.aggOut[n]
-		if bytes <= 0 {
-			continue
-		}
-		if !r.fs().NodeAlive(n) {
-			rt.needResupply += bytes * frac
-			continue
-		}
-		rt.buckets[n] = &srcBucket{pending: bytes * frac}
-	}
-	for _, mt := range r.maps {
-		if mt.state == taskDone {
-			rt.seen[mt.index] = true
-		}
-	}
-	if r.persistedSeen != nil {
-		for i, p := range r.persistedSeen {
-			if p {
-				rt.seen[i] = true
-			}
-		}
-	}
-	r.kickFetch(rt)
-	r.maybeFinishShuffle(rt)
-}
-
-// kickFetch starts fetch flows for rt up to the parallelism bound. While
-// mappers are still producing, fetches below the chunk threshold wait for
-// more bytes to accumulate; this batching is what keeps the flow count (and
-// simulation cost) proportional to data volume rather than task count,
-// without changing the bytes moved or when they can finish.
-func (r *jobRun) kickFetch(rt *reduceTask) {
-	if rt.state != taskRunning || !rt.shuffling {
-		return
-	}
-	minChunk := 0.0
-	if r.mapsRemaining > 0 {
-		minChunk = float64(r.cfg().BlockSize) / 4
-	}
-	// Sources are visited in node order: with a bounded fetch parallelism
-	// the visit order decides which flows exist, so it must not depend on
-	// map iteration order.
-	for _, n := range sortedKeys(rt.buckets) {
-		b := rt.buckets[n]
-		if rt.inflight >= r.cfg().FetchParallelism {
-			return
-		}
-		if b.stalled || b.fl != nil || b.pending <= 0 || b.pending < minChunk {
-			continue
-		}
-		src, bytes := n, b.pending
-		b.pending = 0
-		b.inflight = bytes
-		rt.inflight++
-		b.fl = r.net().Start(fmt.Sprintf("shuf-r%d.%d", rt.reducer, rt.split), bytes,
-			r.clus().ShuffleUses(src, rt.node), r.ccfg().ShuffleTransferDelay,
-			func(*flow.Flow) { r.fetchDone(rt, src) })
-	}
-}
-
-func (r *jobRun) fetchDone(rt *reduceTask, src int) {
-	b := rt.buckets[src]
-	rt.fetched += b.inflight
-	b.inflight = 0
-	b.fl = nil
-	rt.inflight--
-	r.kickFetch(rt)
-	r.maybeFinishShuffle(rt)
-}
-
-// maybeFinishShuffle moves a reducer to its merge/compute phase once the map
-// phase is over and every owed byte has arrived.
-func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
-	if rt.state != taskRunning || !rt.shuffling {
-		return
-	}
-	if r.mapsRemaining > 0 || rt.inflight > 0 || rt.needResupply > 1e-6 {
-		return
-	}
-	for _, b := range rt.buckets {
-		if b.pending > 1e-6 || b.fl != nil {
-			return
-		}
-	}
-	rt.shuffling = false
-	d := des.Time(0)
-	if cpu := r.ccfg().ReduceCPU; cpu > 0 {
-		d = des.Time(rt.fetched / cpu)
-	}
-	rt.ev = r.sim().After(d, func() { r.reduceWrite(rt) })
-}
-
-func (r *jobRun) reduceWrite(rt *reduceTask) {
-	rt.ev = nil
-	rt.outBytes = int64(rt.fetched * r.cfg().ReduceOutputRatio)
-	alive := r.clus().Alive()
-	rt.outReplicas = r.fs().PlanReplicas(rt.node, r.repl, alive)
-	rt.outFlows = rt.outFlows[:0]
-
-	if r.scatter && rt.splits == 1 {
-		// Scatter-only hot-spot mitigation (Section IV-B2 alternative): the
-		// reducer spreads its output blocks over all alive nodes. Model as
-		// one write flow per target carrying an equal share.
-		per := float64(rt.outBytes) / float64(len(alive))
-		rt.outPending = len(alive)
-		for _, tgt := range alive {
-			tgt := tgt
-			fl := r.net().Start(fmt.Sprintf("red%d-scatter", rt.reducer), per,
-				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
-		}
-		rt.outReplicas = alive
-		return
-	}
-
-	rt.outPending = len(rt.outReplicas)
-	for _, tgt := range rt.outReplicas {
-		fl := r.net().Start(fmt.Sprintf("red%d.%d-out", rt.reducer, rt.split), float64(rt.outBytes),
-			r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-		rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
-	}
-}
-
-func (r *jobRun) outWriteDone(rt *reduceTask, f *flow.Flow) {
-	rt.removeOutFlow(f)
-	rt.outPending--
-	if rt.outPending > 0 {
-		return
-	}
-	r.reduceDone(rt)
-}
-
-func (r *jobRun) reduceDone(rt *reduceTask) {
-	rt.state = taskDone
-	r.redFree[rt.node]++
-	r.redRemaining--
-	r.d.rec.AddTask(metrics.TaskSample{
-		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskReduce,
-		Index: rt.reducer, Split: rt.split, Node: rt.node, Start: rt.start, End: r.sim().Now(),
-	})
-
-	// Commit the partition when all splits of the reducer have finished.
-	c := r.commits[rt.reducer]
-	if c == nil {
-		c = &partCommit{replicas: make([][]int, rt.splits)}
-		r.commits[rt.reducer] = c
-	}
-	c.done++
-	c.bytes += rt.outBytes
-	if r.scatter && rt.splits == 1 {
-		// Blocks were scattered: register one single-replica set per target
-		// so blocks deal round-robin across all of them.
-		sets := make([][]int, 0, len(rt.outReplicas))
-		for _, n := range rt.outReplicas {
-			sets = append(sets, []int{n})
-		}
-		c.replicas = sets
-	} else {
-		c.replicas[rt.split] = rt.outReplicas
-	}
-	if c.done == rt.splits {
-		if _, err := r.fs().SetPartition(r.outputFile, rt.reducer, c.bytes, c.replicas); err != nil {
-			r.d.unrecoverable(fmt.Errorf("commit %s/p%d: %w", r.outputFile, rt.reducer, err))
-			return
-		}
-	}
-	r.pump()
-}
-
 func (r *jobRun) checkDone() {
 	if r.done || r.mapsRemaining > 0 || r.redRemaining > 0 {
 		return
@@ -715,213 +215,4 @@ func (r *jobRun) checkDone() {
 		RunIndex: r.runIndex, Job: r.job, Kind: r.kind, Start: r.start, End: r.sim().Now(),
 	})
 	r.onComplete()
-}
-
-// ---- failure handling ----
-
-// nodeDown reacts to the instant a node dies: everything it was doing or
-// serving stops making progress. The master has not detected it yet.
-func (r *jobRun) nodeDown(n int) {
-	if r.done {
-		return
-	}
-	delete(r.mapFree, n)
-	delete(r.redFree, n)
-	for _, mt := range r.maps {
-		if mt.state == taskRunning && mt.node == n {
-			r.abortMapWork(mt)
-			mt.state = taskZombie
-		}
-	}
-	// A duplicate dying with its node is simply dropped; the original is
-	// still running elsewhere (or will be re-queued itself).
-	for _, dup := range r.specDups {
-		if dup.state == taskRunning && dup.node == n {
-			r.abortMapWork(dup)
-			dup.state = taskDone
-			if dup.dupOf != nil {
-				dup.dupOf.dup = nil
-			}
-		}
-	}
-	for _, rt := range r.reduces {
-		if rt.state == taskRunning && rt.node == n {
-			r.abortReduceWork(rt)
-			rt.state = taskZombie
-			continue
-		}
-		if rt.state != taskRunning {
-			continue
-		}
-		// Healthy reducer: fetches sourced from n stall.
-		if b := rt.buckets[n]; b != nil {
-			if b.fl != nil {
-				r.net().Abort(b.fl)
-				b.fl = nil
-				b.pending += b.inflight
-				b.inflight = 0
-				rt.inflight--
-			}
-			b.stalled = true
-		}
-		// Output-write replicas targeting n will be retargeted at detection.
-		kept := rt.outFlows[:0]
-		for _, of := range rt.outFlows {
-			if of.tgt == n {
-				r.net().Abort(of.fl)
-				rt.owedRewrites = append(rt.owedRewrites, n)
-				continue
-			}
-			kept = append(kept, of)
-		}
-		rt.outFlows = kept
-	}
-}
-
-func (r *jobRun) abortMapWork(mt *mapTask) {
-	if mt.fl != nil {
-		r.net().Abort(mt.fl)
-		mt.fl = nil
-	}
-	if mt.ev != nil {
-		r.sim().Cancel(mt.ev)
-		mt.ev = nil
-	}
-}
-
-func (r *jobRun) abortReduceWork(rt *reduceTask) {
-	for _, n := range sortedKeys(rt.buckets) {
-		b := rt.buckets[n]
-		if b.fl != nil {
-			r.net().Abort(b.fl)
-			b.fl = nil
-			b.pending += b.inflight
-			b.inflight = 0
-			rt.inflight--
-		}
-	}
-	if rt.ev != nil {
-		r.sim().Cancel(rt.ev)
-		rt.ev = nil
-	}
-	for _, of := range rt.outFlows {
-		if of.fl != nil {
-			r.net().Abort(of.fl)
-		}
-	}
-	rt.outFlows = rt.outFlows[:0]
-	rt.shuffling = false
-}
-
-// handleDetection performs Hadoop-style within-job recovery once the master
-// notices node n is dead: zombie tasks are re-queued elsewhere, completed
-// map outputs on n are re-executed, and reducers' lost unfetched bytes are
-// re-supplied by those re-executions.
-func (r *jobRun) handleDetection(n int) {
-	if r.done {
-		return
-	}
-	for _, mt := range r.maps {
-		switch {
-		case mt.state == taskBlocked:
-			mt.state = taskPending
-			r.pendingMaps = append(r.pendingMaps, mt)
-		case mt.state == taskZombie && mt.node == n:
-			mt.state = taskPending
-			mt.node = -1
-			r.pendingMaps = append(r.pendingMaps, mt)
-		case mt.state == taskDone && mt.node == n:
-			// Output lost: re-execute. Reducers that already fetched keep
-			// their bytes; the rest arrives via needResupply.
-			r.aggOut[n] = 0
-			mt.state = taskPending
-			mt.rerun = true
-			mt.node = -1
-			r.mapsRemaining++
-			r.pendingMaps = append(r.pendingMaps, mt)
-		}
-	}
-	for _, rt := range r.reduces {
-		if rt.state == taskZombie && rt.node == n {
-			rt.state = taskPending
-			rt.node = -1
-			r.pendingReds = append(r.pendingReds, rt)
-			continue
-		}
-		if rt.state != taskRunning {
-			continue
-		}
-		if b := rt.buckets[n]; b != nil {
-			rt.needResupply += b.pending
-			delete(rt.buckets, n)
-		}
-		// Replace aborted replica writes with a new target.
-		var stillOwed []int
-		for _, dead := range rt.owedRewrites {
-			if dead != n {
-				stillOwed = append(stillOwed, dead)
-				continue
-			}
-			tgt := r.pickReplacementTarget(rt)
-			fl := r.net().Start(fmt.Sprintf("red%d-rewrite", rt.reducer), float64(rt.outBytes),
-				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
-			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
-			for i, rep := range rt.outReplicas {
-				if rep == n {
-					rt.outReplicas[i] = tgt
-				}
-			}
-		}
-		rt.owedRewrites = stillOwed
-		r.maybeFinishShuffle(rt)
-	}
-	r.pump()
-}
-
-func (r *jobRun) pickReplacementTarget(rt *reduceTask) int {
-	alive := r.clus().Alive()
-	for _, n := range alive {
-		used := n == rt.node
-		for _, rep := range rt.outReplicas {
-			if rep == n {
-				used = true
-			}
-		}
-		if !used {
-			return n
-		}
-	}
-	return alive[0]
-}
-
-// cancel aborts the whole run (RCMP's reaction to irreversible data loss).
-func (r *jobRun) cancel() {
-	if r.done {
-		return
-	}
-	r.done = true
-	r.cancelled = true
-	if r.specEv != nil {
-		r.sim().Cancel(r.specEv)
-		r.specEv = nil
-	}
-	for _, mt := range r.maps {
-		if mt.state == taskRunning || mt.state == taskZombie {
-			r.abortMapWork(mt)
-		}
-	}
-	for _, dup := range r.specDups {
-		if dup.state == taskRunning || dup.state == taskZombie {
-			r.abortMapWork(dup)
-		}
-	}
-	for _, rt := range r.reduces {
-		if rt.state == taskRunning || rt.state == taskZombie {
-			r.abortReduceWork(rt)
-		}
-	}
-	r.d.rec.AddRun(metrics.RunStat{
-		RunIndex: r.runIndex, Job: r.job, Kind: r.kind, Start: r.start,
-		End: r.sim().Now(), Cancelled: true,
-	})
 }

@@ -1,0 +1,207 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"rcmp/internal/des"
+	"rcmp/internal/flow"
+)
+
+// shuffle_phase.go drives reduce tasks from launch through the shuffle:
+// accounting map outputs into per-source buckets, batching bucket bytes
+// into fetch flows, and handing the task to output_phase.go once every
+// owed byte has arrived. Reducers follow the shared lifecycle machine in
+// lifecycle.go; failure-time stalls and re-supply live in recovery.go.
+
+// srcBucket tracks shuffle bytes a reduce task owes to / has pulled from one
+// source node.
+type srcBucket struct {
+	pending  float64 // bytes ready to fetch
+	inflight float64 // bytes in the current fetch flow
+	fl       *flow.Flow
+	stalled  bool // source node down, no new fetches
+}
+
+// shuffleTrunk returns the run's coalescing trunk for fetches from src to
+// dst, creating it on first use. Every reduce task on dst fetching from src
+// multiplexes its fetch flows onto this one trunk, so the flow network
+// arbitrates one unit per communicating node pair instead of one per
+// (reduce task, source node) pair — the trunk semantics guarantee the
+// member transfers behave exactly like separate flows, so this changes
+// simulation cost, not outcomes.
+func (r *jobRun) shuffleTrunk(src, dst int) *flow.Trunk {
+	key := src*r.clus().NumNodes() + dst
+	t := r.shufTrunks[key]
+	if t == nil {
+		t = r.net().NewTrunk(fmt.Sprintf("shuf-n%d-n%d", src, dst), r.clus().ShuffleUses(src, dst))
+		r.shufTrunks[key] = t
+	}
+	return t
+}
+
+// offerMapOutput accounts one completed map output to one shuffling reducer.
+func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
+	share := float64(mt.outBytes) * rt.shareFrac(r.cfg().NumReducers)
+	if rt.seen[mt.index] {
+		// A re-execution of an output this reducer already counted: it only
+		// covers bytes the reducer lost with the dead node.
+		if share > rt.needResupply {
+			share = rt.needResupply
+		}
+		rt.needResupply -= share
+	} else {
+		rt.seen[mt.index] = true
+	}
+	if share > 0 {
+		b := rt.buckets[mt.node]
+		if b == nil {
+			b = &srcBucket{}
+			rt.buckets[mt.node] = b
+		}
+		b.pending += share
+	}
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// assignOneReduce launches at most one reducer, round-robin across nodes so
+// a handful of recomputed tasks spread over the cluster.
+func (r *jobRun) assignOneReduce() bool {
+	if len(r.pendingReds) == 0 {
+		return false
+	}
+	alive := r.clus().Alive()
+	for i := 0; i < len(alive); i++ {
+		n := alive[(r.redCursor+i)%len(alive)]
+		if r.redFree[n] > 0 {
+			r.redCursor = (r.redCursor + i + 1) % len(alive)
+			rt := r.pendingReds[0]
+			r.pendingReds = r.pendingReds[1:]
+			r.launchReduce(rt, n)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *jobRun) launchReduce(rt *reduceTask, node int) {
+	r.redFree[node]--
+	rt.to(taskRunning)
+	rt.node = node
+	rt.start = r.sim().Now()
+	rt.buckets = make(map[int]*srcBucket)
+	rt.seen = make([]bool, r.seenSize)
+	rt.fetched = 0
+	rt.needResupply = 0
+	rt.shuffling = false
+	// A relaunch after a zombie re-queue must also forget the previous
+	// incarnation's output phase: a stale owedRewrites debt would otherwise
+	// let a later detection start a rewrite flow for a reducer that is
+	// still shuffling and drive reduceDone twice.
+	rt.outFlows = rt.outFlows[:0]
+	rt.owedRewrites = rt.owedRewrites[:0]
+	rt.outPending = 0
+	rt.outBytes = 0
+	rt.outReplicas = nil
+	rt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.reduceShuffle(rt) })
+}
+
+func (r *jobRun) reduceShuffle(rt *reduceTask) {
+	rt.ev = nil
+	rt.shuffling = true
+	frac := rt.shareFrac(r.cfg().NumReducers)
+	// Persisted (reused) outputs and any mappers that completed before this
+	// reducer launched. Outputs on a node that died but is not yet detected
+	// become a resupply debt settled by the post-detection re-executions.
+	for _, n := range sortedKeys(r.aggOut) {
+		bytes := r.aggOut[n]
+		if bytes <= 0 {
+			continue
+		}
+		if !r.fs().NodeAlive(n) {
+			rt.needResupply += bytes * frac
+			continue
+		}
+		rt.buckets[n] = &srcBucket{pending: bytes * frac}
+	}
+	for _, mt := range r.maps {
+		if mt.state == taskDone {
+			rt.seen[mt.index] = true
+		}
+	}
+	if r.persistedSeen != nil {
+		for i, p := range r.persistedSeen {
+			if p {
+				rt.seen[i] = true
+			}
+		}
+	}
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// kickFetch starts fetch flows for rt up to the parallelism bound. While
+// mappers are still producing, fetches below the chunk threshold wait for
+// more bytes to accumulate; this batching is what keeps the flow count (and
+// simulation cost) proportional to data volume rather than task count,
+// without changing the bytes moved or when they can finish.
+func (r *jobRun) kickFetch(rt *reduceTask) {
+	if rt.state != taskRunning || !rt.shuffling {
+		return
+	}
+	minChunk := 0.0
+	if r.mapsRemaining > 0 {
+		minChunk = float64(r.cfg().BlockSize) / 4
+	}
+	// Sources are visited in node order: with a bounded fetch parallelism
+	// the visit order decides which flows exist, so it must not depend on
+	// map iteration order.
+	for _, n := range sortedKeys(rt.buckets) {
+		b := rt.buckets[n]
+		if rt.inflight >= r.cfg().FetchParallelism {
+			return
+		}
+		if b.stalled || b.fl != nil || b.pending <= 0 || b.pending < minChunk {
+			continue
+		}
+		src, bytes := n, b.pending
+		b.pending = 0
+		b.inflight = bytes
+		rt.inflight++
+		b.fl = r.shuffleTrunk(src, rt.node).Start(
+			fmt.Sprintf("shuf-r%d.%d", rt.reducer, rt.split), bytes,
+			r.ccfg().ShuffleTransferDelay, func(*flow.Flow) { r.fetchDone(rt, src) })
+	}
+}
+
+func (r *jobRun) fetchDone(rt *reduceTask, src int) {
+	b := rt.buckets[src]
+	rt.fetched += b.inflight
+	b.inflight = 0
+	b.fl = nil
+	rt.inflight--
+	r.kickFetch(rt)
+	r.maybeFinishShuffle(rt)
+}
+
+// maybeFinishShuffle moves a reducer to its merge/compute phase once the map
+// phase is over and every owed byte has arrived.
+func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
+	if rt.state != taskRunning || !rt.shuffling {
+		return
+	}
+	if r.mapsRemaining > 0 || rt.inflight > 0 || rt.needResupply > 1e-6 {
+		return
+	}
+	for _, b := range rt.buckets {
+		if b.pending > 1e-6 || b.fl != nil {
+			return
+		}
+	}
+	rt.shuffling = false
+	d := des.Time(0)
+	if cpu := r.ccfg().ReduceCPU; cpu > 0 {
+		d = des.Time(rt.fetched / cpu)
+	}
+	rt.ev = r.sim().After(d, func() { r.reduceWrite(rt) })
+}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_json.sh — runs the perf-trajectory benchmarks and emits
+# BENCH_flow.json at the repo root: ns/op for the flow-core rebalance
+# benchmarks (BenchmarkRebalance*) and the end-to-end experiment
+# regeneration (BenchmarkAllSerial / BenchmarkAllParallel at the smoke
+# tier). Future PRs diff this file to see the perf trajectory of the
+# simulation core.
+#
+# RCMP_BENCH_ITERS overrides the fixed iteration counts (default: 3 for the
+# end-to-end pair, 5000 for the microbenchmarks).
+set -eu
+cd "$(dirname "$0")/.."
+
+E2E_ITERS="${RCMP_BENCH_ITERS:-3}"
+MICRO_ITERS="${RCMP_BENCH_ITERS:-5000}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+RCMP_BENCH_SCALE=smoke go test -run xxx -bench 'BenchmarkAll(Serial|Parallel)$' \
+    -benchtime "${E2E_ITERS}x" . >"$tmp"
+go test -run xxx -bench 'BenchmarkRebalance' \
+    -benchtime "${MICRO_ITERS}x" ./internal/flow >>"$tmp"
+
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+}
+END {
+    printf "\n  ],\n"
+    printf "  \"note\": \"AllSerial/AllParallel at smoke scale; Rebalance* on the 64-node synthetic topologies in internal/flow/bench_test.go\"\n"
+    print "}"
+}' "$tmp" >BENCH_flow.json
+
+echo "wrote BENCH_flow.json:"
+cat BENCH_flow.json

@@ -1,20 +1,36 @@
 #!/bin/sh
 # verify.sh — the repo's one-command gate:
 #   1. tier-1: go build ./... && go test ./...
-#   2. full suite under the race detector (the parallel experiment runner
-#      executes simulations concurrently; -race keeps that honest)
-#   3. benchmark smoke pass: every benchmark once at the smoke tier
+#   2. static checks: go vet and gofmt -l over the whole module
+#   3. race detector over the full suite, plus a focused -race pass on the
+#      simulation core (internal/flow, internal/mapreduce) with -count=2 so
+#      scratch-state reuse across runs stays honest
+#   4. benchmark smoke pass: every benchmark once at the smoke tier
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== build =="
 go build ./...
 
+echo "== vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== test =="
 go test ./...
 
-echo "== race =="
+echo "== race (full suite) =="
 go test -race ./...
+
+echo "== race (simulation core, repeated) =="
+go test -race -count=2 ./internal/flow ./internal/mapreduce
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
