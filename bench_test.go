@@ -31,6 +31,17 @@ func logOnce(b *testing.B, i int, text string) {
 	}
 }
 
+// benchFig runs one registered experiment function at the benchmark scale,
+// failing on config errors (benchmark configs are always valid) and
+// logging the reproduced figure on the first iteration.
+func benchFig(b *testing.B, i int, f func(experiments.Config) (*experiments.Result, error)) {
+	res, err := f(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	logOnce(b, i, res.Text)
+}
+
 // benchCfg selects the benchmark sizing: paper scale by default, or the
 // smoke tier (experiments.ScaleSmoke) when RCMP_BENCH_SCALE=smoke or
 // =quick — what `make bench-smoke` sets for a fast 1x sanity pass.
@@ -49,7 +60,11 @@ func benchCfg() experiments.Config {
 // pre-runner execution path and the baseline for BenchmarkAllParallel.
 func BenchmarkAllSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, res := range experiments.All(benchCfg().Scale) {
+		results, err := experiments.All(benchCfg().Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
 			if res == nil {
 				b.Fatal("nil experiment result")
 			}
@@ -81,67 +96,79 @@ func BenchmarkAllParallel(b *testing.B) {
 
 func BenchmarkFig2FailureTraceCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig2(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig2)
 	}
 }
 
 func BenchmarkFig8aNoFailure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8a(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig8a)
 	}
 }
 
 func BenchmarkFig8bSingleFailureEarly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8b(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig8b)
 	}
 }
 
 func BenchmarkFig8cSingleFailureLate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig8c(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig8c)
 	}
 }
 
 func BenchmarkFig9DoubleFailures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig9(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig9)
 	}
 }
 
 func BenchmarkFig10ChainLength(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig10(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig10)
 	}
 }
 
 func BenchmarkFig11SpeedupVsNodes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig11(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig11)
 	}
 }
 
 func BenchmarkFig12MapperCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig12(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig12)
 	}
 }
 
 func BenchmarkFig13ReducerWaves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig13(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig13)
 	}
 }
 
 func BenchmarkFig14MapperWaves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Fig14(benchCfg()).Text)
+		benchFig(b, i, experiments.Fig14)
 	}
 }
 
 func BenchmarkHybridEvery5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.Hybrid(benchCfg()).Text)
+		benchFig(b, i, experiments.Hybrid)
+	}
+}
+
+func BenchmarkDoubleFailureNested(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchFig(b, i, experiments.DoubleFailure)
+	}
+}
+
+func BenchmarkTraceReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchFig(b, i, experiments.TraceReplay)
 	}
 }
 
@@ -149,49 +176,49 @@ func BenchmarkHybridEvery5(b *testing.B) {
 
 func BenchmarkAblationScatterVsSplit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationScatterVsSplit(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationScatterVsSplit)
 	}
 }
 
 func BenchmarkAblationSplitRatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationSplitRatio(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationSplitRatio)
 	}
 }
 
 func BenchmarkAblationMapReuse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationMapReuse(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationMapReuse)
 	}
 }
 
 func BenchmarkAblationDetectionTimeout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationDetectionTimeout(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationDetectionTimeout)
 	}
 }
 
 func BenchmarkAblationIORatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationIORatio(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationIORatio)
 	}
 }
 
 func BenchmarkAblationReclamation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationReclamation(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationReclamation)
 	}
 }
 
 func BenchmarkAblationSpeculation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationSpeculation(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationSpeculation)
 	}
 }
 
 func BenchmarkAblationLocality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.AblationLocality(benchCfg()).Text)
+		benchFig(b, i, experiments.AblationLocality)
 	}
 }
 
@@ -199,7 +226,7 @@ func BenchmarkAblationLocality(b *testing.B) {
 // replication-guesswork tables.
 func BenchmarkCostModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logOnce(b, i, experiments.CostModels(benchCfg()).Text)
+		benchFig(b, i, experiments.CostModels)
 	}
 }
 

@@ -13,6 +13,9 @@
 //	rcmpsim -fig all -quick              # everything, small scale
 //	rcmpsim -fig all -parallel 8 -json   # everything, 8 workers, JSON
 //	rcmpsim -run 'Fig8|Hybrid' -seeds 0,1,2
+//	rcmpsim -fig double-failure -schedule '3@15,4@5x2'   # explicit pulses
+//	rcmpsim -fig trace-replay -seeds 0,1                 # trace-driven days
+//	rcmpsim -fig 12 -schedule stic:1     # schedule sampled from the STIC trace
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"rcmp/internal/experiments"
+	"rcmp/internal/failure"
 	"rcmp/internal/runner"
 )
 
@@ -35,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "experiment seed (0 reproduces the paper harness)")
 	seeds := flag.String("seeds", "", "comma-separated seed sweep, overrides -seed (e.g. '0,1,2')")
 	failAt := flag.Int("failure-at", 0, "override the single-failure injection run (0 = figure default)")
+	schedule := flag.String("schedule", "", "failure schedule for schedule-aware figures: pulses 'RUN[@SEC][xNODES],...' (e.g. '2@15,4@5x2'), or 'stic[:SEED]'/'sugar[:SEED]' to sample one from the paper's traces")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment runner")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text figures")
 	timing := flag.Bool("timing", false, "include per-run wall-clock timings in -json output (non-deterministic)")
@@ -67,11 +72,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
 		os.Exit(2)
 	}
+	var scheds []failure.Schedule
+	if *schedule != "" {
+		if *failAt > 0 {
+			fmt.Fprintln(os.Stderr, "rcmpsim: -failure-at and -schedule are mutually exclusive")
+			os.Exit(2)
+		}
+		sched, err := failure.ParseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
+			os.Exit(2)
+		}
+		scheds = []failure.Schedule{sched}
+	}
 	jobs := runner.Grid{
 		Specs:      specs,
 		Scales:     []experiments.Scale{scale},
 		Seeds:      seedList,
 		FailureAts: []int{*failAt},
+		Schedules:  scheds,
 	}.Jobs()
 
 	pool := runner.Runner{Workers: *parallel}

@@ -14,14 +14,21 @@
 // and a parallel deterministic experiment runner (runner).
 //
 // Every experiment is registered in experiments.Registry() and is a pure
-// function of its experiments.Config (scale, seed, failure position): all
+// function of its experiments.Config (scale, seed, failure scenario): all
 // randomness flows from per-run seeded RNGs and each simulation owns its
 // state, so the runner can execute figures across GOMAXPROCS workers while
-// producing output byte-identical to a serial run. `go run ./cmd/rcmpsim
-// -fig all -parallel 8 -json` regenerates the whole evaluation that way;
-// docs/experiments.md describes the registry, seeds and the determinism
-// guarantee, and experiments/golden_digest_test.go pins a SHA-256 digest
-// of every figure's output so behaviour changes cannot land unnoticed.
+// producing output byte-identical to a serial run. Failure scenarios range
+// from the paper's single injection (-failure-at) to multi-failure
+// schedules (failure.Schedule): ordered pulses of simultaneous node
+// losses, written explicitly (-schedule '2@15,4@5x2') or sampled from the
+// Figure-2 STIC/SUG@R traces (-schedule stic), which can land mid-recovery
+// and drive the double-failure and trace-replay experiments. Invalid
+// scenario overrides surface as per-job errors, never panics, so sweep
+// grids always complete. `go run ./cmd/rcmpsim -fig all -parallel 8 -json`
+// regenerates the whole evaluation that way; docs/experiments.md describes
+// the registry, seeds, schedules and the determinism guarantee, and
+// experiments/golden_digest_test.go pins a SHA-256 digest of every
+// figure's output so behaviour changes cannot land unnoticed.
 //
 // The simulation core is built for scale: the flow network rebalances
 // max-min fair rates incrementally per connected component, coalesces

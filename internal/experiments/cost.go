@@ -14,7 +14,7 @@ import (
 // Section V-B against RCMP's pay-per-failure recovery.
 // The analytic models take no simulation input, so Config is accepted only
 // for signature uniformity with the simulated figures.
-func CostModels(Config) *Result {
+func CostModels(Config) (*Result, error) {
 	r := newResult("Section III-B cost models")
 	var sb strings.Builder
 
@@ -31,11 +31,11 @@ func CostModels(Config) *Result {
 	for _, repl := range []int{1, 2, 3} {
 		nodes, err := prov.NodesNeeded(repl)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		over, err := prov.ProvisioningOverhead(repl)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("REPL-%d", repl),
@@ -58,7 +58,7 @@ func CostModels(Config) *Result {
 	} {
 		dist, err := analysis.PoissonFailureDist(reg.mean, 6)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		g := analysis.GuessworkInput{
 			FailureProb:            dist,
@@ -69,21 +69,21 @@ func CostModels(Config) *Result {
 		}
 		rcmp, err := g.ExpectedRCMPTotal()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		var rows [][]string
 		rows = append(rows, []string{"RCMP (no guess)", textplot.Num(rcmp)})
 		for repl := 1; repl <= 4; repl++ {
 			tot, err := g.ExpectedReplicationTotal(repl)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			rows = append(rows, []string{fmt.Sprintf("REPL-%d", repl), textplot.Num(tot)})
 			r.Values[fmt.Sprintf("%s repl-%d", reg.name, repl)] = tot
 		}
 		best, _, err := g.BestReplicationFactor(4)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		r.Values[reg.name+" rcmp"] = rcmp
 		r.Values[reg.name+" best factor"] = float64(best)
@@ -94,5 +94,5 @@ func CostModels(Config) *Result {
 	}
 
 	r.Text = strings.TrimRight(sb.String(), "\n")
-	return r
+	return r, nil
 }

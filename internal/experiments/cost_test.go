@@ -6,7 +6,7 @@ import (
 )
 
 func TestCostModelsShape(t *testing.T) {
-	r := CostModels(Quick())
+	r := runOK(t, CostModels, Quick())
 
 	// Provisioning: REPL-3 needs a meaningfully larger cluster than REPL-1
 	// for the 1:1:1 job (writes triple: 3 I/O units become 5).

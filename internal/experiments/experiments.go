@@ -65,10 +65,19 @@ type Config struct {
 	Seed int64
 	// FailureAt, when positive, overrides the started-run index of the
 	// single-failure injection in figures where "which job fails" is the
-	// experimental knob (Fig8b/8c, Fig12, Hybrid and the single-failure
-	// ablations). Figures whose chain shape dictates the failure position
-	// (Fig9's double failures, Fig11/13/14's short chains) ignore it.
+	// experimental knob (Fig8b/8c, Fig10, Fig12, Hybrid, DoubleFailure and
+	// the single-failure ablations). Figures whose chain shape dictates the
+	// failure position (Fig9's double failures, Fig11/13/14's short chains)
+	// ignore it.
 	FailureAt int
+	// Schedule, when non-empty, replaces the failure injection with an
+	// ordered multi-failure schedule in the figures where the failure
+	// scenario is the experimental knob (the FailureAt set above, minus
+	// Fig10, whose chain-length extrapolation is defined over a single
+	// failure). Mutually exclusive with FailureAt. Victims are drawn
+	// pseudo-randomly from the chain seed, so a schedule sweep composes
+	// with a seed sweep.
+	Schedule failure.Schedule
 }
 
 // Paper returns the default paper-scale configuration.
@@ -174,20 +183,68 @@ func effectiveFailureAt(c Config, def int) int {
 // figures where the failure position is the experimental knob. A single
 // injection only fires while initial runs are still starting, so an
 // override beyond the chain length would silently yield failure-free data
-// mislabeled as a failure figure — that is a configuration error.
-func singleFailure(c Config, st setup, atRun int) []mapreduce.Injection {
+// mislabeled as a failure figure. Overrides arrive from sweep grids and
+// CLI flags — input, not code — so the error is returned, not panicked: a
+// grid can legitimately generate out-of-range points and the runner must
+// be able to record them as per-job failures.
+func singleFailure(c Config, st setup, atRun int) ([]mapreduce.Injection, error) {
 	at := effectiveFailureAt(c, atRun)
 	if c.FailureAt > 0 && at > st.cfg.NumJobs {
-		panic(fmt.Sprintf("experiments: FailureAt=%d exceeds the %d-job chain (%s); the injection would never fire",
-			at, st.cfg.NumJobs, st.name))
+		return nil, fmt.Errorf("experiments: FailureAt=%d exceeds the %d-job chain (%s); the injection would never fire",
+			at, st.cfg.NumJobs, st.name)
 	}
-	return fixedFailure(at)
+	return fixedFailure(at), nil
 }
 
-// failureNote marks a figure title when the failure position was
+// failureScenario resolves the failure injections for a figure whose
+// default is a single injection at started-run def: a non-empty
+// Config.Schedule replaces the single injection with its pulse sequence,
+// otherwise the FailureAt override (or the figure default) applies.
+func failureScenario(c Config, st setup, def int) ([]mapreduce.Injection, error) {
+	if c.Schedule.Empty() {
+		return singleFailure(c, st, def)
+	}
+	if err := validateSchedule(c, st); err != nil {
+		return nil, err
+	}
+	return scheduleInjections(c.Schedule), nil
+}
+
+// validateSchedule checks a non-empty Config.Schedule override against a
+// figure's setup: no conflicting FailureAt, well-formed pulses, and a
+// first pulse the chain is guaranteed to reach.
+func validateSchedule(c Config, st setup) error {
+	if c.FailureAt > 0 {
+		return fmt.Errorf("experiments: FailureAt=%d and Schedule %s are mutually exclusive", c.FailureAt, c.Schedule.Label())
+	}
+	if err := c.Schedule.Validate(); err != nil {
+		return err
+	}
+	if first := c.Schedule.Pulses[0].AtRun; first > st.cfg.NumJobs {
+		return fmt.Errorf("experiments: schedule %s starts at run %d, beyond the %d-job chain (%s); no injection would fire",
+			c.Schedule.Label(), first, st.cfg.NumJobs, st.name)
+	}
+	return nil
+}
+
+// scheduleInjections lowers a failure schedule onto the engine's injection
+// list. Victims are seed-driven (-1): a trace pulse names how many machines
+// die, not which ones.
+func scheduleInjections(s failure.Schedule) []mapreduce.Injection {
+	out := make([]mapreduce.Injection, 0, len(s.Pulses))
+	for _, p := range s.Pulses {
+		out = append(out, mapreduce.Injection{AtRun: p.AtRun, After: des.Time(p.After), Node: -1, Count: p.Nodes})
+	}
+	return out
+}
+
+// failureNote marks a figure title when the failure scenario was
 // overridden, so the output cannot masquerade as the paper's default
 // scenario.
 func failureNote(c Config, name string) string {
+	if !c.Schedule.Empty() {
+		return fmt.Sprintf("%s [schedule %s]", name, c.Schedule.Label())
+	}
 	if c.FailureAt > 0 {
 		return fmt.Sprintf("%s [failure-at %d]", name, c.FailureAt)
 	}
@@ -208,7 +265,7 @@ func run(st setup) *mapreduce.Result {
 
 // Fig2 reproduces the failure-trace CDFs: new failures per day for the
 // STIC-like and SUG@R-like clusters.
-func Fig2(c Config) *Result {
+func Fig2(c Config) (*Result, error) {
 	r := newResult("Fig2: CDF of new failures per day")
 	var names []string
 	series := make(map[string][]float64)
@@ -217,7 +274,7 @@ func Fig2(c Config) *Result {
 		cfg.Seed += c.Seed
 		days, err := failure.Generate(cfg)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cdf := failure.CDF(days)
 		stats := failure.Summarize(days)
@@ -238,7 +295,7 @@ func Fig2(c Config) *Result {
 		series[name] = ys
 	}
 	r.Text = textplot.Series(r.Name, "failures/day (CDF %)", xs, names, series)
-	return r
+	return r, nil
 }
 
 // ---- Figure 8 ----
@@ -315,7 +372,7 @@ func perJobFromRuns(res *mapreduce.Result, failRun int) analysis.PerJob {
 }
 
 // fig8 assembles one Figure 8 sub-figure across setups.
-func fig8(name string, c Config, failures func(setup) []mapreduce.Injection, strategies []string) *Result {
+func fig8(name string, c Config, failures func(setup) ([]mapreduce.Injection, error), strategies []string) (*Result, error) {
 	r := newResult(name)
 	setups := []setup{sticSetup(c, 1, 1), sticSetup(c, 2, 2), dcoSetup(c, 60)}
 	if c.Scale == ScaleQuick {
@@ -327,7 +384,11 @@ func fig8(name string, c Config, failures func(setup) []mapreduce.Injection, str
 	}
 	totals := make(map[string][]float64)
 	for _, st := range setups {
-		runs := fig8Run(st, failures(st))
+		fails, err := failures(st)
+		if err != nil {
+			return nil, err
+		}
+		runs := fig8Run(st, fails)
 		best := math.Inf(1)
 		for _, sr := range runs {
 			if sr.total < best {
@@ -354,27 +415,27 @@ func fig8(name string, c Config, failures func(setup) []mapreduce.Injection, str
 		rows = append(rows, row)
 	}
 	r.Text = textplot.Table(name+" (slowdown vs fastest)", header, rows)
-	return r
+	return r, nil
 }
 
 // Fig8a reproduces Figure 8a: no failures; RCMP vs REPL-2 vs REPL-3 vs
 // OPTIMISTIC (equal to RCMP NO-SPLIT without failures).
-func Fig8a(c Config) *Result {
+func Fig8a(c Config) (*Result, error) {
 	return fig8("Fig8a: no failure", c,
-		func(setup) []mapreduce.Injection { return nil },
+		func(setup) ([]mapreduce.Injection, error) { return nil, nil },
 		[]string{"RCMP NO-SPLIT", "OPTIMISTIC", "HADOOP REPL-2", "HADOOP REPL-3"})
 }
 
 // Fig8b reproduces Figure 8b: a single failure early (at job 2).
-func Fig8b(c Config) *Result {
+func Fig8b(c Config) (*Result, error) {
 	return fig8(failureNote(c, "Fig8b: single failure early (job 2)"), c,
-		func(st setup) []mapreduce.Injection { return singleFailure(c, st, 2) },
+		func(st setup) ([]mapreduce.Injection, error) { return failureScenario(c, st, 2) },
 		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
 }
 
 // Fig8c reproduces Figure 8c: a single failure late (at job 7).
-func Fig8c(c Config) *Result {
-	lastJob := func(st setup) []mapreduce.Injection { return singleFailure(c, st, st.cfg.NumJobs) }
+func Fig8c(c Config) (*Result, error) {
+	lastJob := func(st setup) ([]mapreduce.Injection, error) { return failureScenario(c, st, st.cfg.NumJobs) }
 	return fig8(failureNote(c, "Fig8c: single failure late (job 7)"), c, lastJob,
 		[]string{"RCMP SPLIT", "RCMP NO-SPLIT", "HADOOP REPL-2", "HADOOP REPL-3", "OPTIMISTIC"})
 }
@@ -384,7 +445,7 @@ func Fig8c(c Config) *Result {
 // Fig9 reproduces the double-failure comparison on STIC: FAIL X,Y injects
 // at started-runs X and Y (the paper's job numbering counts recomputation
 // runs). RCMP is run with split-8 and without; Hadoop uses REPL-3.
-func Fig9(c Config) *Result {
+func Fig9(c Config) (*Result, error) {
 	r := newResult("Fig9: double failures (STIC, SLOTS 1-1)")
 	st := sticSetup(c, 1, 1)
 	last := st.cfg.NumJobs
@@ -448,7 +509,7 @@ func Fig9(c Config) *Result {
 	}
 	r.Text = textplot.Table(r.Name+" (slowdown vs best per scenario)",
 		[]string{"scenario", "RCMP S" + textplot.Num(float64(splitRatioFor(st))), "RCMP NO", "REPL-3"}, rows)
-	return r
+	return r, nil
 }
 
 // ---- Figure 10 ----
@@ -457,15 +518,23 @@ func Fig9(c Config) *Result {
 // REPL-2/REPL-3 versus RCMP (split) under a failure at job 2, for chains of
 // 10 to 100 jobs, built from per-job averages measured on the 7-job chain
 // (STIC, SLOTS 2-2 at paper scale).
-func Fig10(c Config) *Result {
+func Fig10(c Config) (*Result, error) {
+	// The extrapolation model is defined over one failure; a multi-failure
+	// Schedule is ignored here the way Fig9/11/13/14 ignore FailureAt — so
+	// the title must not carry a schedule note for data it did not drive.
+	c.Schedule = failure.Schedule{}
 	r := newResult(failureNote(c, "Fig10: longer chains (failure at job 2)"))
 	st := sticSetup(c, 2, 2)
 	failAt := effectiveFailureAt(c, 2)
+	fails, err := singleFailure(c, st, 2)
+	if err != nil {
+		return nil, err
+	}
 
 	rcmp := st
 	rcmp.cfg.Split = true
 	rcmp.cfg.SplitRatio = splitRatioFor(st)
-	rcmp.cfg.Failures = singleFailure(c, st, 2)
+	rcmp.cfg.Failures = fails
 	rcmpRes := run(rcmp)
 	rcmpP := perJobFromRuns(rcmpRes, failAt)
 	rec := recoveryFromRuns(rcmpRes, st)
@@ -475,7 +544,7 @@ func Fig10(c Config) *Result {
 		h := st
 		h.cfg.Mode = mapreduce.ModeHadoop
 		h.cfg.OutputRepl = repl
-		h.cfg.Failures = singleFailure(c, st, 2)
+		h.cfg.Failures = fails
 		hres := run(h)
 		p := perJobFromRuns(hres, failAt)
 		failedJob := failedRunDuration(hres, failAt)
@@ -504,7 +573,7 @@ func Fig10(c Config) *Result {
 	}
 	r.Text = textplot.Series(r.Name, "chain length", xs,
 		[]string{"REPL-3", "REPL-2", "RCMP"}, series)
-	return r
+	return r, nil
 }
 
 // recoveryFromRuns measures an RCMP recovery episode from a failed run.
@@ -540,7 +609,7 @@ func failedRunDuration(res *mapreduce.Result, atRun int) float64 {
 // nodes with constant per-node work, a failure at the last job, split ratio
 // N-1 versus no splitting. Speed-up is the mean initial job time over the
 // mean recomputation-run time.
-func Fig11(c Config) *Result {
+func Fig11(c Config) (*Result, error) {
 	r := newResult("Fig11: recomputation speed-up vs nodes")
 	nodeCounts := []int{12, 24, 36, 48, 60}
 	if c.Scale == ScaleQuick {
@@ -572,7 +641,7 @@ func Fig11(c Config) *Result {
 	}
 	r.Text = textplot.Series(r.Name, "nodes", xs,
 		[]string{"RCMP NO-SPLIT", "RCMP SPLIT"}, series)
-	return r
+	return r, nil
 }
 
 // recomputeSpeedup compares mean initial job time against mean
@@ -589,10 +658,14 @@ func recomputeSpeedup(res *mapreduce.Result) float64 {
 // Fig12 reproduces the hot-spot CDF: mapper running times during the
 // recomputation runs of a late failure on STIC SLOTS 2-2, with and without
 // splitting.
-func Fig12(c Config) *Result {
+func Fig12(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Fig12: mapper time CDF under recomputation"))
 	st := sticSetup(c, 2, 2)
-	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+	fails, err := failureScenario(c, st, st.cfg.NumJobs)
+	if err != nil {
+		return nil, err
+	}
+	st.cfg.Failures = fails
 
 	var names []string
 	cdfs := make(map[string]metrics.CDF)
@@ -636,7 +709,7 @@ func Fig12(c Config) *Result {
 		series[name] = ys
 	}
 	r.Text = textplot.Series(r.Name, "mapper seconds (CDF %)", xs, names, series)
-	return r
+	return r, nil
 }
 
 // ---- Figures 13 and 14 ----
@@ -644,7 +717,7 @@ func Fig12(c Config) *Result {
 // Fig13 reproduces the reducer-wave speed-up: initial runs with 1, 2 and 4
 // reducer waves; recomputed reducers always fit one wave; map outputs are
 // not reused so the reduce phase is isolated; FAST vs SLOW shuffle.
-func Fig13(c Config) *Result {
+func Fig13(c Config) (*Result, error) {
 	r := newResult("Fig13: speed-up from fewer reducer waves")
 	labels := []string{"1:1", "2:1", "4:1"}
 	waveCounts := []int{1, 2, 4}
@@ -673,13 +746,13 @@ func Fig13(c Config) *Result {
 	}
 	r.Text = textplot.Series(r.Name+" (x = initial reducer waves : recompute waves)",
 		"waves", xs, []string{"FAST SHUFFLE", "SLOW SHUFFLE"}, series)
-	return r
+	return r, nil
 }
 
 // Fig14 reproduces the mapper-wave speed-up: one reducer wave throughout,
 // and the number of mapper waves during recomputation dialed from 2 to 18
 // via ForceRecomputeMappers; FAST vs SLOW shuffle.
-func Fig14(c Config) *Result {
+func Fig14(c Config) (*Result, error) {
 	r := newResult("Fig14: speed-up vs recomputation mapper waves")
 	waves := []int{2, 6, 10, 14, 18}
 	if c.Scale == ScaleQuick {
@@ -717,7 +790,7 @@ func Fig14(c Config) *Result {
 	}
 	r.Text = textplot.Series(r.Name, "recompute mapper waves", xs,
 		[]string{"FAST SHUFFLE", "SLOW SHUFFLE"}, series)
-	return r
+	return r, nil
 }
 
 // ---- Hybrid (Section IV-C) ----
@@ -725,15 +798,19 @@ func Fig14(c Config) *Result {
 // Hybrid reproduces the hybrid data point of Section V-B: replication
 // factor 2 once every 5 jobs combined with recomputation, under the late
 // single failure, compared to pure RCMP with splitting.
-func Hybrid(c Config) *Result {
+func Hybrid(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Hybrid: replicate every 5th job + recompute"))
 	st := sticSetup(c, 1, 1)
 	last := st.cfg.NumJobs
+	fails, err := failureScenario(c, st, last)
+	if err != nil {
+		return nil, err
+	}
 
 	pure := st
 	pure.cfg.Split = true
 	pure.cfg.SplitRatio = splitRatioFor(st)
-	pure.cfg.Failures = singleFailure(c, st, last)
+	pure.cfg.Failures = fails
 	pureT := float64(run(pure).Total)
 
 	hyb := st
@@ -741,24 +818,28 @@ func Hybrid(c Config) *Result {
 	hyb.cfg.SplitRatio = splitRatioFor(st)
 	hyb.cfg.HybridEveryK = 5
 	hyb.cfg.HybridRepl = 2
-	hyb.cfg.Failures = singleFailure(c, st, last)
+	hyb.cfg.Failures = fails
 	hybT := float64(run(hyb).Total)
 
 	r.Values["pure RCMP"] = 1
 	r.Values["hybrid vs pure"] = hybT / pureT
 	r.Text = textplot.Bars(r.Name, []string{"RCMP SPLIT", "HYBRID every-5"},
 		[]float64{1, hybT / pureT}, 0.05)
-	return r
+	return r, nil
 }
 
 // ---- Ablations (DESIGN.md Section 5) ----
 
 // AblationScatterVsSplit compares reducer splitting against the
 // scatter-only alternative of Section IV-B2 under the late failure.
-func AblationScatterVsSplit(c Config) *Result {
+func AblationScatterVsSplit(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Ablation: split vs scatter-only vs none"))
 	st := sticSetup(c, 1, 1)
-	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+	fails, err := failureScenario(c, st, st.cfg.NumJobs)
+	if err != nil {
+		return nil, err
+	}
+	st.cfg.Failures = fails
 
 	variants := []struct {
 		name   string
@@ -788,14 +869,18 @@ func AblationScatterVsSplit(c Config) *Result {
 		r.Values[labels[i]] = vals[i]
 	}
 	r.Text = textplot.Bars(r.Name+" (total time vs best)", labels, vals, 0.05)
-	return r
+	return r, nil
 }
 
 // AblationSplitRatio sweeps the split ratio under the late failure.
-func AblationSplitRatio(c Config) *Result {
+func AblationSplitRatio(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Ablation: split ratio sweep"))
 	st := sticSetup(c, 1, 1)
-	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+	fails, err := failureScenario(c, st, st.cfg.NumJobs)
+	if err != nil {
+		return nil, err
+	}
+	st.cfg.Failures = fails
 	ratios := []int{1, 2, 4, 8}
 	if n := st.ccfg.Nodes - 1; n < 8 {
 		ratios = []int{1, 2, n}
@@ -814,14 +899,18 @@ func AblationSplitRatio(c Config) *Result {
 		r.Values[fmt.Sprintf("split %d", k)] = float64(res.Total)
 	}
 	r.Text = textplot.Bars(r.Name+" (total seconds)", labels, vals, vals[len(vals)-1]/40)
-	return r
+	return r, nil
 }
 
 // AblationMapReuse isolates the benefit of reusing persisted map outputs.
-func AblationMapReuse(c Config) *Result {
+func AblationMapReuse(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Ablation: persisted map output reuse"))
 	st := sticSetup(c, 1, 1)
-	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+	fails, err := failureScenario(c, st, st.cfg.NumJobs)
+	if err != nil {
+		return nil, err
+	}
+	st.cfg.Failures = fails
 	st.cfg.Split = true
 	st.cfg.SplitRatio = splitRatioFor(st)
 
@@ -833,7 +922,7 @@ func AblationMapReuse(c Config) *Result {
 	r.Values["without reuse"] = without / withReuse
 	r.Text = textplot.Bars(r.Name+" (total time vs with-reuse)",
 		[]string{"with reuse", "without reuse"}, []float64{1, without / withReuse}, 0.05)
-	return r
+	return r, nil
 }
 
 // AblationIORatio tests the Section V-A claim that RCMP's advantage over
@@ -851,7 +940,7 @@ func AblationMapReuse(c Config) *Result {
 // paper scale. One job at the paper's per-node volume reproduces the
 // claim's mechanism exactly: RCMP writes the output once while REPL-3
 // writes it three times, so the gap widens with the output term.
-func AblationIORatio(c Config) *Result {
+func AblationIORatio(c Config) (*Result, error) {
 	r := newResult("Ablation: input/shuffle/output ratio")
 	type shape struct {
 		name     string
@@ -882,18 +971,22 @@ func AblationIORatio(c Config) *Result {
 		r.Values["REPL-3/RCMP @ "+sh.name] = replT / rcmpT
 	}
 	r.Text = textplot.Bars(r.Name+" (REPL-3 slowdown vs RCMP, single job, no failures)", labels, vals, 0.05)
-	return r
+	return r, nil
 }
 
 // AblationReclamation measures the hybrid checkpoint + storage reclamation
 // mode of Section IV-C: performance must be indistinguishable from plain
 // hybrid (reclamation is metadata-only) while intermediate files vanish.
-func AblationReclamation(c Config) *Result {
+func AblationReclamation(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Ablation: checkpoint storage reclamation"))
 	st := sticSetup(c, 1, 1)
 	st.cfg.HybridEveryK = 3
 	st.cfg.HybridRepl = 2
-	st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+	fails, err := failureScenario(c, st, st.cfg.NumJobs)
+	if err != nil {
+		return nil, err
+	}
+	st.cfg.Failures = fails
 	base := float64(run(st).Total)
 
 	st.cfg.ReclaimAtCheckpoints = true
@@ -902,14 +995,14 @@ func AblationReclamation(c Config) *Result {
 	r.Values["hybrid+reclaim"] = reclaimed / base
 	r.Text = textplot.Bars(r.Name+" (total time vs hybrid)",
 		[]string{"hybrid", "hybrid+reclaim"}, []float64{1, reclaimed / base}, 0.05)
-	return r
+	return r, nil
 }
 
 // AblationSpeculation quantifies the Section III-A claim about speculative
 // execution: with a straggler node it trims the tail, but a large share of
 // speculative launches provide no benefit, and it cannot help at all when
 // the slow task's input has no second replica.
-func AblationSpeculation(c Config) *Result {
+func AblationSpeculation(c Config) (*Result, error) {
 	r := newResult("Ablation: speculative execution with a straggler")
 	st := sticSetup(c, 1, 1)
 	st.cfg.NumJobs = 2
@@ -934,14 +1027,14 @@ func AblationSpeculation(c Config) *Result {
 			r.Name, specRes.SpeculativeLaunched, 100*wastedFrac),
 		[]string{"no speculation", "speculation"},
 		[]float64{1, float64(specRes.Total) / float64(plain.Total)}, 0.05)
-	return r
+	return r, nil
 }
 
 // AblationLocality quantifies the Section III-A claim that data locality
 // matters only when the network is the bottleneck: the map-phase penalty of
 // locality-blind scheduling, at increasing core oversubscription, with a
 // single-replicated input so placement truly decides local versus remote.
-func AblationLocality(c Config) *Result {
+func AblationLocality(c Config) (*Result, error) {
 	r := newResult("Ablation: data locality vs network oversubscription")
 	oversubs := []float64{1, 4, 16}
 	var labels []string
@@ -969,11 +1062,11 @@ func AblationLocality(c Config) *Result {
 		r.Values[fmt.Sprintf("penalty @ %.0f:1", ov)] = penalty
 	}
 	r.Text = textplot.Bars(r.Name+" (map-phase slowdown without locality)", labels, vals, 0.1)
-	return r
+	return r, nil
 }
 
 // AblationDetectionTimeout sweeps the failure detection timeout.
-func AblationDetectionTimeout(c Config) *Result {
+func AblationDetectionTimeout(c Config) (*Result, error) {
 	r := newResult(failureNote(c, "Ablation: failure detection timeout"))
 	timeouts := []float64{10, 30, 60, 120}
 	var labels []string
@@ -983,12 +1076,16 @@ func AblationDetectionTimeout(c Config) *Result {
 		st.ccfg.FailureDetectionTimeout = des.Time(to)
 		st.cfg.Split = true
 		st.cfg.SplitRatio = splitRatioFor(st)
-		st.cfg.Failures = singleFailure(c, st, st.cfg.NumJobs)
+		fails, err := failureScenario(c, st, st.cfg.NumJobs)
+		if err != nil {
+			return nil, err
+		}
+		st.cfg.Failures = fails
 		res := run(st)
 		labels = append(labels, fmt.Sprintf("%.0fs", to))
 		vals = append(vals, float64(res.Total))
 		r.Values[fmt.Sprintf("timeout %.0fs", to)] = float64(res.Total)
 	}
 	r.Text = textplot.Bars(r.Name+" (total seconds)", labels, vals, vals[0]/40)
-	return r
+	return r, nil
 }

@@ -9,7 +9,7 @@ import (
 // of each figure's result (who wins, directionality), not absolute numbers.
 
 func TestFig2(t *testing.T) {
-	r := Fig2(Quick())
+	r := runOK(t, Fig2, Quick())
 	if r.Values["STIC/p-zero-days"] < 0.8 {
 		t.Fatalf("STIC zero-failure days %.2f, want > 0.8", r.Values["STIC/p-zero-days"])
 	}
@@ -25,7 +25,7 @@ func TestFig2(t *testing.T) {
 }
 
 func TestFig8aShape(t *testing.T) {
-	r := Fig8a(Quick())
+	r := runOK(t, Fig8a, Quick())
 	col := " @ SLOTS 1-1, STIC"
 	rcmp := r.Values["RCMP NO-SPLIT"+col]
 	r2 := r.Values["HADOOP REPL-2"+col]
@@ -42,7 +42,7 @@ func TestFig8aShape(t *testing.T) {
 }
 
 func TestFig8bShape(t *testing.T) {
-	r := Fig8b(Quick())
+	r := runOK(t, Fig8b, Quick())
 	col := " @ SLOTS 1-1, STIC"
 	split := r.Values["RCMP SPLIT"+col]
 	nosplit := r.Values["RCMP NO-SPLIT"+col]
@@ -56,7 +56,7 @@ func TestFig8bShape(t *testing.T) {
 }
 
 func TestFig8cShape(t *testing.T) {
-	r := Fig8c(Quick())
+	r := runOK(t, Fig8c, Quick())
 	col := " @ SLOTS 1-1, STIC"
 	split := r.Values["RCMP SPLIT"+col]
 	opt := r.Values["OPTIMISTIC"+col]
@@ -69,7 +69,7 @@ func TestFig8cShape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	r := Fig9(Quick())
+	r := runOK(t, Fig9, Quick())
 	// RCMP with splitting should win or tie every double-failure scenario.
 	for k, v := range r.Values {
 		if strings.HasPrefix(k, "RCMP S @ ") {
@@ -84,7 +84,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r := Fig10(Quick())
+	r := runOK(t, Fig10, Quick())
 	for _, repl := range []string{"REPL-2", "REPL-3"} {
 		at10 := r.Values[repl+" @ 10 jobs"]
 		at100 := r.Values[repl+" @ 100 jobs"]
@@ -99,7 +99,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	r := Fig11(Quick())
+	r := runOK(t, Fig11, Quick())
 	// Splitting extracts more speed-up from more nodes; no-split plateaus.
 	s6 := r.Values["RCMP SPLIT @ 6 nodes"]
 	s10 := r.Values["RCMP SPLIT @ 10 nodes"]
@@ -113,7 +113,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	r := Fig12(Quick())
+	r := runOK(t, Fig12, Quick())
 	noSplit := r.Values["RCMP NO-SPLIT median"]
 	split := r.Values["RCMP SPLIT IN 8 median"]
 	if split >= noSplit {
@@ -125,7 +125,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	r := Fig13(Quick())
+	r := runOK(t, Fig13, Quick())
 	// More initial reducer waves -> more recomputation speed-up, and the
 	// effect is stronger under a slow shuffle (the paper's linear case).
 	f1 := r.Values["FAST SHUFFLE @ 1:1"]
@@ -144,7 +144,7 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	r := Fig14(Quick())
+	r := runOK(t, Fig14, Quick())
 	// Fewer recompute mapper waves -> higher speed-up for FAST; SLOW is flat.
 	f2 := r.Values["FAST SHUFFLE @ 2 waves"]
 	f6 := r.Values["FAST SHUFFLE @ 6 waves"]
@@ -161,7 +161,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestHybridShape(t *testing.T) {
-	r := Hybrid(Quick())
+	r := runOK(t, Hybrid, Quick())
 	v := r.Values["hybrid vs pure"]
 	// Hybrid bounds the cascade: on a late failure it should not be much
 	// slower, and typically faster, than pure recomputation.
@@ -171,7 +171,7 @@ func TestHybridShape(t *testing.T) {
 }
 
 func TestAblationScatterVsSplit(t *testing.T) {
-	r := AblationScatterVsSplit(Quick())
+	r := runOK(t, AblationScatterVsSplit, Quick())
 	split := r.Values["SPLIT"]
 	scatter := r.Values["SCATTER"]
 	noSplit := r.Values["NO-SPLIT"]
@@ -181,7 +181,7 @@ func TestAblationScatterVsSplit(t *testing.T) {
 }
 
 func TestAblationSplitRatio(t *testing.T) {
-	r := AblationSplitRatio(Quick())
+	r := runOK(t, AblationSplitRatio, Quick())
 	if len(r.Values) < 3 {
 		t.Fatalf("too few ratio points: %v", r.Values)
 	}
@@ -199,14 +199,14 @@ func TestAblationSplitRatio(t *testing.T) {
 }
 
 func TestAblationMapReuse(t *testing.T) {
-	r := AblationMapReuse(Quick())
+	r := runOK(t, AblationMapReuse, Quick())
 	if r.Values["without reuse"] <= 1.0 {
 		t.Fatalf("disabling map-output reuse did not slow recovery: %v", r.Values)
 	}
 }
 
 func TestAblationIORatio(t *testing.T) {
-	r := AblationIORatio(Quick())
+	r := runOK(t, AblationIORatio, Quick())
 	filter := r.Values["REPL-3/RCMP @ 1:1:0.3 (filter)"]
 	sortLike := r.Values["REPL-3/RCMP @ 1:1:1 (sort)"]
 	cogroup := r.Values["REPL-3/RCMP @ 1:1:2 (cogroup)"]
@@ -221,7 +221,7 @@ func TestAblationIORatio(t *testing.T) {
 }
 
 func TestAblationReclamation(t *testing.T) {
-	r := AblationReclamation(Quick())
+	r := runOK(t, AblationReclamation, Quick())
 	v := r.Values["hybrid+reclaim"]
 	// Reclamation is metadata-only: time within a few percent of hybrid.
 	if v < 0.95 || v > 1.05 {
@@ -230,7 +230,7 @@ func TestAblationReclamation(t *testing.T) {
 }
 
 func TestAblationSpeculation(t *testing.T) {
-	r := AblationSpeculation(Quick())
+	r := runOK(t, AblationSpeculation, Quick())
 	if r.Values["speculation"] >= 1.0 {
 		t.Fatalf("speculation did not help a straggler cluster: %.3f", r.Values["speculation"])
 	}
@@ -243,7 +243,7 @@ func TestAblationSpeculation(t *testing.T) {
 }
 
 func TestAblationLocality(t *testing.T) {
-	r := AblationLocality(Quick())
+	r := runOK(t, AblationLocality, Quick())
 	p1 := r.Values["penalty @ 1:1"]
 	p16 := r.Values["penalty @ 16:1"]
 	if p16 <= p1 {
@@ -255,7 +255,7 @@ func TestAblationLocality(t *testing.T) {
 }
 
 func TestAblationDetectionTimeout(t *testing.T) {
-	r := AblationDetectionTimeout(Quick())
+	r := runOK(t, AblationDetectionTimeout, Quick())
 	if r.Values["timeout 10s"] >= r.Values["timeout 120s"] {
 		t.Fatalf("longer detection timeout not slower: %v", r.Values)
 	}

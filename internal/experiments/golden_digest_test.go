@@ -31,6 +31,8 @@ var goldenDigests = map[string]string{
 	"13":                   "e88346f9e2ae3c508206e07717da67abc45f194c0f295164bd065a44d88f7104",
 	"14":                   "21653678505042b7e37488635960378fea5704fc4032d3936494e742802777dc",
 	"hybrid":               "349ffa76f4a43cbeb55a685fcf1d8265ec3793ec8a4498d035b42e44cc07931a",
+	"double-failure":       "5d0559b4664ae88c86eecb15801c1a1e6e5f98e6faef13882747fdf5a1a8994b", // new in PR 3: schedule engine
+	"trace-replay":         "bd5a8028e978bc27a0bc3deb672e85c2308c3791137b3a5d63f78ea06d9790d2", // new in PR 3: schedule engine
 	"ablation-scatter":     "19620a0141b6101b6d236ee386fe4a25173126204908dfa4a2d1994d7177b3a9",
 	"ablation-ratio":       "60e1310feca48e568327211feceb2bdcaac91807f0b7de133da758d0ebf97ea2",
 	"ablation-reuse":       "9ce612f882fb1a2df8592e409be5d6481340ebf02725e3029d0b85912213a692",
@@ -69,7 +71,7 @@ func TestGoldenDigests(t *testing.T) {
 			if !ok {
 				t.Fatalf("experiment %q has no golden digest; run the digest harness and add one", sp.Key)
 			}
-			got := resultDigest(sp.Run(Config{Scale: ScaleQuick, Seed: sp.Seed}))
+			got := resultDigest(runOK(t, sp.Run, Config{Scale: ScaleQuick, Seed: sp.Seed}))
 			if got != want {
 				t.Errorf("output digest drifted:\n  got  %s\n  want %s\n"+
 					"The simulation produced different bytes for a fixed seed. If this is an intentional "+
@@ -95,7 +97,7 @@ func TestGoldenDigestsStableAcrossRuns(t *testing.T) {
 		t.Fatal("spec 8b missing")
 	}
 	cfg := Config{Scale: ScaleQuick, Seed: 3}
-	if a, b := resultDigest(sp.Run(cfg)), resultDigest(sp.Run(cfg)); a != b {
+	if a, b := resultDigest(runOK(t, sp.Run, cfg)), resultDigest(runOK(t, sp.Run, cfg)); a != b {
 		t.Fatalf("same config produced different output: %s vs %s", a, b)
 	}
 }

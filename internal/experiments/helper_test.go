@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+// runOK executes an experiment, failing the test on a config error — the
+// shape tests all use valid default configs.
+func runOK(t *testing.T, f func(Config) (*Result, error), c Config) *Result {
+	t.Helper()
+	r, err := f(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

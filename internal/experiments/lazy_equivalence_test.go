@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rcmp/internal/flow"
+)
+
+// TestGoldenResultsEquivalentUnderLazyBanking runs the full registry a
+// second time with the flow network's lazy per-component banking enabled
+// and asserts result-level equivalence with the strict-mode run: the same
+// value keys with numerically indistinguishable numbers. Lazy mode
+// accumulates progress in different floating-point chunks, so simulated
+// timestamps may drift by ulps and the byte-exact golden digests do not
+// apply — but the experiment results must not drift beyond rounding, or
+// the lazy path has silently diverged from the model (docs/flow.md states
+// this contract).
+func TestGoldenResultsEquivalentUnderLazyBanking(t *testing.T) {
+	const relTol = 1e-6
+	for _, sp := range Registry() {
+		sp := sp
+		t.Run(sp.Key, func(t *testing.T) {
+			cfg := Config{Scale: ScaleQuick, Seed: sp.Seed}
+			strict := runOK(t, sp.Run, cfg)
+
+			prev := flow.SetDefaultLazyBanking(true)
+			defer flow.SetDefaultLazyBanking(prev)
+			lazy := runOK(t, sp.Run, cfg)
+
+			if strict.Name != lazy.Name {
+				t.Fatalf("names differ: %q vs %q", strict.Name, lazy.Name)
+			}
+			if len(strict.Values) != len(lazy.Values) {
+				t.Fatalf("value counts differ: %d vs %d", len(strict.Values), len(lazy.Values))
+			}
+			for k, sv := range strict.Values {
+				lv, ok := lazy.Values[k]
+				if !ok {
+					t.Errorf("lazy run lost value %q", k)
+					continue
+				}
+				if math.IsNaN(sv) && math.IsNaN(lv) {
+					continue
+				}
+				diff := math.Abs(sv - lv)
+				scale := math.Max(math.Abs(sv), math.Abs(lv))
+				if diff > relTol*math.Max(scale, 1) {
+					t.Errorf("value %q drifted under lazy banking: strict %v vs lazy %v", k, sv, lv)
+				}
+			}
+		})
+	}
+}

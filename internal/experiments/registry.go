@@ -1,6 +1,9 @@
 package experiments
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Spec is one registered experiment artifact: a figure, table or ablation
 // of the paper's evaluation. The registry is the single source of truth the
@@ -19,7 +22,10 @@ type Spec struct {
 	Scale Scale
 	Seed  int64
 	// Run executes the experiment. Equal Configs yield identical Results.
-	Run func(Config) *Result
+	// A non-nil error means the Config was invalid for this figure (e.g. a
+	// FailureAt or Schedule beyond the chain length), never that the
+	// simulation misbehaved — simulator bugs still panic.
+	Run func(Config) (*Result, error)
 }
 
 // Registry returns every experiment in presentation order. The slice is
@@ -37,6 +43,8 @@ func Registry() []Spec {
 		{Key: "13", Name: "Fig13", Desc: "reducer-wave speed-up", Run: Fig13},
 		{Key: "14", Name: "Fig14", Desc: "mapper-wave speed-up", Run: Fig14},
 		{Key: "hybrid", Name: "Hybrid", Desc: "hybrid replication every 5 jobs", Run: Hybrid},
+		{Key: "double-failure", Name: "DoubleFailure", Desc: "second failure lands mid-recomputation (schedule engine)", Run: DoubleFailure},
+		{Key: "trace-replay", Name: "TraceReplay", Desc: "recomputation work per day under STIC/SUG@R trace schedules", Run: TraceReplay},
 		{Key: "ablation-scatter", Name: "AblationScatterVsSplit", Desc: "split vs scatter-only vs none", Run: AblationScatterVsSplit},
 		{Key: "ablation-ratio", Name: "AblationSplitRatio", Desc: "split ratio sweep", Run: AblationSplitRatio},
 		{Key: "ablation-reuse", Name: "AblationMapReuse", Desc: "map-output reuse on/off", Run: AblationMapReuse},
@@ -71,11 +79,16 @@ func Keys() []string {
 
 // All runs every experiment serially at the given scale with each spec's
 // default seed, in presentation order — the pre-runner execution path,
-// kept as the baseline the parallel runner is benchmarked against.
-func All(s Scale) []*Result {
+// kept as the baseline the parallel runner is benchmarked against. The
+// default configs are always valid, so any error is a harness bug.
+func All(s Scale) ([]*Result, error) {
 	var out []*Result
 	for _, sp := range Registry() {
-		out = append(out, sp.Run(Config{Scale: s, Seed: sp.Seed}))
+		res, err := sp.Run(Config{Scale: s, Seed: sp.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", sp.Name, err)
+		}
+		out = append(out, res)
 	}
-	return out
+	return out, nil
 }

@@ -44,12 +44,13 @@ func exportedExperimentFuncs(t *testing.T) map[string]bool {
 	return out
 }
 
-// isExperimentSignature reports whether a func type is func(Config) *Result.
+// isExperimentSignature reports whether a func type is
+// func(Config) (*Result, error).
 func isExperimentSignature(ft *ast.FuncType) bool {
 	if ft.Params == nil || len(ft.Params.List) != 1 {
 		return false
 	}
-	if ft.Results == nil || len(ft.Results.List) != 1 {
+	if ft.Results == nil || len(ft.Results.List) != 2 {
 		return false
 	}
 	param, ok := ft.Params.List[0].Type.(*ast.Ident)
@@ -65,11 +66,15 @@ func isExperimentSignature(ft *ast.FuncType) bool {
 		return false
 	}
 	res, ok := star.X.(*ast.Ident)
-	return ok && res.Name == "Result"
+	if !ok || res.Name != "Result" {
+		return false
+	}
+	errIdent, ok := ft.Results.List[1].Type.(*ast.Ident)
+	return ok && errIdent.Name == "error"
 }
 
 // funcName resolves a Spec.Run pointer back to its function name.
-func funcName(f func(Config) *Result) string {
+func funcName(f func(Config) (*Result, error)) string {
 	full := runtime.FuncForPC(reflect.ValueOf(f).Pointer()).Name()
 	if i := strings.LastIndex(full, "."); i >= 0 {
 		return full[i+1:]

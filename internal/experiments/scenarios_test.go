@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rcmp/internal/failure"
+)
+
+func TestDoubleFailureShape(t *testing.T) {
+	r := runOK(t, DoubleFailure, Quick())
+	// The defining property: the second failure cancels a recomputation
+	// run — it landed inside the first failure's recovery cascade.
+	if r.Values["nested cancelled recomputes"] < 1 {
+		t.Fatalf("second failure did not land during recomputation: %v", r.Values)
+	}
+	// Splitting must not lose to no-split under the nested double failure.
+	if r.Values["RCMP SPLIT"] > r.Values["RCMP NO-SPLIT"]*1.02 {
+		t.Fatalf("split (%v) worse than no-split (%v) under nested failures", r.Values["RCMP SPLIT"], r.Values["RCMP NO-SPLIT"])
+	}
+	if !strings.Contains(r.Name, "nested-") {
+		t.Fatalf("default schedule not named in title: %q", r.Name)
+	}
+}
+
+func TestDoubleFailureScheduleOverride(t *testing.T) {
+	c := Quick()
+	c.Schedule = failure.Schedule{Name: "custom", Pulses: []failure.Pulse{
+		{AtRun: 2, After: 10, Nodes: 1},
+		{AtRun: 3, After: 5, Nodes: 2},
+	}}
+	r := runOK(t, DoubleFailure, c)
+	if !strings.Contains(r.Name, "custom") {
+		t.Fatalf("override schedule not named in title: %q", r.Name)
+	}
+	def := runOK(t, DoubleFailure, Quick())
+	if r.Values["RCMP NO-SPLIT"] == def.Values["RCMP NO-SPLIT"] && r.Values["started runs"] == def.Values["started runs"] {
+		t.Fatal("schedule override did not change the simulation")
+	}
+}
+
+func TestTraceReplayShape(t *testing.T) {
+	r := runOK(t, TraceReplay, Quick())
+	for _, trace := range []string{"STIC", "SUG@R"} {
+		if r.Values[trace+" pulses"] < 1 {
+			t.Fatalf("%s replay sampled no failure pulses: %v", trace, r.Values)
+		}
+		if r.Values[trace+" NO-SPLIT s/day"] <= 0 {
+			t.Fatalf("%s replay produced no recomputation work: %v", trace, r.Values)
+		}
+	}
+	again := runOK(t, TraceReplay, Quick())
+	if r.Text != again.Text {
+		t.Fatal("trace replay not deterministic for a fixed config")
+	}
+	seeded := runOK(t, TraceReplay, Config{Scale: ScaleQuick, Seed: 9})
+	if seeded.Text == r.Text {
+		t.Fatal("seed does not reach the trace-replay sampler")
+	}
+}
+
+// TestTraceReplaySplitWinsAtPaperScale checks the figure's headline at the
+// paper's cluster shape: reducer splitting reduces the expected
+// recomputation work per day on both traces.
+func TestTraceReplaySplitWinsAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper scale")
+	}
+	r := runOK(t, TraceReplay, Paper())
+	for _, trace := range []string{"STIC", "SUG@R"} {
+		if ratio := r.Values[trace+" SPLIT/NO-SPLIT"]; !(ratio < 1) {
+			t.Fatalf("%s: splitting did not reduce per-day recompute work (ratio %v)", trace, ratio)
+		}
+	}
+}
+
+// TestFailureScenarioErrors pins the bugfix: invalid failure overrides are
+// reported as errors, never panics, for every schedule-aware figure.
+func TestFailureScenarioErrors(t *testing.T) {
+	tooFar := Quick()
+	tooFar.FailureAt = 99
+	conflict := Quick()
+	conflict.FailureAt = 2
+	conflict.Schedule = failure.Schedule{Pulses: []failure.Pulse{{AtRun: 2, After: 15, Nodes: 1}}}
+	badSched := Quick()
+	badSched.Schedule = failure.Schedule{Pulses: []failure.Pulse{{AtRun: 0, After: 15, Nodes: 1}}}
+	lateSched := Quick()
+	lateSched.Schedule = failure.Schedule{Pulses: []failure.Pulse{{AtRun: 50, After: 15, Nodes: 1}}}
+
+	funcs := map[string]func(Config) (*Result, error){
+		"Fig8b": Fig8b, "Fig8c": Fig8c, "Fig10": Fig10, "Fig12": Fig12,
+		"Hybrid": Hybrid, "DoubleFailure": DoubleFailure,
+		"AblationScatterVsSplit": AblationScatterVsSplit, "AblationSplitRatio": AblationSplitRatio,
+		"AblationMapReuse": AblationMapReuse, "AblationReclamation": AblationReclamation,
+		"AblationDetectionTimeout": AblationDetectionTimeout,
+	}
+	for name, f := range funcs {
+		if _, err := f(tooFar); err == nil || !strings.Contains(err.Error(), "exceeds") {
+			t.Errorf("%s(FailureAt=99): err = %v, want out-of-range error", name, err)
+		}
+	}
+	// Schedule-aware figures must also reject conflicting and invalid
+	// schedules (Fig10 ignores schedules by design).
+	for _, name := range []string{"Fig8b", "Fig12", "Hybrid", "DoubleFailure", "AblationDetectionTimeout"} {
+		f := funcs[name]
+		if _, err := f(conflict); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Errorf("%s(FailureAt+Schedule): err = %v, want conflict error", name, err)
+		}
+		if _, err := f(badSched); err == nil {
+			t.Errorf("%s(bad schedule): invalid schedule accepted", name)
+		}
+		if _, err := f(lateSched); err == nil || !strings.Contains(err.Error(), "beyond") {
+			t.Errorf("%s(late schedule): err = %v, want beyond-chain error", name, err)
+		}
+	}
+}
+
+// TestScheduleDrivesKnobFigures: a multi-failure schedule threaded through
+// Config must actually change a schedule-aware figure's simulation.
+func TestScheduleDrivesKnobFigures(t *testing.T) {
+	c := Quick()
+	c.Schedule = failure.Schedule{Name: "double", Pulses: []failure.Pulse{
+		{AtRun: 2, After: 15, Nodes: 1},
+		{AtRun: 3, After: 15, Nodes: 1},
+	}}
+	base := runOK(t, Fig8b, Quick())
+	sched := runOK(t, Fig8b, c)
+	if base.Text == sched.Text {
+		t.Fatal("schedule did not reach the Fig8b simulation")
+	}
+	if !strings.Contains(sched.Name, "schedule double") {
+		t.Fatalf("schedule not noted in title: %q", sched.Name)
+	}
+}

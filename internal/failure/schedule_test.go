@@ -1,0 +1,164 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{Pulses: []Pulse{{AtRun: 2, After: 15, Nodes: 1}, {AtRun: 4, After: 5, Nodes: 2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Schedule{}).Validate() != nil {
+		t.Fatal("empty schedule must validate")
+	}
+	bad := []struct {
+		name string
+		s    Schedule
+	}{
+		{"run zero", Schedule{Pulses: []Pulse{{AtRun: 0, After: 15, Nodes: 1}}}},
+		{"negative offset", Schedule{Pulses: []Pulse{{AtRun: 1, After: -1, Nodes: 1}}}},
+		{"zero nodes", Schedule{Pulses: []Pulse{{AtRun: 1, After: 15}}}},
+		{"out of order", Schedule{Pulses: []Pulse{{AtRun: 4, After: 15, Nodes: 1}, {AtRun: 2, After: 15, Nodes: 1}}}},
+	}
+	for _, tc := range bad {
+		if err := tc.s.Validate(); err == nil {
+			t.Errorf("%s accepted: %+v", tc.name, tc.s)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	s := Schedule{Pulses: []Pulse{{AtRun: 2, After: 15, Nodes: 1}, {AtRun: 4, After: 5, Nodes: 2}}}
+	if got, want := s.String(), "2@15x1,4@5x2"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	back, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Fatalf("round trip drifted: %q vs %q", back.String(), s.String())
+	}
+}
+
+func TestParseSchedulePulseDefaults(t *testing.T) {
+	s, err := ParseSchedule("2@15,4@5x2, 7 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pulse{{AtRun: 2, After: 15, Nodes: 1}, {AtRun: 4, After: 5, Nodes: 2}, {AtRun: 7, After: 15, Nodes: 1}}
+	if len(s.Pulses) != len(want) {
+		t.Fatalf("parsed %d pulses, want %d", len(s.Pulses), len(want))
+	}
+	for i, p := range s.Pulses {
+		if p != want[i] {
+			t.Fatalf("pulse %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+	if empty, err := ParseSchedule(""); err != nil || !empty.Empty() {
+		t.Fatalf("empty spec: %+v, %v", empty, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{"abc", "2@", "0@15", "2@15x0", "4,2", "2@-3", "stic:zz"} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseScheduleTraceSampling(t *testing.T) {
+	a, err := ParseSchedule("stic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(a.Name, "STIC/") {
+		t.Fatalf("trace schedule name %q", a.Name)
+	}
+	b, err := ParseSchedule("STIC:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("default seed differs from :0: %q vs %q", a, b)
+	}
+	if _, err := ParseSchedule("sugar:3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTraceDrivenByTraceStatistics(t *testing.T) {
+	// Over many sampled schedules the pulse rate must approximate the
+	// trace's failure-day fraction, and node counts must respect the cap.
+	cfg := STICTrace()
+	const runs, samples, maxNodes = 7, 400, 3
+	pulses, draws := 0, 0
+	for seed := int64(0); seed < samples; seed++ {
+		s, err := FromTrace(cfg, runs, maxNodes, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sampled schedule invalid: %v", err)
+		}
+		for _, p := range s.Pulses {
+			if p.Nodes < 1 || p.Nodes > maxNodes {
+				t.Fatalf("pulse nodes %d outside [1,%d]", p.Nodes, maxNodes)
+			}
+			if p.AtRun < 1 || p.AtRun > runs {
+				t.Fatalf("pulse run %d outside [1,%d]", p.AtRun, runs)
+			}
+		}
+		pulses += len(s.Pulses)
+		draws += runs
+	}
+	rate := float64(pulses) / float64(draws)
+	if rate < cfg.FailureDayFraction-0.04 || rate > cfg.FailureDayFraction+0.04 {
+		t.Fatalf("pulse rate %.3f, want ~%.2f (the trace's failure-day fraction)", rate, cfg.FailureDayFraction)
+	}
+}
+
+func TestFromTraceDeterministicPerSeed(t *testing.T) {
+	a, _ := FromTrace(STICTrace(), 7, 3, 5)
+	b, _ := FromTrace(STICTrace(), 7, 3, 5)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different schedules")
+	}
+	c, _ := FromTrace(STICTrace(), 7, 3, 6)
+	d, _ := FromTrace(STICTrace(), 7, 3, 7)
+	if a.String() == c.String() && a.String() == d.String() {
+		t.Fatal("seed does not reach the schedule sampler")
+	}
+}
+
+func TestFromTraceRejectsBadArgs(t *testing.T) {
+	if _, err := FromTrace(STICTrace(), 0, 3, 0); err == nil {
+		t.Error("runs=0 accepted")
+	}
+	if _, err := FromTrace(STICTrace(), 7, 0, 0); err == nil {
+		t.Error("maxNodes=0 accepted")
+	}
+	if _, err := FromTrace(TraceConfig{}, 7, 3, 0); err == nil {
+		t.Error("invalid trace config accepted")
+	}
+}
+
+func TestScheduleCapped(t *testing.T) {
+	s := Schedule{Pulses: []Pulse{{AtRun: 1, After: 15, Nodes: 2}, {AtRun: 3, After: 15, Nodes: 3}, {AtRun: 5, After: 15, Nodes: 1}}}
+	c := s.Capped(4)
+	if got := c.TotalNodes(); got != 4 {
+		t.Fatalf("capped total %d, want 4", got)
+	}
+	if len(c.Pulses) != 2 || c.Pulses[1].Nodes != 2 {
+		t.Fatalf("capped pulses %+v", c.Pulses)
+	}
+	if got := s.Capped(100).TotalNodes(); got != s.TotalNodes() {
+		t.Fatalf("loose cap changed total: %d vs %d", got, s.TotalNodes())
+	}
+	if !s.Capped(0).Empty() {
+		t.Fatal("zero budget must empty the schedule")
+	}
+}

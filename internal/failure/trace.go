@@ -46,6 +46,12 @@ func (c *TraceConfig) Validate() error {
 		return fmt.Errorf("failure: trace %q failure-day fraction %v", c.Name, c.FailureDayFraction)
 	case c.OutageDayFraction < 0 || c.OutageDayFraction > c.FailureDayFraction:
 		return fmt.Errorf("failure: trace %q outage fraction %v exceeds failure fraction", c.Name, c.OutageDayFraction)
+	case c.FailureDayFraction > 0 && c.MeanFailures <= 0:
+		// The geometric sampler divides by MeanFailures.
+		return fmt.Errorf("failure: trace %q mean failures %v; want > 0", c.Name, c.MeanFailures)
+	case c.OutageScale < 0:
+		// A negative scale would make Generate emit negative failure counts.
+		return fmt.Errorf("failure: trace %q negative outage scale %v", c.Name, c.OutageScale)
 	}
 	return nil
 }

@@ -10,15 +10,23 @@ func TestValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := []TraceConfig{
-		{Name: "x", Nodes: 0, Days: 10},
-		{Name: "x", Nodes: 10, Days: 0},
-		{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 1.5},
-		{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1, OutageDayFraction: 0.2},
+	bad := []struct {
+		name string
+		cfg  TraceConfig
+	}{
+		{"zero nodes", TraceConfig{Name: "x", Nodes: 0, Days: 10}},
+		{"zero days", TraceConfig{Name: "x", Nodes: 10, Days: 0}},
+		{"fraction above 1", TraceConfig{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 1.5}},
+		{"outage above failure fraction", TraceConfig{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1, OutageDayFraction: 0.2}},
+		// MeanFailures <= 0 would divide by zero in the geometric sampler.
+		{"zero mean failures", TraceConfig{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1}},
+		{"negative mean failures", TraceConfig{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1, MeanFailures: -2}},
+		// A negative outage scale would emit negative failure counts.
+		{"negative outage scale", TraceConfig{Name: "x", Nodes: 10, Days: 10, FailureDayFraction: 0.1, MeanFailures: 1.5, OutageScale: -25}},
 	}
-	for i, cfg := range bad {
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("case %d accepted: %+v", i, cfg)
+	for _, tc := range bad {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s accepted: %+v", tc.name, tc.cfg)
 		}
 	}
 	if _, err := Generate(TraceConfig{}); err == nil {

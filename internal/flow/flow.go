@@ -38,6 +38,7 @@ package flow
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"rcmp/internal/des"
 )
@@ -223,9 +224,22 @@ type Network struct {
 	Completed uint64
 }
 
+// lazyDefault, when set, makes every Network created by NewNetwork start
+// in lazy banking mode (see EnableLazyBanking). It exists so whole stacks
+// that build their networks deep inside constructors — a simulated cluster,
+// an experiment harness — can be flipped to lazy accounting without
+// threading a flag through every layer, e.g. to re-run the golden-digest
+// suite under the lazy path.
+var lazyDefault atomic.Bool
+
+// SetDefaultLazyBanking toggles lazy banking for networks created after
+// the call and returns the previous setting, so callers can restore it.
+// Existing networks are unaffected.
+func SetDefaultLazyBanking(on bool) bool { return lazyDefault.Swap(on) }
+
 // NewNetwork returns an empty network bound to the simulator clock.
 func NewNetwork(sim *des.Simulator) *Network {
-	return &Network{sim: sim}
+	return &Network{sim: sim, lazy: lazyDefault.Load()}
 }
 
 // Sim returns the simulator the network is bound to.

@@ -148,7 +148,16 @@ func (d *Driver) newRun(job int, kind metrics.RunKind) *jobRun {
 	for _, inj := range d.cfg.Failures {
 		if inj.AtRun == d.runCounter {
 			inj := inj
-			d.sim.After(inj.After, func() { d.injectFailure(inj.Node) })
+			d.sim.After(inj.After, func() {
+				// A multi-node injection kills its whole batch at one
+				// simulated instant, the way an outage day loses machines
+				// together; injectFailure itself refuses to take the last
+				// alive node.
+				d.injectFailure(inj.Node)
+				for extra := 1; extra < inj.Count; extra++ {
+					d.injectFailure(-1)
+				}
+			})
 		}
 	}
 	d.current = r

@@ -60,6 +60,12 @@ type Injection struct {
 	// Node is the victim node ID, or -1 to pick a deterministic
 	// pseudo-random alive node from the chain's seed.
 	Node int
+	// Count is how many nodes fail together at this injection — the
+	// paper's outage days (Figure 2) lose several machines at once. 0 and
+	// 1 both mean a single node. Victims beyond the first are always drawn
+	// like Node: -1 (seeded pseudo-random alive nodes); the cluster is
+	// never killed below one alive node.
+	Count int
 }
 
 // ChainConfig describes a whole multi-job computation.

@@ -12,7 +12,10 @@ type ReportResult struct {
 	Scale     string `json:"scale"`
 	Seed      int64  `json:"seed"`
 	FailureAt int    `json:"failure_at,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// Schedule is the canonical pulse syntax of the failure-schedule
+	// override, when one was set (see failure.Schedule.String).
+	Schedule string `json:"schedule,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Experiment is the Result.Name the experiment itself reported.
 	Experiment string `json:"experiment,omitempty"`
 	// Values holds the figure's key numbers. Non-finite values are encoded
@@ -40,6 +43,7 @@ func NewReport(results []Result, withTiming bool) Report {
 			Scale:     res.Config.Scale.String(),
 			Seed:      res.Config.Seed,
 			FailureAt: res.Config.FailureAt,
+			Schedule:  res.Config.Schedule.String(),
 			Error:     res.Err,
 		}
 		if res.Res != nil {

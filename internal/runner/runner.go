@@ -26,7 +26,7 @@ type Job struct {
 	// Config parameterizes the run; equal Configs yield identical Results.
 	Config experiments.Config
 	// Run executes the experiment (typically a Spec.Run from the registry).
-	Run func(experiments.Config) *experiments.Result
+	Run func(experiments.Config) (*experiments.Result, error)
 }
 
 // Result is one finished job.
@@ -35,8 +35,11 @@ type Result struct {
 	Config experiments.Config
 	// Res is the experiment's output; nil when Err is set.
 	Res *experiments.Result
-	// Err carries a recovered panic message (experiment definitions panic
-	// on configuration errors) so one bad job cannot take down the pool.
+	// Err records why the job produced no result: a config error the
+	// experiment returned (e.g. a sweep point whose failure injection falls
+	// beyond the chain), or a recovered panic from a simulator bug. Either
+	// way the error stays in its job's slot — one bad grid point cannot
+	// take down the pool or the sweep.
 	Err string
 	// Elapsed is per-job wall-clock time. It is reported for scheduling
 	// insight only and excluded from deterministic JSON output.
@@ -90,7 +93,12 @@ func runOne(j Job) (res Result) {
 			res.Err = fmt.Sprint(p)
 		}
 	}()
-	res.Res = j.Run(j.Config)
+	r, err := j.Run(j.Config)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Res = r
 	return res
 }
 
@@ -106,6 +114,9 @@ func jobName(sp experiments.Spec, c experiments.Config) string {
 	}
 	if c.FailureAt > 0 {
 		name += fmt.Sprintf("/fail@%d", c.FailureAt)
+	}
+	if !c.Schedule.Empty() {
+		name += "/sched=" + c.Schedule.Label()
 	}
 	return name
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rcmp/internal/experiments"
+	"rcmp/internal/failure"
 )
 
 // TestDeterminismAcrossWorkerCounts is the core guarantee: the same jobs
@@ -62,8 +63,11 @@ func TestSeedChangesSimulatedFigures(t *testing.T) {
 	if !ok {
 		t.Fatal("Fig2 not registered")
 	}
-	a := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 0})
-	b := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 1})
+	a, errA := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 0})
+	b, errB := fig2.Run(experiments.Config{Scale: experiments.ScaleQuick, Seed: 1})
+	if errA != nil || errB != nil {
+		t.Fatalf("Fig2 errored: %v / %v", errA, errB)
+	}
 	if a.Text == b.Text {
 		t.Fatal("seed 0 and seed 1 produced identical Fig2 traces; seed not threaded")
 	}
@@ -79,11 +83,11 @@ func TestRunPreservesInputOrder(t *testing.T) {
 		i := i
 		jobs[i] = Job{
 			Name: fmt.Sprintf("job-%02d", i),
-			Run: func(experiments.Config) *experiments.Result {
+			Run: func(experiments.Config) (*experiments.Result, error) {
 				started.Add(1)
 				// Earlier jobs sleep longer, inverting completion order.
 				time.Sleep(time.Duration(n-i) * 2 * time.Millisecond)
-				return &experiments.Result{Name: fmt.Sprintf("job-%02d", i)}
+				return &experiments.Result{Name: fmt.Sprintf("job-%02d", i)}, nil
 			},
 		}
 	}
@@ -112,7 +116,7 @@ func TestRunUsesThePool(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = Job{
 			Name: fmt.Sprintf("j%d", i),
-			Run: func(experiments.Config) *experiments.Result {
+			Run: func(experiments.Config) (*experiments.Result, error) {
 				mu.Lock()
 				inFlight++
 				if inFlight > peak {
@@ -123,7 +127,7 @@ func TestRunUsesThePool(t *testing.T) {
 				mu.Lock()
 				inFlight--
 				mu.Unlock()
-				return &experiments.Result{}
+				return &experiments.Result{}, nil
 			},
 		}
 	}
@@ -140,21 +144,21 @@ func TestRunUsesThePool(t *testing.T) {
 // does not poison the others or the pool.
 func TestPanicIsIsolated(t *testing.T) {
 	jobs := []Job{
-		{Name: "ok-1", Run: func(experiments.Config) *experiments.Result {
-			return &experiments.Result{Name: "ok-1"}
+		{Name: "ok-1", Run: func(experiments.Config) (*experiments.Result, error) {
+			return &experiments.Result{Name: "ok-1"}, nil
 		}},
-		{Name: "boom", Run: func(experiments.Config) *experiments.Result {
-			panic("experiment misconfigured")
+		{Name: "boom", Run: func(experiments.Config) (*experiments.Result, error) {
+			panic("simulator bug")
 		}},
-		{Name: "ok-2", Run: func(experiments.Config) *experiments.Result {
-			return &experiments.Result{Name: "ok-2"}
+		{Name: "ok-2", Run: func(experiments.Config) (*experiments.Result, error) {
+			return &experiments.Result{Name: "ok-2"}, nil
 		}},
 	}
 	results := (&Runner{Workers: 2}).Run(jobs)
 	if results[0].Err != "" || results[2].Err != "" {
 		t.Fatalf("healthy jobs errored: %q / %q", results[0].Err, results[2].Err)
 	}
-	if results[1].Res != nil || !strings.Contains(results[1].Err, "misconfigured") {
+	if results[1].Res != nil || !strings.Contains(results[1].Err, "simulator bug") {
 		t.Fatalf("panic not captured: res=%v err=%q", results[1].Res, results[1].Err)
 	}
 }
@@ -189,6 +193,83 @@ func TestGridExpansion(t *testing.T) {
 		if j.Name != specs[i].Name {
 			t.Fatalf("default job %d named %q, want bare %q", i, j.Name, specs[i].Name)
 		}
+	}
+}
+
+// TestBadGridPointReportsErrorNotPanic is the schedule-engine acceptance
+// gate: a sweep whose FailureAts dimension generates an out-of-range
+// injection point must complete, with exactly the invalid jobs recorded as
+// per-job errors and every other job producing its normal result.
+func TestBadGridPointReportsErrorNotPanic(t *testing.T) {
+	sp, ok := experiments.Lookup("8b")
+	if !ok {
+		t.Fatal("spec 8b missing")
+	}
+	g := Grid{
+		Specs:      []experiments.Spec{sp},
+		Scales:     []experiments.Scale{experiments.ScaleQuick},
+		FailureAts: []int{2, 99}, // 99 exceeds every quick-scale chain
+	}
+	results := (&Runner{Workers: 2}).Run(g.Jobs())
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Err != "" || results[0].Res == nil {
+		t.Fatalf("valid grid point failed: %q", results[0].Err)
+	}
+	if results[1].Res != nil || !strings.Contains(results[1].Err, "exceeds") {
+		t.Fatalf("invalid grid point: res=%v err=%q, want a recorded config error", results[1].Res, results[1].Err)
+	}
+	// The sweep's JSON report must carry the error in place.
+	b, err := MarshalJSONDeterministic(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "exceeds") {
+		t.Fatalf("JSON report lost the per-job error:\n%s", b)
+	}
+}
+
+// TestGridScheduleDimension sweeps failure schedules like any other
+// dimension and checks they reach the simulations and the job names.
+func TestGridScheduleDimension(t *testing.T) {
+	// Fig12 is RCMP-only, so the double-failure schedule stresses the
+	// cascade without destroying a replication baseline's data.
+	sp, ok := experiments.Lookup("12")
+	if !ok {
+		t.Fatal("spec 12 missing")
+	}
+	double, err := failure.ParseSchedule("2@15,3@20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{
+		Specs:     []experiments.Spec{sp},
+		Scales:    []experiments.Scale{experiments.ScaleQuick},
+		Schedules: []failure.Schedule{{}, double},
+	}
+	jobs := g.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("expanded to %d jobs, want 2", len(jobs))
+	}
+	if !strings.Contains(jobs[1].Name, "sched=2@15x1,3@20x1") {
+		t.Fatalf("schedule missing from job name %q", jobs[1].Name)
+	}
+	results := (&Runner{Workers: 2}).Run(jobs)
+	for _, res := range results {
+		if res.Err != "" {
+			t.Fatalf("%s: %s", res.Name, res.Err)
+		}
+	}
+	if results[0].Res.Text == results[1].Res.Text {
+		t.Fatal("schedule override produced identical figures")
+	}
+	b, err := MarshalJSONDeterministic(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schedule": "2@15x1,3@20x1"`) {
+		t.Fatalf("JSON report missing schedule field:\n%s", b)
 	}
 }
 

@@ -1,26 +1,41 @@
 package runner
 
-import "rcmp/internal/experiments"
+import (
+	"rcmp/internal/experiments"
+	"rcmp/internal/failure"
+)
 
-// Grid expands a (spec × scale × seed × failure-injection) scenario grid
-// into runner jobs. An empty dimension falls back to a single default per
-// spec: the spec's registered Scale and Seed, and each figure's own
-// failure position.
+// Grid expands a (spec × scale × seed × failure-scenario) grid into runner
+// jobs. An empty dimension falls back to a single default per spec: the
+// spec's registered Scale and Seed, each figure's own failure position,
+// and no schedule override.
 type Grid struct {
 	Specs  []experiments.Spec
 	Scales []experiments.Scale
 	Seeds  []int64
 	// FailureAts overrides the single-failure injection run; 0 keeps each
-	// figure's default (see experiments.Config.FailureAt).
+	// figure's default (see experiments.Config.FailureAt). Out-of-range
+	// points are legal grid entries: their jobs complete with a recorded
+	// error instead of a result.
 	FailureAts []int
+	// Schedules overrides the failure scenario with multi-failure
+	// schedules in schedule-aware figures (see experiments.Config.Schedule).
+	// An empty Schedule entry means "no override"; combining a non-empty
+	// schedule with a non-zero FailureAt produces per-job config errors.
+	Schedules []failure.Schedule
 }
 
 // Jobs materializes the grid in deterministic order: specs outermost, then
-// scales, seeds and failure positions — the order Run reports results in.
+// scales, seeds, failure positions and schedules — the order Run reports
+// results in.
 func (g Grid) Jobs() []Job {
 	fails := g.FailureAts
 	if len(fails) == 0 {
 		fails = []int{0}
+	}
+	scheds := g.Schedules
+	if len(scheds) == 0 {
+		scheds = []failure.Schedule{{}}
 	}
 	var out []Job
 	for _, sp := range g.Specs {
@@ -35,8 +50,10 @@ func (g Grid) Jobs() []Job {
 		for _, sc := range scales {
 			for _, seed := range seeds {
 				for _, fa := range fails {
-					c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa}
-					out = append(out, Job{Name: jobName(sp, c), Config: c, Run: sp.Run})
+					for _, sched := range scheds {
+						c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched}
+						out = append(out, Job{Name: jobName(sp, c), Config: c, Run: sp.Run})
+					}
 				}
 			}
 		}

@@ -3,9 +3,12 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. static checks: go vet and gofmt -l over the whole module
 #   3. race detector over the full suite, plus a focused -race pass on the
-#      simulation core (internal/flow, internal/mapreduce) with -count=2 so
-#      scratch-state reuse across runs stays honest
-#   4. benchmark smoke pass: every benchmark once at the smoke tier
+#      simulation core (internal/flow, internal/mapreduce) and the
+#      distributed runtime (internal/dmr) with -count=2 so scratch-state
+#      reuse across runs stays honest
+#   4. rcmpsim smoke: the schedule-engine experiments end to end through
+#      the CLI and the parallel runner
+#   5. benchmark smoke pass: every benchmark once at the smoke tier
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,8 +32,13 @@ go test ./...
 echo "== race (full suite) =="
 go test -race ./...
 
-echo "== race (simulation core, repeated) =="
-go test -race -count=2 ./internal/flow ./internal/mapreduce
+echo "== race (simulation core + distributed runtime, repeated) =="
+go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/dmr
+
+echo "== rcmpsim smoke (failure-schedule engine) =="
+go run ./cmd/rcmpsim -fig double-failure -quick -parallel 2 > /dev/null
+go run ./cmd/rcmpsim -fig trace-replay -quick -parallel 2 -json > /dev/null
+go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
