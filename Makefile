@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench bench-full verify
+.PHONY: all build test race bench-smoke bench bench-full benchdiff verify
 
 all: build test
 
@@ -22,10 +22,17 @@ bench-smoke:
 
 # bench runs the perf-trajectory benchmarks of the simulation core
 # (BenchmarkRebalance*, BenchmarkAllSerial, BenchmarkAllParallel) and
-# emits their ns/op as BENCH_flow.json, so successive PRs can diff the
-# trajectory.
+# emits their ns/op, bytes/op and allocs/op as BENCH_flow.json, so
+# successive PRs can diff the trajectory. Run it (on an idle machine) to
+# regenerate the baseline after intentional perf changes.
 bench:
 	./scripts/bench_json.sh
+
+# benchdiff re-measures the same benchmarks and diffs against the
+# committed BENCH_flow.json, failing on >10% ns/op regressions — the gate
+# verify.sh runs.
+benchdiff:
+	./scripts/benchdiff.sh
 
 # bench-full runs every benchmark at paper scale (seconds of wall time each).
 bench-full:

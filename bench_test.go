@@ -31,15 +31,21 @@ func logOnce(b *testing.B, i int, text string) {
 	}
 }
 
-// benchFig runs one registered experiment function at the benchmark scale,
-// failing on config errors (benchmark configs are always valid) and
-// logging the reproduced figure on the first iteration.
-func benchFig(b *testing.B, i int, f func(experiments.Config) (*experiments.Result, error)) {
-	res, err := f(benchCfg())
-	if err != nil {
-		b.Fatal(err)
+// runFigBenchmark drives one registered experiment function at the
+// benchmark scale, failing on config errors (benchmark configs are always
+// valid) and logging the reproduced figure on the first iteration. The
+// config lookup (an env read) is hoisted out of the timed loop so the
+// numbers measure simulation, not setup.
+func runFigBenchmark(b *testing.B, f func(experiments.Config) (*experiments.Result, error)) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.Text)
 	}
-	logOnce(b, i, res.Text)
 }
 
 // benchCfg selects the benchmark sizing: paper scale by default, or the
@@ -58,9 +64,13 @@ func benchCfg() experiments.Config {
 
 // BenchmarkAllSerial regenerates every registered artifact one-by-one, the
 // pre-runner execution path and the baseline for BenchmarkAllParallel.
+// Registry construction is hoisted: the loop times simulation only.
 func BenchmarkAllSerial(b *testing.B) {
+	specs := experiments.Registry()
+	scale := benchCfg().Scale
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := experiments.All(benchCfg().Scale)
+		results, err := experiments.AllSpecs(specs, scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,9 +83,10 @@ func BenchmarkAllSerial(b *testing.B) {
 }
 
 // BenchmarkAllParallel runs the same artifact set through the worker-pool
-// runner at GOMAXPROCS workers. On a 4+ core machine this demonstrates the
-// wall-clock win of fanning independent simulations out; the output is
-// byte-identical to the serial path for the same seed.
+// runner at GOMAXPROCS workers, jobs dispatched cost-descending (LPT). On
+// a multi-core machine this demonstrates the wall-clock win of fanning
+// independent simulations out; the output is byte-identical to the serial
+// path for the same seed.
 func BenchmarkAllParallel(b *testing.B) {
 	pool := runner.Runner{Workers: runtime.GOMAXPROCS(0)}
 	jobs := runner.Grid{
@@ -94,141 +105,57 @@ func BenchmarkAllParallel(b *testing.B) {
 
 // ---- Figure benchmarks (one per paper artifact) ----
 
-func BenchmarkFig2FailureTraceCDF(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig2)
-	}
-}
+func BenchmarkFig2FailureTraceCDF(b *testing.B) { runFigBenchmark(b, experiments.Fig2) }
 
-func BenchmarkFig8aNoFailure(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig8a)
-	}
-}
+func BenchmarkFig8aNoFailure(b *testing.B) { runFigBenchmark(b, experiments.Fig8a) }
 
-func BenchmarkFig8bSingleFailureEarly(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig8b)
-	}
-}
+func BenchmarkFig8bSingleFailureEarly(b *testing.B) { runFigBenchmark(b, experiments.Fig8b) }
 
-func BenchmarkFig8cSingleFailureLate(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig8c)
-	}
-}
+func BenchmarkFig8cSingleFailureLate(b *testing.B) { runFigBenchmark(b, experiments.Fig8c) }
 
-func BenchmarkFig9DoubleFailures(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig9)
-	}
-}
+func BenchmarkFig9DoubleFailures(b *testing.B) { runFigBenchmark(b, experiments.Fig9) }
 
-func BenchmarkFig10ChainLength(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig10)
-	}
-}
+func BenchmarkFig10ChainLength(b *testing.B) { runFigBenchmark(b, experiments.Fig10) }
 
-func BenchmarkFig11SpeedupVsNodes(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig11)
-	}
-}
+func BenchmarkFig11SpeedupVsNodes(b *testing.B) { runFigBenchmark(b, experiments.Fig11) }
 
-func BenchmarkFig12MapperCDF(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig12)
-	}
-}
+func BenchmarkFig12MapperCDF(b *testing.B) { runFigBenchmark(b, experiments.Fig12) }
 
-func BenchmarkFig13ReducerWaves(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig13)
-	}
-}
+func BenchmarkFig13ReducerWaves(b *testing.B) { runFigBenchmark(b, experiments.Fig13) }
 
-func BenchmarkFig14MapperWaves(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Fig14)
-	}
-}
+func BenchmarkFig14MapperWaves(b *testing.B) { runFigBenchmark(b, experiments.Fig14) }
 
-func BenchmarkHybridEvery5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.Hybrid)
-	}
-}
+func BenchmarkHybridEvery5(b *testing.B) { runFigBenchmark(b, experiments.Hybrid) }
 
-func BenchmarkDoubleFailureNested(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.DoubleFailure)
-	}
-}
+func BenchmarkDoubleFailureNested(b *testing.B) { runFigBenchmark(b, experiments.DoubleFailure) }
 
-func BenchmarkTraceReplay(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.TraceReplay)
-	}
-}
+func BenchmarkTraceReplay(b *testing.B) { runFigBenchmark(b, experiments.TraceReplay) }
 
 // ---- Ablations (DESIGN.md Section 5) ----
 
 func BenchmarkAblationScatterVsSplit(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationScatterVsSplit)
-	}
+	runFigBenchmark(b, experiments.AblationScatterVsSplit)
 }
 
-func BenchmarkAblationSplitRatio(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationSplitRatio)
-	}
-}
+func BenchmarkAblationSplitRatio(b *testing.B) { runFigBenchmark(b, experiments.AblationSplitRatio) }
 
-func BenchmarkAblationMapReuse(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationMapReuse)
-	}
-}
+func BenchmarkAblationMapReuse(b *testing.B) { runFigBenchmark(b, experiments.AblationMapReuse) }
 
 func BenchmarkAblationDetectionTimeout(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationDetectionTimeout)
-	}
+	runFigBenchmark(b, experiments.AblationDetectionTimeout)
 }
 
-func BenchmarkAblationIORatio(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationIORatio)
-	}
-}
+func BenchmarkAblationIORatio(b *testing.B) { runFigBenchmark(b, experiments.AblationIORatio) }
 
-func BenchmarkAblationReclamation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationReclamation)
-	}
-}
+func BenchmarkAblationReclamation(b *testing.B) { runFigBenchmark(b, experiments.AblationReclamation) }
 
-func BenchmarkAblationSpeculation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationSpeculation)
-	}
-}
+func BenchmarkAblationSpeculation(b *testing.B) { runFigBenchmark(b, experiments.AblationSpeculation) }
 
-func BenchmarkAblationLocality(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.AblationLocality)
-	}
-}
+func BenchmarkAblationLocality(b *testing.B) { runFigBenchmark(b, experiments.AblationLocality) }
 
 // BenchmarkCostModels prints the Section III-B provisioning and
 // replication-guesswork tables.
-func BenchmarkCostModels(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchFig(b, i, experiments.CostModels)
-	}
-}
+func BenchmarkCostModels(b *testing.B) { runFigBenchmark(b, experiments.CostModels) }
 
 // ---- Substrate micro-benchmarks ----
 

@@ -1,0 +1,181 @@
+// Command benchdiff compares two BENCH_flow.json files (see
+// scripts/bench_json.sh) and flags ns/op regressions beyond a tolerance.
+// It is the repo's perf-regression gate: verify.sh regenerates a fresh
+// measurement and diffs it against the committed baseline, so a PR that
+// slows the simulation core down fails verification instead of landing
+// silently.
+//
+// Usage:
+//
+//	benchdiff [-max-regress 10] [-no-drift] BASELINE.json FRESH.json
+//
+// The gate is drift-normalized: the median ns/op delta across all shared
+// benchmarks estimates the global machine-speed drift between the two
+// measurements (CPU contention, frequency scaling — baseline files are
+// recorded on the same machine, but rarely at the same moment), and a
+// benchmark fails only when it regresses more than max-regress BEYOND
+// that drift. A real code regression hits specific benchmarks and sticks
+// out of the median; a slow machine shifts every benchmark together and
+// cancels out. -no-drift disables the normalization for same-session A/B
+// comparisons.
+//
+// Benchmarks present in only one file are reported but never fatal (the
+// set legitimately changes as benchmarks are added). Allocation counts
+// are reported for context; only ns/op gates, since allocs/op is exact
+// and intentional changes to it always come with a baseline update.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchEntry, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10,
+		"fail when any benchmark's ns/op regresses more than this percentage beyond the run-wide drift")
+	noDrift := flag.Bool("no-drift", false,
+		"gate on raw deltas instead of drift-normalized ones (same-session A/B comparisons)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-no-drift] BASELINE.json FRESH.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	shared := 0
+	for name := range base {
+		if _, ok := fresh[name]; ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		// Without a single shared benchmark nothing gates, and the gate
+		// would pass vacuously forever (e.g. after a bench-regex drift in
+		// bench_json.sh). Fail loudly instead.
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark names shared between baseline and fresh run; the gate cannot gate")
+		os.Exit(1)
+	}
+
+	drift := 0.0
+	if !*noDrift {
+		drift = medianDelta(base, fresh)
+		fmt.Printf("machine drift (median delta): %+.1f%%\n", drift)
+		if drift < 0 {
+			// A globally faster machine must not turn unchanged benchmarks
+			// into "relative regressions": normalize only when the fresh
+			// run is slower across the board.
+			drift = 0
+		}
+	}
+
+	failed := false
+	for _, b := range orderedNames(base, fresh) {
+		ob, inBase := base[b]
+		nb, inFresh := fresh[b]
+		switch {
+		case !inBase:
+			fmt.Printf("%-44s new benchmark: %.0f ns/op, %.0f allocs/op\n", b, nb.NsPerOp, nb.AllocsPerOp)
+		case !inFresh:
+			fmt.Printf("%-44s missing from fresh run (baseline %.0f ns/op)\n", b, ob.NsPerOp)
+		default:
+			delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			status := "ok"
+			if delta-drift > *maxRegress {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%  (allocs %.0f -> %.0f)  %s\n",
+				b, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp, status)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regressed more than %.0f%% beyond drift on at least one benchmark\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// medianDelta estimates the global machine-speed drift between the two
+// measurements: the median per-benchmark ns/op delta (percent). Requires
+// at least one shared benchmark; with none, drift is zero.
+func medianDelta(base, fresh map[string]benchEntry) float64 {
+	var deltas []float64
+	for name, ob := range base {
+		if nb, ok := fresh[name]; ok && ob.NsPerOp > 0 {
+			deltas = append(deltas, 100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp)
+		}
+	}
+	if len(deltas) == 0 {
+		return 0
+	}
+	sort.Float64s(deltas)
+	mid := len(deltas) / 2
+	if len(deltas)%2 == 1 {
+		return deltas[mid]
+	}
+	return (deltas[mid-1] + deltas[mid]) / 2
+}
+
+// orderedNames returns the union of benchmark names, baseline order first
+// (deterministic output without depending on map order).
+func orderedNames(base, fresh map[string]benchEntry) []string {
+	seen := make(map[string]bool, len(base)+len(fresh))
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	// Maps lose file order; sort for stability instead.
+	for _, m := range []map[string]benchEntry{base, fresh} {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			add(n)
+		}
+	}
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,6 +45,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text figures")
 	timing := flag.Bool("timing", false, "include per-run wall-clock timings in -json output (non-deterministic)")
 	list := flag.Bool("list", false, "list available experiments")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile after the experiment run to this file (go tool pprof)")
 	flag.Parse()
 
 	if *list || (*fig == "" && *runPat == "") {
@@ -93,8 +96,47 @@ func main() {
 		Schedules:  scheds,
 	}.Jobs()
 
+	// Profiling covers exactly the simulation work (the pool run), not
+	// argument parsing or report encoding, so paper-scale runs can be
+	// profiled without the test harness. Both profile files open before
+	// the run: a bad path must fail in milliseconds, not after minutes of
+	// paper-scale simulation.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+	}
+	var memOut *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		memOut = f
+	}
+
 	pool := runner.Runner{Workers: *parallel}
 	results := pool.Run(jobs)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if memOut != nil {
+		runtime.GC() // flush accounting so alloc_space is accurate
+		if err := pprof.WriteHeapProfile(memOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rcmpsim: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		memOut.Close()
+	}
 
 	if *jsonOut {
 		if err := runner.WriteJSON(os.Stdout, results, *timing); err != nil {

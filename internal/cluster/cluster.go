@@ -108,6 +108,11 @@ type Cluster struct {
 	Net   *flow.Network
 	Core  *flow.Resource
 	nodes []*Node
+	alive []int // cached non-failed node IDs, ascending; rebuilt on Fail
+
+	// usesBuf backs the *UsesScratch path helpers: one shared buffer,
+	// valid until the next *UsesScratch call. See ReadUsesScratch.
+	usesBuf [5]flow.Use
 }
 
 // New builds a cluster. It panics on an invalid config: configs are
@@ -126,18 +131,58 @@ func New(sim *des.Simulator, cfg Config) *Cluster {
 		},
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		bw := cfg.DiskBW
-		if s, ok := cfg.NodeDiskScale[i]; ok && s > 0 {
-			bw *= s
-		}
 		c.nodes = append(c.nodes, &Node{
 			ID:   i,
-			Disk: &flow.Resource{Name: fmt.Sprintf("%s/n%d/disk", cfg.Name, i), Capacity: bw, SeekPenalty: cfg.DiskSeekPenalty, PenaltyCap: cfg.DiskPenaltyCap},
+			Disk: &flow.Resource{Name: fmt.Sprintf("%s/n%d/disk", cfg.Name, i), Capacity: c.diskBW(i), SeekPenalty: cfg.DiskSeekPenalty, PenaltyCap: cfg.DiskPenaltyCap},
 			Up:   &flow.Resource{Name: fmt.Sprintf("%s/n%d/up", cfg.Name, i), Capacity: cfg.NICBW},
 			Down: &flow.Resource{Name: fmt.Sprintf("%s/n%d/down", cfg.Name, i), Capacity: cfg.NICBW},
 		})
 	}
+	c.rebuildAlive()
 	return c
+}
+
+func (c *Cluster) diskBW(i int) float64 {
+	bw := c.Cfg.DiskBW
+	if s, ok := c.Cfg.NodeDiskScale[i]; ok && s > 0 {
+		bw *= s
+	}
+	return bw
+}
+
+// Reset returns the cluster to its just-built state — all nodes alive,
+// every resource idle, the flow network empty — while keeping the node
+// and resource structs, so a reused cluster behaves exactly like a fresh
+// one without reconstructing the topology. The caller must reset the
+// bound simulator first (the network's completion event lives there).
+func (c *Cluster) Reset() {
+	c.Net.Reset()
+	for i, n := range c.nodes {
+		n.failed = false
+		n.failedAt = 0
+		resetResource(n.Disk, c.diskBW(i))
+		resetResource(n.Up, c.Cfg.NICBW)
+		resetResource(n.Down, c.Cfg.NICBW)
+	}
+	resetResource(c.Core, float64(c.Cfg.Nodes)*c.Cfg.NICBW/c.Cfg.Oversubscription)
+	c.rebuildAlive()
+}
+
+// resetResource clears a resource's live bookkeeping. Generation stamps
+// are left alone: the network's generation counter is monotonic across
+// Reset, so stale stamps can never collide with a future pass.
+func resetResource(r *flow.Resource, capacity float64) {
+	r.Capacity = capacity
+	r.ResetUsage()
+}
+
+func (c *Cluster) rebuildAlive() {
+	c.alive = c.alive[:0]
+	for _, n := range c.nodes {
+		if !n.failed {
+			c.alive = append(c.alive, n.ID)
+		}
+	}
 }
 
 // Node returns node i.
@@ -146,27 +191,14 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // NumNodes returns the configured node count (alive or not).
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
-// Alive returns the IDs of non-failed nodes, ascending.
-func (c *Cluster) Alive() []int {
-	var ids []int
-	for _, n := range c.nodes {
-		if !n.failed {
-			ids = append(ids, n.ID)
-		}
-	}
-	return ids
-}
+// Alive returns the IDs of non-failed nodes, ascending. The slice is a
+// cached view rebuilt on Fail: callers must treat it as read-only and
+// must not retain it across a Fail or Reset. Failures are rare, so this
+// turns the scheduler's per-event alive scans allocation-free.
+func (c *Cluster) Alive() []int { return c.alive }
 
 // NumAlive returns the count of non-failed nodes.
-func (c *Cluster) NumAlive() int {
-	k := 0
-	for _, n := range c.nodes {
-		if !n.failed {
-			k++
-		}
-	}
-	return k
-}
+func (c *Cluster) NumAlive() int { return len(c.alive) }
 
 // Fail marks a node dead at the current simulated time. Storage and compute
 // are both lost (collocated cluster). Fail is idempotent.
@@ -177,6 +209,7 @@ func (c *Cluster) Fail(id int) {
 	}
 	n.failed = true
 	n.failedAt = c.Sim.Now()
+	c.rebuildAlive()
 }
 
 // TransferUses returns the resource path for moving bytes from node src to
@@ -249,6 +282,50 @@ func (c *Cluster) WriteUses(src, dst int) []flow.Use {
 		{R: c.nodes[dst].Down, Weight: 1},
 		{R: c.nodes[dst].Disk, Weight: amp},
 	}
+}
+
+// The *UsesScratch variants below return a slice backed by a single
+// per-cluster scratch buffer: the result is valid only until the next
+// *UsesScratch call. They exist for the simulation hot path, paired with
+// flow.Network.StartC (which copies the uses before returning) — the
+// allocating forms above stay for callers that retain the slice, e.g.
+// trunks built once per topology.
+
+// ReadUsesScratch is ReadUses into the cluster's scratch buffer.
+func (c *Cluster) ReadUsesScratch(src, dst int) []flow.Use {
+	if src == dst {
+		c.usesBuf[0] = flow.Use{R: c.nodes[src].Disk, Weight: 1}
+		return c.usesBuf[:1]
+	}
+	c.usesBuf[0] = flow.Use{R: c.nodes[src].Disk, Weight: 1}
+	c.usesBuf[1] = flow.Use{R: c.nodes[src].Up, Weight: 1}
+	c.usesBuf[2] = flow.Use{R: c.Core, Weight: 1}
+	c.usesBuf[3] = flow.Use{R: c.nodes[dst].Down, Weight: 1}
+	return c.usesBuf[:4]
+}
+
+// WriteUsesScratch is WriteUses into the cluster's scratch buffer.
+func (c *Cluster) WriteUsesScratch(src, dst int) []flow.Use {
+	if src == dst {
+		c.usesBuf[0] = flow.Use{R: c.nodes[src].Disk, Weight: 1}
+		return c.usesBuf[:1]
+	}
+	amp := c.Cfg.ReplicaWriteAmp
+	if amp <= 0 {
+		amp = 1.0
+	}
+	c.usesBuf[0] = flow.Use{R: c.nodes[src].Up, Weight: 1}
+	c.usesBuf[1] = flow.Use{R: c.Core, Weight: 1}
+	c.usesBuf[2] = flow.Use{R: c.nodes[dst].Down, Weight: 1}
+	c.usesBuf[3] = flow.Use{R: c.nodes[dst].Disk, Weight: amp}
+	return c.usesBuf[:4]
+}
+
+// DiskUseScratch is the single-disk write path (a local map output spill)
+// into the cluster's scratch buffer.
+func (c *Cluster) DiskUseScratch(node int) []flow.Use {
+	c.usesBuf[0] = flow.Use{R: c.nodes[node].Disk, Weight: 1}
+	return c.usesBuf[:1]
 }
 
 const (

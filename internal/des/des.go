@@ -8,6 +8,26 @@
 // event callbacks on the goroutine that calls Run, so model state needs no
 // locking. This mirrors the structure of classic network/cluster simulators
 // and keeps large experiments (hundreds of thousands of events) cheap.
+//
+// # Event recycling
+//
+// Fired and cancelled events are recycled through a per-simulator free
+// list, so steady-state simulation schedules without allocating. That
+// makes Event handles single-use: a handle is valid until its callback
+// runs or until Cancel returns, and must be dropped (typically by
+// clearing the field that held it) at that point. Retaining a stale
+// handle and cancelling it later may hit an unrelated recycled event —
+// always a model bug, never detectable by the kernel. The callback of a
+// recycled event is cleared before the event re-enters the free list, so
+// a stale callback can never fire.
+//
+// # Typed callbacks
+//
+// The closure-based At/After allocate a closure per schedule site when
+// the callback captures state. Hot model code should instead implement
+// Timer (one Fire method on an object that already exists, dispatching on
+// its own phase state) and schedule with AtTimer/AfterTimer: together
+// with the free list this makes the schedule–fire cycle allocation-free.
 package des
 
 import (
@@ -22,12 +42,23 @@ type Time float64
 // Forever is a time later than any event the simulator will ever reach.
 const Forever Time = Time(math.MaxFloat64)
 
+// Timer is the allocation-free callback form: the simulator calls Fire on
+// the scheduled value. Implementations are typically long-lived model
+// objects that dispatch on their own phase state, so scheduling one does
+// not allocate the way a capturing closure does.
+type Timer interface {
+	Fire()
+}
+
 // Event is a scheduled callback. It is returned by At and After so callers
-// can cancel it before it fires.
+// can cancel it before it fires. Handles are single-use: once the event
+// has fired or been cancelled the kernel recycles it, and the handle must
+// be dropped (see the package comment).
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	tm     Timer
 	index  int // heap index, -1 when not queued
 	fired  bool
 	cancel bool
@@ -72,6 +103,7 @@ type Simulator struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+	free    []*Event // recycled events, see the package comment
 	// Processed counts events that have fired, for diagnostics.
 	Processed uint64
 }
@@ -81,8 +113,55 @@ func New() *Simulator {
 	return &Simulator{}
 }
 
+// Reset returns the simulator to its initial state — clock at zero, empty
+// queue, sequence counter restarted — while keeping the allocated event
+// pool, so a reused simulator behaves exactly like a fresh one but
+// schedules its first events from recycled memory. Any events still
+// queued are discarded (their callbacks never fire).
+func (s *Simulator) Reset() {
+	for _, e := range s.queue {
+		e.index = -1
+		s.recycle(e)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	s.Processed = 0
+}
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// alloc pops a recycled event or makes a fresh one.
+func (s *Simulator) alloc(t Time, fn func(), tm Timer) *Event {
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.fired = false
+		e.cancel = false
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.tm = tm
+	e.index = -1
+	return e
+}
+
+// recycle clears an event's callback and returns it to the free list. The
+// cleared callback guarantees a recycled event can never fire stale model
+// code, whatever stale handles still point at it.
+func (s *Simulator) recycle(e *Event) {
+	e.fn = nil
+	e.tm = nil
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run at absolute virtual time t.
 // Scheduling in the past panics: it always indicates a model bug.
@@ -90,8 +169,19 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
-	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	e := s.alloc(t, fn, nil)
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// AtTimer schedules tm.Fire to run at absolute virtual time t. This is
+// the allocation-free form of At for callbacks that live on an existing
+// model object. Scheduling in the past panics.
+func (s *Simulator) AtTimer(t Time, tm Timer) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	e := s.alloc(t, nil, tm)
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -123,8 +213,18 @@ func (s *Simulator) After(d Time, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op.
+// AfterTimer schedules tm.Fire to run d seconds from now. Negative d
+// panics.
+func (s *Simulator) AfterTimer(d Time, tm Timer) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return s.AtTimer(s.now+d, tm)
+}
+
+// Cancel prevents a pending event from firing and recycles it. Cancelling
+// an event that has already fired or been cancelled is a no-op — but only
+// while the handle is fresh; see the package comment on handle lifetime.
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.fired || e.cancel {
 		return
@@ -132,6 +232,7 @@ func (s *Simulator) Cancel(e *Event) {
 	e.cancel = true
 	if e.index >= 0 {
 		heap.Remove(&s.queue, e.index)
+		s.recycle(e)
 	}
 }
 
@@ -146,7 +247,15 @@ func (s *Simulator) Step() bool {
 		s.now = e.at
 		e.fired = true
 		s.Processed++
-		e.fn()
+		// Fire, then recycle: during the callback the event is marked
+		// fired, so a self-Cancel is a no-op and a Reschedule panics; the
+		// callback cannot observe the recycled state.
+		if e.tm != nil {
+			e.tm.Fire()
+		} else {
+			e.fn()
+		}
+		s.recycle(e)
 		return true
 	}
 	return false

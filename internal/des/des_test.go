@@ -273,23 +273,171 @@ func TestRescheduleTieOrder(t *testing.T) {
 }
 
 func TestRescheduleMisusePanics(t *testing.T) {
-	s := New()
-	e := s.At(1, func() {})
-	s.Run()
-	for name, fn := range map[string]func(){
-		"fired":     func() { s.Reschedule(e, 2) },
-		"cancelled": func() { c := s.At(3, func() {}); s.Cancel(c); s.Reschedule(c, 4) },
-		"past":      func() { p := s.At(3, func() {}); s.Reschedule(p, 0) },
-		"nil":       func() { s.Reschedule(nil, 2) },
-	} {
+	// Each case gets a fresh simulator: events are recycled through the
+	// free list, so a stale handle from one case could alias a live event
+	// allocated by the next and defeat the panic under test.
+	cases := map[string]func(t *testing.T){
+		"fired": func(t *testing.T) {
+			s := New()
+			e := s.At(1, func() {})
+			s.Run()
+			s.Reschedule(e, 2)
+		},
+		"cancelled": func(t *testing.T) {
+			s := New()
+			c := s.At(3, func() {})
+			s.Cancel(c)
+			s.Reschedule(c, 4)
+		},
+		"past": func(t *testing.T) {
+			s := New()
+			s.At(1, func() {})
+			p := s.At(3, func() {})
+			s.RunUntil(2) // advance the clock past the target time
+			s.Reschedule(p, 0)
+		},
+		"nil": func(t *testing.T) {
+			s := New()
+			s.Reschedule(nil, 2)
+		},
+	}
+	for name, fn := range cases {
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Errorf("Reschedule(%s) did not panic", name)
 				}
 			}()
-			fn()
+			fn(t)
 		}()
+	}
+}
+
+// ---- Event recycling (free list) ----
+
+// TestRecycleReusesEvents pins the free-list mechanics: a fired or
+// cancelled event's struct is handed back to the next At, so steady-state
+// scheduling cycles one allocation's worth of memory.
+func TestRecycleReusesEvents(t *testing.T) {
+	s := New()
+	e1 := s.At(1, func() {})
+	s.Run()
+	e2 := s.At(2, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled into the next At")
+	}
+	s.Cancel(e2)
+	e3 := s.At(3, func() {})
+	if e3 != e2 {
+		t.Fatal("cancelled event was not recycled into the next At")
+	}
+	s.Run()
+}
+
+// TestCancelThenRecycleNeverFiresStaleCallback drives the lifecycle the
+// pooling contract must survive: cancel an event, let its struct be
+// recycled into a new one, and check that only the new callback fires —
+// the recycled struct must never run the cancelled event's function.
+func TestCancelThenRecycleNeverFiresStaleCallback(t *testing.T) {
+	s := New()
+	stale, fresh := 0, 0
+	e := s.At(1, func() { stale++ })
+	s.Cancel(e)
+	reused := s.At(1, func() { fresh++ })
+	if reused != e {
+		t.Fatal("expected the cancelled event to be recycled")
+	}
+	s.Run()
+	if stale != 0 {
+		t.Fatalf("stale callback fired %d times after cancel+recycle", stale)
+	}
+	if fresh != 1 {
+		t.Fatalf("fresh callback fired %d times, want 1", fresh)
+	}
+}
+
+// TestRescheduleThenRecycle checks the other recycle path: an event that
+// was rescheduled, fired, and recycled must carry the new callback only.
+func TestRescheduleThenRecycle(t *testing.T) {
+	s := New()
+	var order []string
+	e := s.At(1, func() { order = append(order, "first") })
+	s.Reschedule(e, 4)
+	s.Run() // fires "first" at t=4, recycles e
+	reused := s.AtTimer(5, timerFunc(func() { order = append(order, "second") }))
+	if reused != e {
+		t.Fatal("expected the fired event to be recycled")
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order %v, want [first second]", order)
+	}
+}
+
+// TestRecycleClearsCallback is the white-box guarantee behind the two
+// tests above: an event on the free list holds no callback at all.
+func TestRecycleClearsCallback(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.Cancel(e)
+	if e.fn != nil || e.tm != nil {
+		t.Fatal("recycled event still holds a callback")
+	}
+	f := s.At(1, func() {})
+	s.Run()
+	if f.fn != nil || f.tm != nil {
+		t.Fatal("fired event still holds a callback after recycling")
+	}
+}
+
+// timerFunc adapts a func to Timer for tests.
+type timerFunc func()
+
+func (f timerFunc) Fire() { f() }
+
+// TestTimerPath checks AtTimer/AfterTimer dispatch and ordering parity
+// with the closure path.
+func TestTimerPath(t *testing.T) {
+	s := New()
+	var got []string
+	s.AtTimer(2, timerFunc(func() { got = append(got, "timer@2") }))
+	s.At(1, func() { got = append(got, "fn@1") })
+	s.AfterTimer(3, timerFunc(func() { got = append(got, "timer@3") }))
+	s.Run()
+	want := []string{"fn@1", "timer@2", "timer@3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReset checks a reused simulator behaves exactly like a fresh one:
+// clock at zero, restarted sequence numbering (tie order), discarded
+// stale events.
+func TestReset(t *testing.T) {
+	s := New()
+	leftover := 0
+	s.At(1, func() {})
+	s.At(50, func() { leftover++ }) // never reached
+	s.RunUntil(2)
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Processed != 0 {
+		t.Fatalf("Reset left now=%v pending=%d processed=%d", s.Now(), s.Pending(), s.Processed)
+	}
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order after Reset: %v", got)
+		}
+	}
+	if leftover != 0 {
+		t.Fatal("event scheduled before Reset fired after it")
 	}
 }
 

@@ -82,8 +82,15 @@ func Keys() []string {
 // kept as the baseline the parallel runner is benchmarked against. The
 // default configs are always valid, so any error is a harness bug.
 func All(s Scale) ([]*Result, error) {
-	var out []*Result
-	for _, sp := range Registry() {
+	return AllSpecs(Registry(), s)
+}
+
+// AllSpecs is All over a caller-supplied spec list, so benchmarks can
+// hoist the registry construction out of their timed loops and measure
+// simulation alone.
+func AllSpecs(specs []Spec, s Scale) ([]*Result, error) {
+	out := make([]*Result, 0, len(specs))
+	for _, sp := range specs {
 		res, err := sp.Run(Config{Scale: s, Seed: sp.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", sp.Name, err)

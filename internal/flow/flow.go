@@ -89,6 +89,20 @@ func (r *Resource) Effective(n int) float64 {
 // Active returns the number of flows currently using the resource.
 func (r *Resource) Active() int { return r.active }
 
+// ResetUsage clears the resource's live flow bookkeeping (active count,
+// component membership, user list) so the resource can be reused in a
+// fresh simulation run. Generation stamps are deliberately kept: the
+// owning network's generation counter is monotonic across Network.Reset,
+// so a stale stamp can never match a future traversal.
+func (r *Resource) ResetUsage() {
+	r.active = 0
+	r.comp = nil
+	for i := range r.users {
+		r.users[i] = nil
+	}
+	r.users = r.users[:0]
+}
+
 // Use declares that a flow consumes Weight bytes of a resource per byte of
 // flow progress. Weight > 1 models amplification (e.g. a local read-then-
 // write on one disk has weight 2 on that disk).
@@ -116,6 +130,7 @@ type Trunk struct {
 
 	frozen bool   // water-filling scratch
 	gen    uint64 // traversal stamp
+	pooled bool   // singleton trunk owned by the network's free list
 }
 
 // NewTrunk returns a dormant trunk over the given resource path. The
@@ -137,19 +152,57 @@ func (t *Trunk) Label() string { return t.label }
 // Members returns the number of in-flight flows multiplexed on the trunk.
 func (t *Trunk) Members() int { return len(t.members) }
 
+// Completion is the allocation-free completion callback: FlowDone is
+// invoked (inside a simulator event) when the flow's last byte has
+// arrived plus any extra latency. Implementations are long-lived model
+// objects dispatching on their own phase state, so passing one to StartC
+// does not allocate the way a capturing closure does.
+type Completion interface {
+	FlowDone(f *Flow)
+}
+
 // Flow is an in-progress transfer.
+//
+// Flows created by the pooled StartC path are recycled by the network the
+// moment their FlowDone callback returns (or their Abort completes):
+// the handle is single-use and must be dropped by then. Flows created by
+// the closure-based Start remain owned by the caller indefinitely.
 type Flow struct {
 	Label    string
 	size     float64
 	done     float64
 	rate     float64 // current bytes/sec, set by the water-filler
 	tr       *Trunk  // owning trunk (nil for zero-size flows)
-	mindex   int     // position in tr.members, -1 when inactive
-	gindex   int     // position in Network.flows, -1 when inactive
+	net      *Network
+	mindex   int // position in tr.members, -1 when inactive
+	gindex   int // position in Network.flows, -1 when inactive
 	started  des.Time
 	finished bool
+	pooled   bool // recycle into Network.freeFlows when done
 	onDone   func(*Flow)
+	onDoneC  Completion
 	extra    des.Time // fixed latency added after the bytes finish
+	// extraEv is the pending deferred-finish event while the flow sits in
+	// its extra-latency window (or, for zero-size flows, its only event).
+	// Abort cancels it so the completion callback never fires on an
+	// aborted flow — with task pooling upstream, a stale deferred
+	// completion would otherwise fire into recycled model state.
+	extraEv *des.Event
+	// pendingFinish marks a flow detached by the current complete() batch
+	// whose finish has not run yet. A completion callback firing earlier
+	// in the batch may Abort such a flow (e.g. a winning speculative task
+	// killing its duplicate, both completing at the same instant); Abort
+	// then marks it finished and the batch loop skips — and, for pooled
+	// flows, recycles — it instead of firing a dead task's callback.
+	pendingFinish bool
+}
+
+// Fire implements des.Timer: it finalizes the flow after its extra
+// latency (or, for zero-size flows, after the fixed latency alone). Using
+// the flow itself as the timer keeps deferred completion allocation-free.
+func (f *Flow) Fire() {
+	f.extraEv = nil
+	f.net.finish(f)
 }
 
 // Size returns the total bytes of the flow.
@@ -220,9 +273,25 @@ type Network struct {
 	scratchTrunks []*Trunk
 	scratchBounds []int
 
+	// Free lists for the pooled StartC path: flows recycle when their
+	// completion callback returns, singleton trunks when their sole member
+	// leaves. Survives Reset, so a reused network schedules its steady
+	// state out of recycled memory.
+	freeFlows  []*Flow
+	freeTrunks []*Trunk
+	freeComps  []*component
+
+	compTimer completionTimer
+
 	// Completed counts flows that have finished, for diagnostics.
 	Completed uint64
 }
+
+// completionTimer fires the network's single completion event without the
+// method-value closure that n.complete as a callback would allocate.
+type completionTimer struct{ n *Network }
+
+func (ct *completionTimer) Fire() { ct.n.complete() }
 
 // lazyDefault, when set, makes every Network created by NewNetwork start
 // in lazy banking mode (see EnableLazyBanking). It exists so whole stacks
@@ -239,7 +308,39 @@ func SetDefaultLazyBanking(on bool) bool { return lazyDefault.Swap(on) }
 
 // NewNetwork returns an empty network bound to the simulator clock.
 func NewNetwork(sim *des.Simulator) *Network {
-	return &Network{sim: sim, lazy: lazyDefault.Load()}
+	n := &Network{sim: sim, lazy: lazyDefault.Load()}
+	n.compTimer.n = n
+	return n
+}
+
+// Reset returns the network to its initial state while keeping the flow
+// and trunk free lists and the internal scratch buffers, so a reused
+// network behaves exactly like a fresh one but runs allocation-free from
+// the first flow. The caller must reset the bound simulator (which owns
+// the completion event) and every Resource the network has touched; any
+// still-active flows are dropped without completing.
+func (n *Network) Reset() {
+	for i, c := range n.comps {
+		c.next = nil
+		n.freeComps = append(n.freeComps, c)
+		n.comps[i] = nil
+	}
+	n.comps = n.comps[:0]
+	clearPointers(n.flows)
+	n.flows = n.flows[:0]
+	n.completion = nil
+	n.nextFlow = nil
+	n.lazy = lazyDefault.Load()
+	n.lastUpdate = 0
+	n.Completed = 0
+	// n.gen keeps counting: stale generation stamps on resources and
+	// trunks can then never collide with a future stamp.
+}
+
+func clearPointers[T any](s []*T) {
+	for i := range s {
+		s[i] = nil
+	}
 }
 
 // Sim returns the simulator the network is bound to.
@@ -301,15 +402,48 @@ func (n *Network) nextGen() uint64 {
 // Start begins a transfer of size bytes across the given resource uses as
 // the sole member of a fresh trunk. onDone, if non-nil, fires (inside a
 // simulator event) when the last byte arrives plus extraLatency. A
-// zero-size flow completes after extraLatency.
+// zero-size flow completes after extraLatency. The returned handle stays
+// valid indefinitely (the caller owns the flow); hot model code should
+// prefer the pooled StartC.
 func (n *Network) Start(label string, size float64, uses []Use, extraLatency des.Time, onDone func(*Flow)) *Flow {
 	return n.NewTrunk(label, uses).Start(label, size, extraLatency, onDone)
+}
+
+// StartC is the pooled, allocation-free form of Start: the flow and its
+// singleton trunk come from the network's free lists, uses is copied (the
+// caller may reuse its backing array immediately), and both objects are
+// recycled when c.FlowDone returns or an Abort completes — the returned
+// handle must be dropped by then.
+func (n *Network) StartC(label string, size float64, uses []Use, extraLatency des.Time, c Completion) *Flow {
+	if size == 0 {
+		// Nothing to transfer; no trunk needed at all.
+		f := n.allocFlow(label, 0, nil, extraLatency, c)
+		f.extraEv = n.sim.AfterTimer(extraLatency, f)
+		return f
+	}
+	t := n.allocTrunk(label, uses)
+	return n.startFlow(t, n.allocFlow(label, size, t, extraLatency, c))
+}
+
+// StartC begins a pooled transfer as a member of the trunk: the flow
+// comes from the network's free list and is recycled when c.FlowDone
+// returns (or an Abort completes), so the returned handle must be dropped
+// by then. The trunk itself stays owned by the caller.
+func (t *Trunk) StartC(label string, size float64, extraLatency des.Time, c Completion) *Flow {
+	n := t.net
+	f := n.allocFlow(label, size, t, extraLatency, c)
+	if size == 0 {
+		f.tr = nil
+		f.extraEv = n.sim.AfterTimer(extraLatency, f)
+		return f
+	}
+	return n.startFlow(t, f)
 }
 
 // Start begins a transfer of size bytes as a member of the trunk. onDone,
 // if non-nil, fires (inside a simulator event) when the last byte arrives
 // plus extraLatency. A zero-size flow completes after extraLatency without
-// joining the trunk.
+// joining the trunk. The caller owns the returned flow.
 func (t *Trunk) Start(label string, size float64, extraLatency des.Time, onDone func(*Flow)) *Flow {
 	n := t.net
 	if size < 0 {
@@ -319,6 +453,7 @@ func (t *Trunk) Start(label string, size float64, extraLatency des.Time, onDone 
 		Label:   label,
 		size:    size,
 		tr:      t,
+		net:     n,
 		mindex:  -1,
 		gindex:  -1,
 		started: n.sim.Now(),
@@ -329,9 +464,72 @@ func (t *Trunk) Start(label string, size float64, extraLatency des.Time, onDone 
 		// Nothing to transfer; complete after the fixed latency without
 		// occupying any resource.
 		f.tr = nil
-		n.sim.After(extraLatency, func() { n.finish(f) })
+		f.extraEv = n.sim.AfterTimer(extraLatency, f)
 		return f
 	}
+	return n.startFlow(t, f)
+}
+
+// allocFlow pops a recycled flow (or makes one) and initializes it for the
+// pooled lifecycle.
+func (n *Network) allocFlow(label string, size float64, t *Trunk, extra des.Time, c Completion) *Flow {
+	if size < 0 {
+		panic(fmt.Sprintf("flow: negative size %v", size))
+	}
+	var f *Flow
+	if k := len(n.freeFlows); k > 0 {
+		f = n.freeFlows[k-1]
+		n.freeFlows[k-1] = nil
+		n.freeFlows = n.freeFlows[:k-1]
+	} else {
+		f = &Flow{}
+	}
+	f.Label = label
+	f.size = size
+	f.tr = t
+	f.net = n
+	f.mindex = -1
+	f.gindex = -1
+	f.started = n.sim.Now()
+	f.onDoneC = c
+	f.extra = extra
+	f.pooled = true
+	return f
+}
+
+// recycleFlow zeroes a pooled flow and returns it to the free list.
+func (n *Network) recycleFlow(f *Flow) {
+	*f = Flow{}
+	n.freeFlows = append(n.freeFlows, f)
+}
+
+// allocTrunk pops a recycled singleton trunk (or makes one) and points it
+// at a private copy of uses.
+func (n *Network) allocTrunk(label string, uses []Use) *Trunk {
+	for _, u := range uses {
+		if u.Weight <= 0 {
+			panic(fmt.Sprintf("trunk %q: non-positive weight %v on %s", label, u.Weight, u.R.Name))
+		}
+	}
+	var t *Trunk
+	if k := len(n.freeTrunks); k > 0 {
+		t = n.freeTrunks[k-1]
+		n.freeTrunks[k-1] = nil
+		n.freeTrunks = n.freeTrunks[:k-1]
+	} else {
+		t = &Trunk{}
+	}
+	t.label = label
+	t.net = n
+	t.uses = append(t.uses[:0], uses...)
+	t.pooled = true
+	return t
+}
+
+// startFlow attaches an initialized flow to its trunk's component, claims
+// resources, re-fills rates and reschedules completion — the shared tail
+// of every Start variant.
+func (n *Network) startFlow(t *Trunk, f *Flow) *Flow {
 	now := n.sim.Now()
 	c := t.comp
 	if !n.lazy {
@@ -379,8 +577,7 @@ func (n *Network) placeTrunk(t *Trunk, now des.Time) *component {
 	}
 	var c *component
 	if len(comps) == 0 {
-		c = &component{cindex: len(n.comps), lastBank: now}
-		n.comps = append(n.comps, c)
+		c = n.allocComp(now)
 	} else {
 		// The largest component absorbs the rest: the trunk bridges them, so
 		// after the merge the union is connected.
@@ -416,7 +613,9 @@ func (n *Network) placeTrunk(t *Trunk, now des.Time) *component {
 	t.comp = c
 	t.tindex = len(c.trunks)
 	c.trunks = append(c.trunks, t)
-	if t.userIdx == nil {
+	if cap(t.userIdx) >= len(t.uses) {
+		t.userIdx = t.userIdx[:len(t.uses)]
+	} else {
 		t.userIdx = make([]int, len(t.uses))
 	}
 	for i, u := range t.uses {
@@ -432,6 +631,32 @@ func (n *Network) placeTrunk(t *Trunk, now des.Time) *component {
 	return c
 }
 
+// allocComp pops a recycled component (or makes one), appends it to the
+// component list and returns it. Recycled components keep their trunk and
+// resource slice capacities — components churn once per singleton-flow
+// placement, so this is one of the hottest allocation sites in the
+// simulator.
+func (n *Network) allocComp(now des.Time) *component {
+	var c *component
+	if k := len(n.freeComps); k > 0 {
+		c = n.freeComps[k-1]
+		n.freeComps[k-1] = nil
+		n.freeComps = n.freeComps[:k-1]
+		clearPointers(c.trunks)
+		c.trunks = c.trunks[:0]
+		clearPointers(c.resources)
+		c.resources = c.resources[:0]
+		c.next = nil
+		c.nextAt = 0
+	} else {
+		c = &component{}
+	}
+	c.cindex = len(n.comps)
+	c.lastBank = now
+	n.comps = append(n.comps, c)
+	return c
+}
+
 func (n *Network) removeComp(c *component) {
 	last := len(n.comps) - 1
 	moved := n.comps[last]
@@ -439,10 +664,14 @@ func (n *Network) removeComp(c *component) {
 	moved.cindex = c.cindex
 	n.comps[last] = nil
 	n.comps = n.comps[:last]
+	c.next = nil
+	n.freeComps = append(n.freeComps, c)
 }
 
 // deactivateTrunk detaches a trunk whose last member left from its
-// component and from its resources' user lists.
+// component and from its resources' user lists. Pooled singleton trunks
+// (the StartC path) go back to the free list here — their sole member is
+// gone, so no caller can hold a live reference.
 func (n *Network) deactivateTrunk(t *Trunk) {
 	c := t.comp
 	last := len(c.trunks) - 1
@@ -468,6 +697,12 @@ func (n *Network) deactivateTrunk(t *Trunk) {
 		}
 		r.users[lastU] = nil
 		r.users = r.users[:lastU]
+	}
+	if t.pooled {
+		t.pooled = false
+		t.net = nil
+		t.label = ""
+		n.freeTrunks = append(n.freeTrunks, t)
 	}
 }
 
@@ -527,9 +762,37 @@ func (n *Network) detachMember(f *Flow, c *component, dirtyGen uint64, dirty *[]
 }
 
 // Abort removes a flow before completion (e.g. its endpoint failed).
-// The onDone callback does not fire.
+// The completion callback does not fire — including for zero-size flows
+// and flows whose bytes already arrived but whose extra latency has not
+// elapsed, whose pending deferred finish is cancelled here. Aborting a
+// pooled (StartC) flow recycles it: the handle is dead when Abort
+// returns.
 func (n *Network) Abort(f *Flow) {
-	if f.finished || f.mindex < 0 {
+	if f.finished {
+		return
+	}
+	if f.mindex < 0 {
+		// Not occupying resources: a zero-size flow, one detached by
+		// complete() and sitting in its extra-latency window, or one
+		// detached by the in-progress complete() batch whose finish has
+		// not run yet. In every case the completion must be suppressed —
+		// the caller believes the flow is gone, and with pooled tasks
+		// upstream a stale completion would fire into recycled memory.
+		switch {
+		case f.extraEv != nil:
+			n.sim.Cancel(f.extraEv)
+			f.extraEv = nil
+			f.finished = true
+			if f.pooled {
+				n.recycleFlow(f)
+			}
+		case f.pendingFinish:
+			// The batch loop in complete() still holds this flow: mark it
+			// finished and let the loop skip (and recycle) it — recycling
+			// here would let a Start inside a sibling callback reuse the
+			// struct while the loop still points at it.
+			f.finished = true
+		}
 		return
 	}
 	now := n.sim.Now()
@@ -542,6 +805,9 @@ func (n *Network) Abort(f *Flow) {
 	n.refresh(c, dirtyGen, len(dirty) > 0, maySplit, now)
 	n.scratchDirty = dirty[:0]
 	n.scheduleCompletion()
+	if f.pooled {
+		n.recycleFlow(f)
+	}
 }
 
 // refresh re-establishes the component invariant after removals: it splits
@@ -619,8 +885,7 @@ func (n *Network) refresh(c *component, dirtyGen uint64, anyDirty, maySplit bool
 		group := trunks[bounds[gi]:bounds[gi+1]]
 		gc := c
 		if gi > 0 {
-			gc = &component{cindex: len(n.comps), lastBank: now}
-			n.comps = append(n.comps, gc)
+			gc = n.allocComp(now)
 		}
 		dirtyGroup := false
 		for _, t := range group {
@@ -834,7 +1099,7 @@ func (n *Network) scheduleCompletion() {
 	if n.completion != nil {
 		n.sim.Reschedule(n.completion, nextAt)
 	} else {
-		n.completion = n.sim.At(nextAt, n.complete)
+		n.completion = n.sim.AtTimer(nextAt, &n.compTimer)
 	}
 }
 
@@ -866,6 +1131,7 @@ func (n *Network) complete() {
 			}
 		}
 		if f == target || f.size-vdone <= 1e-6*math.Max(1, f.size) {
+			f.pendingFinish = true
 			doneFlows = append(doneFlows, f)
 		}
 	}
@@ -910,9 +1176,18 @@ func (n *Network) complete() {
 	n.scratchDirty = dirty[:0]
 	n.scheduleCompletion()
 	for _, f := range doneFlows {
+		f.pendingFinish = false
+		if f.finished {
+			// Aborted by a completion callback that ran earlier in this
+			// same batch: the finish is suppressed; the loop still owns
+			// the struct, so pooled flows recycle here.
+			if f.pooled {
+				n.recycleFlow(f)
+			}
+			continue
+		}
 		if f.extra > 0 {
-			f := f
-			n.sim.After(f.extra, func() { n.finish(f) })
+			f.extraEv = n.sim.AfterTimer(f.extra, f)
 		} else {
 			n.finish(f)
 		}
@@ -929,5 +1204,10 @@ func (n *Network) finish(f *Flow) {
 	n.Completed++
 	if f.onDone != nil {
 		f.onDone(f)
+	} else if f.onDoneC != nil {
+		f.onDoneC.FlowDone(f)
+	}
+	if f.pooled {
+		n.recycleFlow(f)
 	}
 }

@@ -1,0 +1,250 @@
+package flow
+
+import (
+	"testing"
+
+	"rcmp/internal/des"
+)
+
+// doneCounter is a Completion that counts FlowDone calls.
+type doneCounter struct{ n int }
+
+func (d *doneCounter) FlowDone(*Flow) { d.n++ }
+
+// TestStartCRecyclesFlowAndTrunk pins the pooled lifecycle: the flow and
+// its singleton trunk return to the free lists when FlowDone returns, and
+// the next StartC reuses both structs.
+func TestStartCRecyclesFlowAndTrunk(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f1 := net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	t1 := f1.tr
+	if !f1.pooled || t1 == nil || !t1.pooled {
+		t.Fatal("StartC did not produce a pooled flow + trunk")
+	}
+	sim.Run()
+	if done.n != 1 {
+		t.Fatalf("FlowDone fired %d times, want 1", done.n)
+	}
+	if len(net.freeFlows) != 1 || len(net.freeTrunks) != 1 {
+		t.Fatalf("free lists flows=%d trunks=%d after completion, want 1/1",
+			len(net.freeFlows), len(net.freeTrunks))
+	}
+	f2 := net.StartC("b", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	if f2 != f1 || f2.tr != t1 {
+		t.Fatal("second StartC did not reuse the recycled flow/trunk")
+	}
+	sim.Run()
+	if done.n != 2 {
+		t.Fatalf("FlowDone fired %d times, want 2", done.n)
+	}
+}
+
+// TestAbortRecyclesPooledFlow checks the abort path recycles too, without
+// firing the completion.
+func TestAbortRecyclesPooledFlow(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f := net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	net.Abort(f)
+	sim.Run()
+	if done.n != 0 {
+		t.Fatal("aborted pooled flow fired its completion")
+	}
+	if len(net.freeFlows) != 1 || len(net.freeTrunks) != 1 {
+		t.Fatalf("free lists flows=%d trunks=%d after abort, want 1/1",
+			len(net.freeFlows), len(net.freeTrunks))
+	}
+}
+
+// TestRecycledFlowNeverFiresStaleCompletion aborts a pooled flow, reuses
+// the recycled struct for a new transfer, and checks only the new
+// completion fires — the recycled flow must carry no stale callback.
+func TestRecycledFlowNeverFiresStaleCompletion(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var stale, fresh doneCounter
+	f1 := net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &stale)
+	net.Abort(f1)
+	f2 := net.StartC("b", 500, []Use{{R: r, Weight: 1}}, 0, &fresh)
+	if f2 != f1 {
+		t.Fatal("expected the aborted flow to be recycled")
+	}
+	sim.Run()
+	if stale.n != 0 {
+		t.Fatalf("stale completion fired %d times", stale.n)
+	}
+	if fresh.n != 1 {
+		t.Fatalf("fresh completion fired %d times, want 1", fresh.n)
+	}
+}
+
+// TestStartCCopiesUses pins the copying contract: the caller may reuse
+// its uses buffer immediately after StartC returns.
+func TestStartCCopiesUses(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r1 := &Resource{Name: "a", Capacity: 100}
+	r2 := &Resource{Name: "b", Capacity: 100}
+	var done doneCounter
+	buf := []Use{{R: r1, Weight: 1}}
+	net.StartC("a", 400, buf, 0, &done)
+	buf[0] = Use{R: r2, Weight: 7} // clobber the caller's buffer
+	sim.RunUntil(4)
+	if done.n != 1 {
+		t.Fatalf("flow did not complete at r1's rate (done=%d); uses were not copied", done.n)
+	}
+	if r2.Active() != 0 {
+		t.Fatal("clobbered buffer leaked into the trunk")
+	}
+}
+
+// TestPooledZeroSizeFlow completes after the fixed latency and recycles
+// without ever joining a trunk or claiming a resource.
+func TestPooledZeroSizeFlow(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f := net.StartC("z", 0, []Use{{R: r, Weight: 1}}, 3, &done)
+	if f.tr != nil || r.Active() != 0 {
+		t.Fatal("zero-size pooled flow claimed resources")
+	}
+	sim.Run()
+	if sim.Now() != 3 || done.n != 1 {
+		t.Fatalf("zero-size flow completed at %v (done=%d), want t=3 once", sim.Now(), done.n)
+	}
+	if len(net.freeFlows) != 1 {
+		t.Fatal("zero-size pooled flow was not recycled")
+	}
+}
+
+// TestAbortDuringExtraLatencyCancelsCompletion pins the fix for the
+// stale-deferred-finish hazard: a flow whose bytes have arrived but whose
+// extra latency has not elapsed is detached from its trunk (mindex -1),
+// with only a pending timer left. Abort in that window must cancel the
+// timer so FlowDone never fires — with pooled tasks upstream, the stale
+// completion would otherwise fire into recycled model state.
+func TestAbortDuringExtraLatencyCancelsCompletion(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f := net.StartC("slow", 500, []Use{{R: r, Weight: 1}}, 10, &done)
+	sim.RunUntil(6) // bytes done at t=5; deferred finish pending at t=15
+	if f.mindex != -1 || f.finished {
+		t.Fatalf("flow not in its extra-latency window: mindex=%d finished=%v", f.mindex, f.finished)
+	}
+	net.Abort(f)
+	sim.Run()
+	if done.n != 0 {
+		t.Fatalf("completion fired %d times after abort in the latency window", done.n)
+	}
+	if sim.Now() != 6 {
+		t.Fatalf("deferred finish still fired (clock at %v, want 6)", sim.Now())
+	}
+	if len(net.freeFlows) != 1 {
+		t.Fatal("aborted flow was not recycled")
+	}
+}
+
+// TestAbortZeroSizeFlowCancelsCompletion: zero-size flows never occupy
+// resources, but their fixed-latency completion must also be abortable.
+func TestAbortZeroSizeFlowCancelsCompletion(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f := net.StartC("z", 0, []Use{{R: r, Weight: 1}}, 5, &done)
+	net.Abort(f)
+	sim.Run()
+	if done.n != 0 {
+		t.Fatalf("completion fired %d times for an aborted zero-size flow", done.n)
+	}
+	if len(net.freeFlows) != 1 {
+		t.Fatal("aborted zero-size flow was not recycled")
+	}
+}
+
+// TestAbortFromCompletionCallbackSuppressesBatchSibling pins the batch
+// window of the same hazard: two flows complete at the same instant, and
+// the first flow's completion callback aborts the second (the in-tree
+// trigger is a winning speculative task killing its duplicate). The
+// second flow is already detached with no timer scheduled; its finish
+// must be suppressed, not fired into state the callback just killed.
+func TestAbortFromCompletionCallbackSuppressesBatchSibling(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var f2 *Flow
+	aborted := false
+	secondFired := false
+	net.Start("first", 500, []Use{{R: r, Weight: 1}}, 0, func(*Flow) {
+		net.Abort(f2)
+		aborted = true
+	})
+	f2 = net.Start("second", 500, []Use{{R: r, Weight: 1}}, 0, func(*Flow) { secondFired = true })
+	sim.Run()
+	if !aborted {
+		t.Fatal("first flow's completion never ran")
+	}
+	if secondFired {
+		t.Fatal("aborted batch sibling still fired its completion")
+	}
+	if net.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", net.Completed)
+	}
+	// Pooled variant: the suppressed sibling must also recycle.
+	var done doneCounter
+	var p2 *Flow
+	net.StartC("p1", 500, []Use{{R: r, Weight: 1}}, 0, completionFunc(func() { net.Abort(p2) }))
+	p2 = net.StartC("p2", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	sim.Run()
+	if done.n != 0 {
+		t.Fatal("aborted pooled batch sibling fired its completion")
+	}
+	if len(net.freeFlows) != 2 || len(net.freeTrunks) != 2 {
+		t.Fatalf("free lists flows=%d trunks=%d after batch abort, want 2/2",
+			len(net.freeFlows), len(net.freeTrunks))
+	}
+}
+
+// completionFunc adapts a func to Completion for tests.
+type completionFunc func()
+
+func (f completionFunc) FlowDone(*Flow) { f() }
+
+// TestNetworkReset checks a reset network replays the same schedule with
+// identical timing while drawing from its free lists.
+func TestNetworkReset(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	run := func() des.Time {
+		var done doneCounter
+		net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+		net.StartC("b", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+		sim.Run()
+		if done.n != 2 {
+			t.Fatalf("completions = %d, want 2", done.n)
+		}
+		return sim.Now()
+	}
+	first := run()
+	sim.Reset()
+	net.Reset()
+	// The resource was fully released by the completed flows; nothing else
+	// to reset on it.
+	second := run()
+	if first != second {
+		t.Fatalf("reset run finished at %v, fresh run at %v", second, first)
+	}
+	if net.Completed != 2 {
+		t.Fatalf("Completed = %d after reset+run, want 2", net.Completed)
+	}
+}

@@ -1,0 +1,218 @@
+// context.go holds the reusable simulation context: the simulator,
+// cluster topology, DFS and object pools that RunChain reuses across
+// executions with the same cluster configuration. Building a topology
+// (3N+1 flow resources, node structs, a network) and throwing it away per
+// chain dominated the sweep-level allocation profile; a Reset()-able
+// context makes grid jobs at the same scale reuse the template instead.
+//
+// Reuse never trades determinism: Reset restores every piece of
+// behavior-relevant state (virtual clock, event sequence numbers, node
+// liveness, resource bookkeeping, DFS namespace, placement cursors), so a
+// run on a reused context is byte-identical to one on a fresh context —
+// the golden-digest suite runs entirely on pooled contexts and pins this.
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/des"
+	"rcmp/internal/dfs"
+	"rcmp/internal/flow"
+)
+
+// Context is a reusable simulation substrate for one cluster
+// configuration: simulator + cluster + DFS, plus free lists for runs,
+// tasks and shuffle trunks. A Context is single-threaded (like the
+// simulator it wraps); the package-level pool hands each goroutine its
+// own.
+type Context struct {
+	sim  *des.Simulator
+	clus *cluster.Cluster
+	fs   *dfs.FS
+	key  string // canonical cluster-config identity, for pooling
+
+	// shufTrunks coalesces shuffle fetches per (source, destination) node
+	// pair, keyed src*NumNodes+dst. Trunks bind only to cluster resources,
+	// so they persist across runs and chains; a dormant trunk restarts
+	// exactly like a fresh one.
+	shufTrunks []*flow.Trunk
+
+	freeRuns []*jobRun
+	freeMaps []*mapTask
+	freeReds []*reduceTask
+}
+
+// NewContext builds a fresh context for the cluster configuration. It
+// panics on an invalid config, like cluster.New.
+func NewContext(ccfg cluster.Config) *Context {
+	sim := des.New()
+	return &Context{
+		sim:  sim,
+		clus: cluster.New(sim, ccfg),
+		fs:   dfs.New(256 * cluster.MB),
+		key:  configKey(ccfg),
+	}
+}
+
+// reset restores the context to a just-built state for a chain with the
+// given DFS block size.
+func (ctx *Context) reset(blockSize int64) {
+	ctx.sim.Reset()
+	ctx.clus.Reset()
+	ctx.fs.Reset(blockSize)
+	// Shuffle trunks survive reset dormant. A trunk still holding members
+	// (a chain that ended in an error mid-flight) must not be reused; such
+	// contexts are dropped by RunChain rather than pooled, so by the time
+	// reset runs every trunk is dormant — verify cheaply all the same.
+	for i, t := range ctx.shufTrunks {
+		if t != nil && t.Members() != 0 {
+			ctx.shufTrunks[i] = nil
+		}
+	}
+}
+
+// shuffleTrunk returns the persistent coalescing trunk for fetches from
+// src to dst, creating it on first use.
+func (ctx *Context) shuffleTrunk(c *cluster.Cluster, src, dst int) *flow.Trunk {
+	n := c.NumNodes()
+	if ctx.shufTrunks == nil {
+		ctx.shufTrunks = make([]*flow.Trunk, n*n)
+	}
+	key := src*n + dst
+	t := ctx.shufTrunks[key]
+	if t == nil {
+		t = c.Net.NewTrunk("shuffle", c.ShuffleUses(src, dst))
+		ctx.shufTrunks[key] = t
+	}
+	return t
+}
+
+// allocMap pops a recycled map task (zeroed) or makes a fresh one.
+func (ctx *Context) allocMap() *mapTask {
+	if k := len(ctx.freeMaps); k > 0 {
+		mt := ctx.freeMaps[k-1]
+		ctx.freeMaps[k-1] = nil
+		ctx.freeMaps = ctx.freeMaps[:k-1]
+		return mt
+	}
+	return &mapTask{}
+}
+
+func (ctx *Context) recycleMap(mt *mapTask) {
+	*mt = mapTask{}
+	ctx.freeMaps = append(ctx.freeMaps, mt)
+}
+
+// allocRed pops a recycled reduce task or makes a fresh one. The recycled
+// task keeps its slice capacities (buckets, seen bitmap, output
+// bookkeeping) — launchReduce re-zeros what a launch needs.
+func (ctx *Context) allocRed() *reduceTask {
+	if k := len(ctx.freeReds); k > 0 {
+		rt := ctx.freeReds[k-1]
+		ctx.freeReds[k-1] = nil
+		ctx.freeReds = ctx.freeReds[:k-1]
+		return rt
+	}
+	return &reduceTask{}
+}
+
+func (ctx *Context) recycleRed(rt *reduceTask) {
+	buckets := rt.buckets[:0]
+	seen := rt.seen[:0]
+	outFlows := rt.outFlows[:0]
+	owed := rt.owedRewrites[:0]
+	outRep := rt.outReplicas[:0]
+	*rt = reduceTask{}
+	rt.buckets = buckets
+	rt.seen = seen
+	rt.outFlows = outFlows
+	rt.owedRewrites = owed
+	rt.outReplicas = outRep
+	ctx.freeReds = append(ctx.freeReds, rt)
+}
+
+// allocRun pops a recycled jobRun or makes a fresh one. Recycled runs
+// keep their slice capacities; newRun and begin re-zero what a run needs.
+func (ctx *Context) allocRun() *jobRun {
+	if k := len(ctx.freeRuns); k > 0 {
+		r := ctx.freeRuns[k-1]
+		ctx.freeRuns[k-1] = nil
+		ctx.freeRuns = ctx.freeRuns[:k-1]
+		return r
+	}
+	return &jobRun{}
+}
+
+// recycleRun returns a finished (done or cancelled) run and all its tasks
+// to the pools. The caller guarantees no simulator event or flow still
+// references the run's tasks — true for any completed run, because
+// completion and cancellation both cancel or drain every outstanding
+// event and flow.
+func (ctx *Context) recycleRun(r *jobRun) {
+	for _, mt := range r.maps {
+		ctx.recycleMap(mt)
+	}
+	for _, dup := range r.specDups {
+		ctx.recycleMap(dup)
+	}
+	for _, rt := range r.reduces {
+		ctx.recycleRed(rt)
+	}
+	maps := r.maps[:0]
+	reduces := r.reduces[:0]
+	aggOut := r.aggOut[:0]
+	persisted := r.persistedSeen[:0]
+	pendingMaps := r.pendingMaps[:0]
+	pendingReds := r.pendingReds[:0]
+	mapFree := r.mapFree[:0]
+	redFree := r.redFree[:0]
+	commits := r.commits[:0]
+	specDups := r.specDups[:0]
+	locBuf := r.locBuf[:0]
+	*r = jobRun{}
+	r.maps = maps
+	r.reduces = reduces
+	r.aggOut = aggOut
+	r.persistedSeen = persisted
+	r.pendingMaps = pendingMaps
+	r.pendingReds = pendingReds
+	r.mapFree = mapFree
+	r.redFree = redFree
+	r.commits = commits
+	r.specDups = specDups
+	r.locBuf = locBuf
+	ctx.freeRuns = append(ctx.freeRuns, r)
+}
+
+// configKey canonicalizes a cluster config. fmt prints map fields
+// (NodeDiskScale) in sorted key order, so equal configs always produce
+// equal keys.
+func configKey(ccfg cluster.Config) string {
+	return fmt.Sprintf("%+v", ccfg)
+}
+
+// ctxPools pools contexts per cluster configuration, so sweep jobs at the
+// same scale reuse a topology instead of rebuilding it, across all worker
+// goroutines. sync.Pool may drop contexts under memory pressure; a fresh
+// one is built transparently.
+var ctxPools sync.Map // string -> *sync.Pool
+
+func acquireContext(ccfg cluster.Config) *Context {
+	key := configKey(ccfg)
+	p, ok := ctxPools.Load(key)
+	if !ok {
+		p, _ = ctxPools.LoadOrStore(key, &sync.Pool{})
+	}
+	if v := p.(*sync.Pool).Get(); v != nil {
+		return v.(*Context)
+	}
+	return NewContext(ccfg)
+}
+
+func releaseContext(ctx *Context) {
+	if p, ok := ctxPools.Load(ctx.key); ok {
+		p.(*sync.Pool).Put(ctx)
+	}
+}

@@ -15,6 +15,7 @@ import (
 // Driver executes one multi-job chain on a simulated cluster under a chosen
 // failure-resilience strategy (the paper's middleware + master together).
 type Driver struct {
+	ctx  *Context
 	sim  *des.Simulator
 	clus *cluster.Cluster
 	fs   *dfs.FS
@@ -37,9 +38,11 @@ type Driver struct {
 	specWasted   int
 }
 
-// RunChain executes the chain on a fresh cluster built from ccfg and
-// returns the timing result. The execution is fully deterministic for a
-// given (ccfg, cfg) pair.
+// RunChain executes the chain on a simulation context for ccfg — drawn
+// from the per-configuration context pool, so repeated executions at the
+// same scale reuse the cluster/DFS topology — and returns the timing
+// result. The execution is fully deterministic for a given (ccfg, cfg)
+// pair, reused context or fresh.
 func RunChain(ccfg cluster.Config, cfg ChainConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -48,11 +51,30 @@ func RunChain(ccfg cluster.Config, cfg ChainConfig) (*Result, error) {
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}
-	sim := des.New()
+	ctx := acquireContext(ccfg)
+	res, err := ctx.RunChain(cfg)
+	if err == nil {
+		// An errored run may leave events or flows mid-flight; drop the
+		// context rather than reason about partial cleanup.
+		releaseContext(ctx)
+	}
+	return res, err
+}
+
+// RunChain executes one chain on the context. The config must already be
+// validated and defaulted when coming through the package-level RunChain;
+// direct callers get the same treatment here.
+func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx.reset(cfg.BlockSize)
 	d := &Driver{
-		sim:         sim,
-		clus:        cluster.New(sim, ccfg),
-		fs:          dfs.New(cfg.BlockSize),
+		ctx:         ctx,
+		sim:         ctx.sim,
+		clus:        ctx.clus,
+		fs:          ctx.fs,
 		ch:          lineage.NewChain(),
 		rec:         &metrics.Recorder{},
 		cfg:         cfg,
@@ -64,12 +86,16 @@ func RunChain(ccfg cluster.Config, cfg ChainConfig) (*Result, error) {
 		return nil, err
 	}
 	d.startInitial(1)
-	sim.Run()
+	ctx.sim.Run()
 	if d.err != nil {
 		return nil, d.err
 	}
 	if !d.finished {
 		return nil, fmt.Errorf("mapreduce: simulation drained before chain completed (job %d)", d.frontier)
+	}
+	if d.current != nil {
+		ctx.recycleRun(d.current)
+		d.current = nil
 	}
 	return &Result{
 		Total:               d.endTime,
@@ -131,20 +157,25 @@ func (d *Driver) inputFileOf(job int) string {
 	return outputFileName(job - 1)
 }
 
-// newRun assembles the shared parts of any job run and registers injections.
+// newRun assembles the shared parts of any job run and registers
+// injections. The previous run — always done or cancelled by the time a
+// new one starts — goes back to the context pools here.
 func (d *Driver) newRun(job int, kind metrics.RunKind) *jobRun {
-	d.runCounter++
-	r := &jobRun{
-		d:          d,
-		job:        job,
-		kind:       kind,
-		runIndex:   d.runCounter,
-		inputFile:  d.inputFileOf(job),
-		outputFile: outputFileName(job),
-		repl:       d.outputRepl(job),
-		scatter:    d.cfg.ScatterOnly && kind == metrics.RunRecompute,
-		aggOut:     make(map[int]float64),
+	if d.current != nil {
+		d.ctx.recycleRun(d.current)
+		d.current = nil
 	}
+	d.runCounter++
+	r := d.ctx.allocRun()
+	r.d = d
+	r.job = job
+	r.kind = kind
+	r.runIndex = d.runCounter
+	r.inputFile = d.inputFileOf(job)
+	r.outputFile = outputFileName(job)
+	r.repl = d.outputRepl(job)
+	r.scatter = d.cfg.ScatterOnly && kind == metrics.RunRecompute
+	r.aggOut = grow(r.aggOut, d.clus.NumNodes())
 	for _, inj := range d.cfg.Failures {
 		if inj.AtRun == d.runCounter {
 			inj := inj
@@ -186,19 +217,26 @@ func (d *Driver) startInitial(job int) {
 	idx := 0
 	for _, p := range in.Partitions {
 		for b, blk := range p.Blocks {
-			r.maps = append(r.maps, &mapTask{
-				index:      idx,
-				part:       p.Index,
-				block:      b,
-				inputBytes: blk.Size,
-				outBytes:   int64(float64(blk.Size) * d.cfg.MapOutputRatio),
-				node:       -1,
-			})
+			mt := d.ctx.allocMap()
+			mt.run = r
+			mt.index = idx
+			mt.part = p.Index
+			mt.block = b
+			mt.inputBytes = blk.Size
+			mt.outBytes = int64(float64(blk.Size) * d.cfg.MapOutputRatio)
+			mt.node = -1
+			r.maps = append(r.maps, mt)
 			idx++
 		}
 	}
 	for i := 0; i < d.cfg.NumReducers; i++ {
-		r.reduces = append(r.reduces, &reduceTask{reducer: i, split: 0, splits: 1, node: -1})
+		rt := d.ctx.allocRed()
+		rt.run = r
+		rt.reducer = i
+		rt.split = 0
+		rt.splits = 1
+		rt.node = -1
+		r.reduces = append(r.reduces, rt)
 	}
 	r.onComplete = func() { d.initialRunDone(r) }
 	r.begin()
@@ -273,21 +311,22 @@ func (d *Driver) startRecompute(step core.JobStep) {
 			maxIdx = m.Index
 		}
 	}
-	r.persistedSeen = make([]bool, maxIdx+1)
+	r.persistedSeen = grow(r.persistedSeen, maxIdx+1)
 	rerun := make(map[int]bool, len(step.Mappers))
 	for _, mi := range step.Mappers {
 		rerun[mi] = true
 	}
 	for _, m := range rec.Mappers {
 		if rerun[m.Index] {
-			r.maps = append(r.maps, &mapTask{
-				index:      m.Index,
-				part:       m.InputPartition,
-				block:      m.InputBlock,
-				inputBytes: m.InputBytes,
-				outBytes:   m.OutputBytes,
-				node:       -1,
-			})
+			mt := d.ctx.allocMap()
+			mt.run = r
+			mt.index = m.Index
+			mt.part = m.InputPartition
+			mt.block = m.InputBlock
+			mt.inputBytes = m.InputBytes
+			mt.outBytes = m.OutputBytes
+			mt.node = -1
+			r.maps = append(r.maps, mt)
 		} else {
 			// Reused persisted output: a shuffle source with no map work.
 			r.persistedSeen[m.Index] = true
@@ -296,7 +335,13 @@ func (d *Driver) startRecompute(step core.JobStep) {
 	}
 	for _, rr := range step.Reducers {
 		for s := 0; s < rr.Splits; s++ {
-			r.reduces = append(r.reduces, &reduceTask{reducer: rr.Reducer, split: s, splits: rr.Splits, node: -1})
+			rt := d.ctx.allocRed()
+			rt.run = r
+			rt.reducer = rr.Reducer
+			rt.split = s
+			rt.splits = rr.Splits
+			rt.node = -1
+			r.reduces = append(r.reduces, rt)
 		}
 	}
 	r.onComplete = func() { d.recomputeRunDone(r, step) }

@@ -1,8 +1,6 @@
 package mapreduce
 
 import (
-	"fmt"
-
 	"rcmp/internal/des"
 	"rcmp/internal/flow"
 	"rcmp/internal/metrics"
@@ -11,7 +9,9 @@ import (
 // map_phase.go drives map tasks through the shared lifecycle machine
 // (lifecycle.go): locality-aware assignment, the read/compute/write
 // pipeline, and speculative execution. Failure reactions that yank tasks
-// out of this pipeline live in recovery.go.
+// out of this pipeline live in recovery.go. Phase transitions schedule
+// through the task's own Timer/Completion dispatch (see run.go), so the
+// per-task pipeline allocates nothing.
 
 // assignOneMap launches at most one mapper, preferring data-local placement.
 func (r *jobRun) assignOneMap() bool {
@@ -61,7 +61,8 @@ func (r *jobRun) launchMap(mt *mapTask, node int, queueIdx int) {
 	mt.to(taskRunning)
 	mt.node = node
 	mt.start = r.sim().Now()
-	mt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.mapRead(mt) })
+	mt.step = mtStepStartup
+	mt.ev = r.sim().AfterTimer(r.ccfg().TaskStartup, mt)
 }
 
 func (r *jobRun) mapRead(mt *mapTask) {
@@ -93,8 +94,9 @@ func (r *jobRun) mapRead(mt *mapTask) {
 			src = n
 		}
 	}
-	mt.fl = r.net().Start(fmt.Sprintf("map%d-read", mt.index), float64(mt.inputBytes),
-		r.clus().ReadUses(src, mt.node), 0, func(*flow.Flow) { r.mapCompute(mt) })
+	mt.step = mtStepRead
+	mt.fl = r.net().StartC("map-read", float64(mt.inputBytes),
+		r.clus().ReadUsesScratch(src, mt.node), 0, mt)
 }
 
 func (r *jobRun) mapCompute(mt *mapTask) {
@@ -103,14 +105,15 @@ func (r *jobRun) mapCompute(mt *mapTask) {
 	if cpu := r.ccfg().MapCPU; cpu > 0 {
 		d = des.Time(float64(mt.inputBytes) / cpu)
 	}
-	mt.ev = r.sim().After(d, func() { r.mapWrite(mt) })
+	mt.step = mtStepCPU
+	mt.ev = r.sim().AfterTimer(d, mt)
 }
 
 func (r *jobRun) mapWrite(mt *mapTask) {
 	mt.ev = nil
-	disk := r.clus().Node(mt.node).Disk
-	mt.fl = r.net().Start(fmt.Sprintf("map%d-write", mt.index), float64(mt.outBytes),
-		[]flow.Use{{R: disk, Weight: 1}}, 0, func(*flow.Flow) { r.mapDone(mt) })
+	mt.step = mtStepWrite
+	mt.fl = r.net().StartC("map-write", float64(mt.outBytes),
+		r.clus().DiskUseScratch(mt.node), 0, mt)
 }
 
 func (r *jobRun) mapDone(mt *mapTask) {
@@ -224,15 +227,15 @@ func (r *jobRun) speculate() {
 		if len(r.inputLocations(mt)) < 2 {
 			continue
 		}
-		dup := &mapTask{
-			index:      mt.index,
-			part:       mt.part,
-			block:      mt.block,
-			inputBytes: mt.inputBytes,
-			outBytes:   mt.outBytes,
-			node:       -1,
-			dupOf:      mt,
-		}
+		dup := r.d.ctx.allocMap()
+		dup.run = r
+		dup.index = mt.index
+		dup.part = mt.part
+		dup.block = mt.block
+		dup.inputBytes = mt.inputBytes
+		dup.outBytes = mt.outBytes
+		dup.node = -1
+		dup.dupOf = mt
 		mt.dup = dup
 		r.specDups = append(r.specDups, dup)
 		r.pendingMaps = append(r.pendingMaps, dup)
@@ -242,10 +245,10 @@ func (r *jobRun) speculate() {
 		if r.specEv != nil {
 			r.sim().Cancel(r.specEv)
 		}
-		r.specEv = r.sim().At(nextCheck+1e-9, func() {
-			r.specEv = nil
-			r.speculate()
-			r.pump()
-		})
+		// The run itself is the timer; its Fire re-runs this check.
+		r.specEv = r.sim().AtTimer(nextCheck+1e-9, r)
 	}
 }
+
+var _ flow.Completion = (*mapTask)(nil)
+var _ des.Timer = (*mapTask)(nil)

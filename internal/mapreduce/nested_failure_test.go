@@ -141,7 +141,7 @@ func TestLaunchReduceClearsPreviousIncarnation(t *testing.T) {
 	ccfg := tinyCluster(4, 1, 1)
 	chain := tinyChain(1, 2, 64)
 	d := &Driver{sim: sim, clus: cluster.New(sim, ccfg), cfg: chain.withDefaults()}
-	r := &jobRun{d: d, redFree: map[int]int{0: 1}, seenSize: 1}
+	r := &jobRun{d: d, redFree: []int{1, 0, 0, 0}, seenSize: 1}
 
 	rt := &reduceTask{reducer: 0, splits: 1, node: 2}
 	rt.outFlows = []outFlow{{nil, 3}}
@@ -156,7 +156,7 @@ func TestLaunchReduceClearsPreviousIncarnation(t *testing.T) {
 	if len(rt.outFlows) != 0 || len(rt.owedRewrites) != 0 {
 		t.Fatalf("relaunch kept output-phase debts: outFlows=%v owedRewrites=%v", rt.outFlows, rt.owedRewrites)
 	}
-	if rt.outPending != 0 || rt.outBytes != 0 || rt.outReplicas != nil {
+	if rt.outPending != 0 || rt.outBytes != 0 || len(rt.outReplicas) != 0 {
 		t.Fatalf("relaunch kept output-phase state: pending=%d bytes=%d replicas=%v",
 			rt.outPending, rt.outBytes, rt.outReplicas)
 	}

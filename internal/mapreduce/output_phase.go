@@ -10,7 +10,9 @@ import (
 // output_phase.go writes reducer output to the DFS: replica (or scatter)
 // write flows, replacement writes owed after failures are retargeted in
 // recovery.go, and the partition commit that makes the output visible once
-// every split has landed.
+// every split has landed. Output-write flows complete through the reduce
+// task's own FlowDone dispatch (run.go), so the write fan-out allocates
+// only the pooled flows.
 
 // outFlow is one in-progress output-write flow and its target node.
 type outFlow struct {
@@ -40,7 +42,7 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 	rt.ev = nil
 	rt.outBytes = int64(rt.fetched * r.cfg().ReduceOutputRatio)
 	alive := r.clus().Alive()
-	rt.outReplicas = r.fs().PlanReplicas(rt.node, r.repl, alive)
+	rt.outReplicas = r.fs().PlanReplicasInto(rt.outReplicas[:0], rt.node, r.repl, alive)
 	rt.outFlows = rt.outFlows[:0]
 
 	if r.scatter && rt.splits == 1 {
@@ -50,19 +52,20 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 		per := float64(rt.outBytes) / float64(len(alive))
 		rt.outPending = len(alive)
 		for _, tgt := range alive {
-			tgt := tgt
-			fl := r.net().Start(fmt.Sprintf("red%d-scatter", rt.reducer), per,
-				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+			fl := r.net().StartC("red-scatter", per,
+				r.clus().WriteUsesScratch(rt.node, tgt), 0, rt)
 			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 		}
-		rt.outReplicas = alive
+		// Copy, not alias: the cluster's alive list is rebuilt in place on
+		// the next failure, while retarget sweeps write through outReplicas.
+		rt.outReplicas = append(rt.outReplicas[:0], alive...)
 		return
 	}
 
 	rt.outPending = len(rt.outReplicas)
 	for _, tgt := range rt.outReplicas {
-		fl := r.net().Start(fmt.Sprintf("red%d.%d-out", rt.reducer, rt.split), float64(rt.outBytes),
-			r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+		fl := r.net().StartC("red-out", float64(rt.outBytes),
+			r.clus().WriteUsesScratch(rt.node, tgt), 0, rt)
 		rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 	}
 }
@@ -101,8 +104,14 @@ func (r *jobRun) reduceDone(rt *reduceTask) {
 			sets = append(sets, []int{n})
 		}
 		c.replicas = sets
+	} else if rt.splits == 1 {
+		// Consumed by SetPartition (which copies) before this call returns,
+		// so the task's reusable buffer can be aliased directly.
+		c.replicas[0] = rt.outReplicas
 	} else {
-		c.replicas[rt.split] = rt.outReplicas
+		// A multi-split commit sits until the reducer's last split lands —
+		// snapshot the task's reusable buffer.
+		c.replicas[rt.split] = append([]int(nil), rt.outReplicas...)
 	}
 	if c.done == rt.splits {
 		if _, err := r.fs().SetPartition(r.outputFile, rt.reducer, c.bytes, c.replicas); err != nil {

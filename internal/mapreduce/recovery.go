@@ -1,9 +1,6 @@
 package mapreduce
 
 import (
-	"fmt"
-
-	"rcmp/internal/flow"
 	"rcmp/internal/metrics"
 )
 
@@ -19,8 +16,8 @@ func (r *jobRun) nodeDown(n int) {
 	if r.done {
 		return
 	}
-	delete(r.mapFree, n)
-	delete(r.redFree, n)
+	r.mapFree[n] = 0
+	r.redFree[n] = 0
 	for _, mt := range r.maps {
 		if mt.state == taskRunning && mt.node == n {
 			r.abortMapWork(mt)
@@ -48,7 +45,7 @@ func (r *jobRun) nodeDown(n int) {
 			continue
 		}
 		// Healthy reducer: fetches sourced from n stall.
-		if b := rt.buckets[n]; b != nil {
+		if b := &rt.buckets[n]; b.used {
 			if b.fl != nil {
 				r.net().Abort(b.fl)
 				b.fl = nil
@@ -84,9 +81,9 @@ func (r *jobRun) abortMapWork(mt *mapTask) {
 }
 
 func (r *jobRun) abortReduceWork(rt *reduceTask) {
-	for _, n := range sortedKeys(rt.buckets) {
-		b := rt.buckets[n]
-		if b.fl != nil {
+	for i := range rt.buckets {
+		b := &rt.buckets[i]
+		if b.used && b.fl != nil {
 			r.net().Abort(b.fl)
 			b.fl = nil
 			b.pending += b.inflight
@@ -145,9 +142,12 @@ func (r *jobRun) handleDetection(n int) {
 		if rt.state != taskRunning {
 			continue
 		}
-		if b := rt.buckets[n]; b != nil {
+		if b := &rt.buckets[n]; b.used {
 			rt.needResupply += b.pending
-			delete(rt.buckets, n)
+			// Forget the bucket entirely, the way the old map delete did: a
+			// later re-execution offering bytes from another node starts it
+			// fresh, and the dead source never contributes again.
+			*b = srcBucket{rt: rt, src: n}
 		}
 		// Replace aborted replica writes with a new target.
 		var stillOwed []int
@@ -157,8 +157,8 @@ func (r *jobRun) handleDetection(n int) {
 				continue
 			}
 			tgt := r.pickReplacementTarget(rt)
-			fl := r.net().Start(fmt.Sprintf("red%d-rewrite", rt.reducer), float64(rt.outBytes),
-				r.clus().WriteUses(rt.node, tgt), 0, func(f *flow.Flow) { r.outWriteDone(rt, f) })
+			fl := r.net().StartC("red-rewrite", float64(rt.outBytes),
+				r.clus().WriteUsesScratch(rt.node, tgt), 0, rt)
 			rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 			for i, rep := range rt.outReplicas {
 				if rep == n {

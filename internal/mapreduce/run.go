@@ -5,6 +5,16 @@
 // batching), output_phase.go (replica writes and partition commit) and
 // recovery.go (failure reactions) — all driving the task lifecycle machine
 // defined in lifecycle.go.
+//
+// The event hot path is allocation-free: tasks implement des.Timer and
+// flow.Completion themselves, dispatching on a small step tag, so
+// scheduling a phase transition allocates neither a closure nor an event
+// (the kernel recycles those); per-node state lives in slices indexed by
+// node ID rather than maps; and tasks and runs are recycled through the
+// owning Context's free lists between runs. Everything indexed by node or
+// reducer ID iterates in ascending order, which is exactly the order the
+// old sortedKeys map sweeps produced — the determinism contract (golden
+// digests) is preserved by construction.
 package mapreduce
 
 import (
@@ -18,9 +28,26 @@ import (
 	"rcmp/internal/metrics"
 )
 
+// Task step tags: where a task is in its phase pipeline, consulted by the
+// Fire/FlowDone dispatchers. Tasks move through a strictly linear
+// pipeline, so one tag per task is enough.
+const (
+	mtStepStartup uint8 = iota // timer: startup done -> mapRead
+	mtStepRead                 // flow: input read arrived -> mapCompute
+	mtStepCPU                  // timer: UDF finished -> mapWrite
+	mtStepWrite                // flow: output written -> mapDone
+)
+
+const (
+	rtStepStartup uint8 = iota // timer: startup done -> reduceShuffle
+	rtStepCPU                  // timer: merge/UDF finished -> reduceWrite
+)
+
 // mapTask is one mapper execution within a run.
 type mapTask struct {
 	taskLife
+	run        *jobRun
+	step       uint8
 	index      int
 	part       int // partition of the run's input file
 	block      int // block within the partition
@@ -39,6 +66,25 @@ type mapTask struct {
 	dup   *mapTask // set on the original while a duplicate is in flight
 }
 
+// Fire implements des.Timer: the task's pending timer elapsed.
+func (mt *mapTask) Fire() {
+	if mt.step == mtStepStartup {
+		mt.run.mapRead(mt)
+	} else {
+		mt.run.mapWrite(mt)
+	}
+}
+
+// FlowDone implements flow.Completion: the task's in-flight transfer
+// finished.
+func (mt *mapTask) FlowDone(*flow.Flow) {
+	if mt.step == mtStepRead {
+		mt.run.mapCompute(mt)
+	} else {
+		mt.run.mapDone(mt)
+	}
+}
+
 // primary returns the canonical task of a (task, duplicate) pair.
 func (mt *mapTask) primary() *mapTask {
 	if mt.dupOf != nil {
@@ -47,16 +93,32 @@ func (mt *mapTask) primary() *mapTask {
 	return mt
 }
 
+// srcBucket tracks shuffle bytes a reduce task owes to / has pulled from
+// one source node. Buckets live in a per-task slice indexed by source
+// node; rt/src are the back-references the fetch-completion dispatch
+// needs (see FlowDone in shuffle_phase.go).
+type srcBucket struct {
+	rt       *reduceTask
+	src      int
+	used     bool // source node contributes bytes to this reducer
+	pending  float64
+	inflight float64
+	fl       *flow.Flow
+	stalled  bool // source node down, no new fetches
+}
+
 // reduceTask is one reducer (or one split of a split reducer) execution.
 type reduceTask struct {
 	taskLife
+	run     *jobRun
+	step    uint8
 	reducer int
 	split   int
 	splits  int
 
 	node    int
-	buckets map[int]*srcBucket
-	seen    []bool // map outputs accounted, by mapper index
+	buckets []srcBucket // indexed by source node, fixed length while running
+	seen    []bool      // map outputs accounted, by mapper index
 	// needResupply is bytes lost with dead source nodes that re-executed
 	// mappers must re-provide (Hadoop within-job recovery).
 	needResupply float64
@@ -75,6 +137,19 @@ type reduceTask struct {
 	start        des.Time
 }
 
+// Fire implements des.Timer: the task's pending timer elapsed.
+func (rt *reduceTask) Fire() {
+	if rt.step == rtStepStartup {
+		rt.run.reduceShuffle(rt)
+	} else {
+		rt.run.reduceWrite(rt)
+	}
+}
+
+// FlowDone implements flow.Completion for output-write flows; shuffle
+// fetches complete through their srcBucket instead.
+func (rt *reduceTask) FlowDone(f *flow.Flow) { rt.run.outWriteDone(rt, f) }
+
 func (rt *reduceTask) shareFrac(numReducers int) float64 {
 	return 1 / (float64(numReducers) * float64(rt.splits))
 }
@@ -82,7 +157,9 @@ func (rt *reduceTask) shareFrac(numReducers int) float64 {
 // sortedKeys returns a node-keyed map's keys in ascending order. Every
 // sweep whose side effects reach the flow network or the event queue must
 // iterate this way: Go's randomized map order would otherwise leak into
-// event sequence numbers and break run-to-run determinism.
+// event sequence numbers and break run-to-run determinism. (The event hot
+// path now uses node-indexed slices, whose ascending iteration is the
+// same order; this helper remains for the cold per-run sweeps.)
 func sortedKeys[V any](m map[int]V) []int {
 	keys := make([]int, 0, len(m))
 	for k := range m {
@@ -107,21 +184,22 @@ type jobRun struct {
 
 	maps    []*mapTask
 	reduces []*reduceTask
-	// aggOut aggregates available map-output bytes per holder node,
-	// including persisted outputs reused from the initial run.
-	aggOut        map[int]float64
+	// aggOut aggregates available map-output bytes per holder node
+	// (indexed by node ID), including persisted outputs reused from the
+	// initial run.
+	aggOut        []float64
 	persistedSeen []bool // mapper indices whose outputs are reused
 
 	mapsRemaining int
 	redRemaining  int
 	pendingMaps   []*mapTask
 	pendingReds   []*reduceTask
-	mapFree       map[int]int
-	redFree       map[int]int
-	redCursor     int // round-robin start for reducer placement
+	mapFree       []int // free mapper slots, indexed by node ID
+	redFree       []int // free reducer slots, indexed by node ID
+	redCursor     int   // round-robin start for reducer placement
 
-	commits   map[int]*partCommit
-	seenSize  int // 1 + max mapper index, for reducers' seen bitmaps
+	commits   []*partCommit // indexed by reducer ID, nil until first split lands
+	seenSize  int           // 1 + max mapper index, for reducers' seen bitmaps
 	done      bool
 	cancelled bool
 
@@ -137,9 +215,13 @@ type jobRun struct {
 	onComplete func()
 
 	locBuf []int // scratch for inputLocations, reused across calls
-	// shufTrunks coalesces shuffle fetches per (source, destination) node
-	// pair, keyed src*NumNodes+dst; see shuffleTrunk.
-	shufTrunks map[int]*flow.Trunk
+}
+
+// Fire implements des.Timer for the speculation wake-up event.
+func (r *jobRun) Fire() {
+	r.specEv = nil
+	r.speculate()
+	r.pump()
 }
 
 func (r *jobRun) sim() *des.Simulator    { return r.d.sim }
@@ -149,17 +231,28 @@ func (r *jobRun) fs() *dfs.FS            { return r.d.fs }
 func (r *jobRun) cfg() *ChainConfig      { return &r.d.cfg }
 func (r *jobRun) ccfg() *cluster.Config  { return &r.d.clus.Cfg }
 
+// grow returns s resized to n entries, all zeroed, reusing capacity —
+// the shared shape of every per-node/per-reducer state slice reset.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // begin initializes slot state and starts scheduling.
 func (r *jobRun) begin() {
 	r.start = r.sim().Now()
-	r.mapFree = make(map[int]int)
-	r.redFree = make(map[int]int)
-	for _, n := range r.clus().Alive() {
-		r.mapFree[n] = r.ccfg().MapSlots
-		r.redFree[n] = r.ccfg().ReduceSlots
+	n := r.clus().NumNodes()
+	r.mapFree = grow(r.mapFree, n)
+	r.redFree = grow(r.redFree, n)
+	for _, node := range r.clus().Alive() {
+		r.mapFree[node] = r.ccfg().MapSlots
+		r.redFree[node] = r.ccfg().ReduceSlots
 	}
-	r.commits = make(map[int]*partCommit)
-	r.shufTrunks = make(map[int]*flow.Trunk)
+	r.commits = grow(r.commits, r.cfg().NumReducers)
 	r.mapsRemaining = len(r.maps)
 	r.redRemaining = len(r.reduces)
 	r.pendingMaps = append(r.pendingMaps, r.maps...)
@@ -174,9 +267,6 @@ func (r *jobRun) begin() {
 		})
 	}
 	r.pendingReds = append(r.pendingReds, r.reduces...)
-	if r.aggOut == nil {
-		r.aggOut = make(map[int]float64)
-	}
 	// Mapper indices are the job's original indices (recompute runs hold a
 	// subset), so seen bitmaps must span the largest index.
 	for _, mt := range r.maps {

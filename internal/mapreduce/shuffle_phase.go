@@ -1,8 +1,6 @@
 package mapreduce
 
 import (
-	"fmt"
-
 	"rcmp/internal/des"
 	"rcmp/internal/flow"
 )
@@ -12,31 +10,35 @@ import (
 // into fetch flows, and handing the task to output_phase.go once every
 // owed byte has arrived. Reducers follow the shared lifecycle machine in
 // lifecycle.go; failure-time stalls and re-supply live in recovery.go.
+//
+// Buckets live in a slice indexed by source node (fixed length while the
+// task runs), and each bucket is its own fetch-flow Completion, so the
+// per-fetch cycle — account, batch, start flow, complete — allocates
+// nothing beyond the pooled flow itself.
 
-// srcBucket tracks shuffle bytes a reduce task owes to / has pulled from one
-// source node.
-type srcBucket struct {
-	pending  float64 // bytes ready to fetch
-	inflight float64 // bytes in the current fetch flow
-	fl       *flow.Flow
-	stalled  bool // source node down, no new fetches
+// FlowDone implements flow.Completion for the bucket's in-flight fetch.
+func (b *srcBucket) FlowDone(*flow.Flow) { b.rt.run.fetchDone(b.rt, b.src) }
+
+// bucket returns the reducer's bucket for source node src, marking it
+// used on first touch.
+func (rt *reduceTask) bucket(src int) *srcBucket {
+	b := &rt.buckets[src]
+	if !b.used {
+		b.used = true
+	}
+	return b
 }
 
-// shuffleTrunk returns the run's coalescing trunk for fetches from src to
-// dst, creating it on first use. Every reduce task on dst fetching from src
-// multiplexes its fetch flows onto this one trunk, so the flow network
-// arbitrates one unit per communicating node pair instead of one per
-// (reduce task, source node) pair — the trunk semantics guarantee the
-// member transfers behave exactly like separate flows, so this changes
-// simulation cost, not outcomes.
+// shuffleTrunk returns the coalescing trunk for fetches from src to dst.
+// Trunks are owned by the driver's Context and persist across runs (and
+// chains): every reduce task on dst fetching from src multiplexes its
+// fetch flows onto this one trunk, so the flow network arbitrates one
+// unit per communicating node pair instead of one per (reduce task,
+// source node) pair — the trunk semantics guarantee the member transfers
+// behave exactly like separate flows, so this changes simulation cost,
+// not outcomes.
 func (r *jobRun) shuffleTrunk(src, dst int) *flow.Trunk {
-	key := src*r.clus().NumNodes() + dst
-	t := r.shufTrunks[key]
-	if t == nil {
-		t = r.net().NewTrunk(fmt.Sprintf("shuf-n%d-n%d", src, dst), r.clus().ShuffleUses(src, dst))
-		r.shufTrunks[key] = t
-	}
-	return t
+	return r.d.ctx.shuffleTrunk(r.clus(), src, dst)
 }
 
 // offerMapOutput accounts one completed map output to one shuffling reducer.
@@ -53,12 +55,7 @@ func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
 		rt.seen[mt.index] = true
 	}
 	if share > 0 {
-		b := rt.buckets[mt.node]
-		if b == nil {
-			b = &srcBucket{}
-			rt.buckets[mt.node] = b
-		}
-		b.pending += share
+		rt.bucket(mt.node).pending += share
 	}
 	r.kickFetch(rt)
 	r.maybeFinishShuffle(rt)
@@ -86,11 +83,24 @@ func (r *jobRun) assignOneReduce() bool {
 
 func (r *jobRun) launchReduce(rt *reduceTask, node int) {
 	r.redFree[node]--
+	rt.run = r
 	rt.to(taskRunning)
 	rt.node = node
 	rt.start = r.sim().Now()
-	rt.buckets = make(map[int]*srcBucket)
-	rt.seen = make([]bool, r.seenSize)
+	// One bucket slot per potential source node; all idle until bytes are
+	// accounted. The slice must not be reallocated while fetches are in
+	// flight (each bucket is its own flow Completion), so it is sized here,
+	// before any fetch starts, and never grown.
+	numNodes := r.clus().NumNodes()
+	if cap(rt.buckets) < numNodes {
+		rt.buckets = make([]srcBucket, numNodes)
+	} else {
+		rt.buckets = rt.buckets[:numNodes]
+	}
+	for i := range rt.buckets {
+		rt.buckets[i] = srcBucket{rt: rt, src: i}
+	}
+	rt.seen = grow(rt.seen, r.seenSize)
 	rt.fetched = 0
 	rt.needResupply = 0
 	rt.shuffling = false
@@ -102,8 +112,9 @@ func (r *jobRun) launchReduce(rt *reduceTask, node int) {
 	rt.owedRewrites = rt.owedRewrites[:0]
 	rt.outPending = 0
 	rt.outBytes = 0
-	rt.outReplicas = nil
-	rt.ev = r.sim().After(r.ccfg().TaskStartup, func() { r.reduceShuffle(rt) })
+	rt.outReplicas = rt.outReplicas[:0]
+	rt.step = rtStepStartup
+	rt.ev = r.sim().AfterTimer(r.ccfg().TaskStartup, rt)
 }
 
 func (r *jobRun) reduceShuffle(rt *reduceTask) {
@@ -113,8 +124,9 @@ func (r *jobRun) reduceShuffle(rt *reduceTask) {
 	// Persisted (reused) outputs and any mappers that completed before this
 	// reducer launched. Outputs on a node that died but is not yet detected
 	// become a resupply debt settled by the post-detection re-executions.
-	for _, n := range sortedKeys(r.aggOut) {
-		bytes := r.aggOut[n]
+	// Ascending node order, as every sweep that reaches the flow network
+	// must be.
+	for n, bytes := range r.aggOut {
 		if bytes <= 0 {
 			continue
 		}
@@ -122,7 +134,7 @@ func (r *jobRun) reduceShuffle(rt *reduceTask) {
 			rt.needResupply += bytes * frac
 			continue
 		}
-		rt.buckets[n] = &srcBucket{pending: bytes * frac}
+		rt.bucket(n).pending += bytes * frac
 	}
 	for _, mt := range r.maps {
 		if mt.state == taskDone {
@@ -154,28 +166,30 @@ func (r *jobRun) kickFetch(rt *reduceTask) {
 		minChunk = float64(r.cfg().BlockSize) / 4
 	}
 	// Sources are visited in node order: with a bounded fetch parallelism
-	// the visit order decides which flows exist, so it must not depend on
-	// map iteration order.
-	for _, n := range sortedKeys(rt.buckets) {
-		b := rt.buckets[n]
+	// the visit order decides which flows exist, so it must stay the
+	// ascending sweep the old sorted-map iteration produced.
+	for n := range rt.buckets {
+		b := &rt.buckets[n]
+		if !b.used {
+			continue
+		}
 		if rt.inflight >= r.cfg().FetchParallelism {
 			return
 		}
 		if b.stalled || b.fl != nil || b.pending <= 0 || b.pending < minChunk {
 			continue
 		}
-		src, bytes := n, b.pending
+		bytes := b.pending
 		b.pending = 0
 		b.inflight = bytes
 		rt.inflight++
-		b.fl = r.shuffleTrunk(src, rt.node).Start(
-			fmt.Sprintf("shuf-r%d.%d", rt.reducer, rt.split), bytes,
-			r.ccfg().ShuffleTransferDelay, func(*flow.Flow) { r.fetchDone(rt, src) })
+		b.fl = r.shuffleTrunk(n, rt.node).StartC("shuffle", bytes,
+			r.ccfg().ShuffleTransferDelay, b)
 	}
 }
 
 func (r *jobRun) fetchDone(rt *reduceTask, src int) {
-	b := rt.buckets[src]
+	b := &rt.buckets[src]
 	rt.fetched += b.inflight
 	b.inflight = 0
 	b.fl = nil
@@ -193,8 +207,9 @@ func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
 	if r.mapsRemaining > 0 || rt.inflight > 0 || rt.needResupply > 1e-6 {
 		return
 	}
-	for _, b := range rt.buckets {
-		if b.pending > 1e-6 || b.fl != nil {
+	for i := range rt.buckets {
+		b := &rt.buckets[i]
+		if b.used && (b.pending > 1e-6 || b.fl != nil) {
 			return
 		}
 	}
@@ -203,5 +218,11 @@ func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
 	if cpu := r.ccfg().ReduceCPU; cpu > 0 {
 		d = des.Time(rt.fetched / cpu)
 	}
-	rt.ev = r.sim().After(d, func() { r.reduceWrite(rt) })
+	rt.step = rtStepCPU
+	rt.ev = r.sim().AfterTimer(d, rt)
 }
+
+var _ flow.Completion = (*srcBucket)(nil)
+var _ flow.Completion = (*reduceTask)(nil)
+var _ des.Timer = (*reduceTask)(nil)
+var _ des.Timer = (*jobRun)(nil)

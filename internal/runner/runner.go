@@ -12,6 +12,7 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,6 +28,13 @@ type Job struct {
 	Config experiments.Config
 	// Run executes the experiment (typically a Spec.Run from the registry).
 	Run func(experiments.Config) (*experiments.Result, error)
+	// Cost is the job's relative expected wall-clock weight (see
+	// experiments.RelativeCost). The pool starts jobs cost-descending —
+	// longest first — so a heavy job never starts last and stretches the
+	// makespan; zero-cost jobs run after every weighted one, in input
+	// order. Results are unaffected: they stay in input order and each
+	// job's output is independent of start order.
+	Cost float64
 }
 
 // Result is one finished job.
@@ -60,9 +68,13 @@ func (r *Runner) workers() int {
 }
 
 // Run executes jobs on the pool and returns one Result per job, indexed
-// and ordered like the input regardless of completion order.
+// and ordered like the input regardless of completion order. Jobs are
+// handed to workers cost-descending (ties in input order): with more
+// jobs than workers this is the LPT heuristic, which keeps one long-pole
+// job from starting last and dominating the wall clock.
 func (r *Runner) Run(jobs []Job) []Result {
 	out := make([]Result, len(jobs))
+	order := scheduleOrder(jobs)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < r.workers(); w++ {
@@ -74,12 +86,25 @@ func (r *Runner) Run(jobs []Job) []Result {
 			}
 		}()
 	}
-	for i := range jobs {
+	for _, i := range order {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// scheduleOrder returns job indices sorted by descending Cost, stable on
+// the input order for equal costs.
+func scheduleOrder(jobs []Job) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Cost > jobs[order[b]].Cost
+	})
+	return order
 }
 
 func runOne(j Job) (res Result) {

@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"rcmp/internal/experiments"
+)
+
+// fakeJob builds a job that records its start order and returns a result
+// naming it.
+func orderedJobs(costs []float64) ([]Job, *[]int, *sync.Mutex) {
+	var mu sync.Mutex
+	var started []int
+	jobs := make([]Job, len(costs))
+	for i, c := range costs {
+		i := i
+		jobs[i] = Job{
+			Name: "job",
+			Cost: c,
+			Run: func(experiments.Config) (*experiments.Result, error) {
+				mu.Lock()
+				started = append(started, i)
+				mu.Unlock()
+				return &experiments.Result{Name: "ok"}, nil
+			},
+		}
+	}
+	return jobs, &started, &mu
+}
+
+// TestRunStartsJobsCostDescending pins the LPT dispatch: with one worker,
+// the execution order IS the feed order, which must be cost-descending
+// with ties (and zero-cost jobs) in input order.
+func TestRunStartsJobsCostDescending(t *testing.T) {
+	jobs, started, _ := orderedJobs([]float64{1, 50, 0, 7, 50, 0})
+	pool := Runner{Workers: 1}
+	res := pool.Run(jobs)
+	want := []int{1, 4, 3, 0, 2, 5}
+	if len(*started) != len(want) {
+		t.Fatalf("started %v", *started)
+	}
+	for i := range want {
+		if (*started)[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v (cost-descending, stable)", *started, want)
+		}
+	}
+	// Results stay in input order regardless of dispatch order.
+	for i, r := range res {
+		if r.Err != "" || r.Res == nil {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+}
+
+// TestGridJobsCarryCosts checks the sweep expansion wires the experiment
+// cost model into every job, so pools actually get the LPT ordering.
+func TestGridJobsCarryCosts(t *testing.T) {
+	jobs := Grid{
+		Specs:  experiments.Registry(),
+		Scales: []experiments.Scale{experiments.ScaleQuick},
+	}.Jobs()
+	weighted := 0
+	for _, j := range jobs {
+		if j.Cost > 0 {
+			weighted++
+		}
+	}
+	if weighted != len(jobs) {
+		t.Fatalf("%d of %d grid jobs carry no cost weight", len(jobs)-weighted, len(jobs))
+	}
+	// The heaviest quick-scale job must not be fed last: pin that the
+	// maximum-cost job sorts first.
+	order := scheduleOrder(jobs)
+	maxCost := 0.0
+	for _, j := range jobs {
+		if j.Cost > maxCost {
+			maxCost = j.Cost
+		}
+	}
+	if jobs[order[0]].Cost != maxCost {
+		t.Fatalf("first dispatched job has cost %v, want the maximum %v", jobs[order[0]].Cost, maxCost)
+	}
+}

@@ -52,7 +52,12 @@ func (g Grid) Jobs() []Job {
 				for _, fa := range fails {
 					for _, sched := range scheds {
 						c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched}
-						out = append(out, Job{Name: jobName(sp, c), Config: c, Run: sp.Run})
+						out = append(out, Job{
+							Name:   jobName(sp, c),
+							Config: c,
+							Run:    sp.Run,
+							Cost:   experiments.RelativeCost(sp.Key, sc),
+						})
 					}
 				}
 			}

@@ -3,12 +3,17 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. static checks: go vet and gofmt -l over the whole module
 #   3. race detector over the full suite, plus a focused -race pass on the
-#      simulation core (internal/flow, internal/mapreduce) and the
-#      distributed runtime (internal/dmr) with -count=2 so scratch-state
-#      reuse across runs stays honest
+#      simulation core (internal/flow, internal/mapreduce), the pooled
+#      runner path (internal/runner, internal/experiments — worker
+#      goroutines share the per-config context pool) and the distributed
+#      runtime (internal/dmr) with -count=2 so pool/scratch-state reuse
+#      across runs stays honest
 #   4. rcmpsim smoke: the schedule-engine experiments end to end through
 #      the CLI and the parallel runner
 #   5. benchmark smoke pass: every benchmark once at the smoke tier
+#   6. perf-regression gate: re-measure the perf-trajectory benchmarks and
+#      diff against the committed BENCH_flow.json (scripts/benchdiff.sh;
+#      >10% ns/op regressions fail)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,8 +37,8 @@ go test ./...
 echo "== race (full suite) =="
 go test -race ./...
 
-echo "== race (simulation core + distributed runtime, repeated) =="
-go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/dmr
+echo "== race (simulation core + pooled runner + distributed runtime, repeated) =="
+go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/runner ./internal/experiments ./internal/dmr
 
 echo "== rcmpsim smoke (failure-schedule engine) =="
 go run ./cmd/rcmpsim -fig double-failure -quick -parallel 2 > /dev/null
@@ -42,5 +47,8 @@ go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
+
+echo "== benchdiff (perf-regression gate vs BENCH_flow.json) =="
+./scripts/benchdiff.sh
 
 echo "verify: OK"
