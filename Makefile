@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench bench-full benchdiff verify
+.PHONY: all build test race bench-smoke bench bench-scale bench-full benchdiff verify
 
 all: build test
 
@@ -21,12 +21,22 @@ bench-smoke:
 	RCMP_BENCH_SCALE=smoke $(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # bench runs the perf-trajectory benchmarks of the simulation core
-# (BenchmarkRebalance*, BenchmarkAllSerial, BenchmarkAllParallel) and
-# emits their ns/op, bytes/op and allocs/op as BENCH_flow.json, so
-# successive PRs can diff the trajectory. Run it (on an idle machine) to
-# regenerate the baseline after intentional perf changes.
+# (BenchmarkRebalance*, BenchmarkAllSerial, BenchmarkAllParallel and the
+# BenchmarkClusterScaling weak-scaling sweep) and emits their ns/op,
+# bytes/op, allocs/op (and ns/event for the scaling sweep) as
+# BENCH_flow.json, so successive PRs can diff the trajectory. Run it (on
+# an idle machine) to regenerate the baseline after intentional perf
+# changes.
 bench:
 	./scripts/bench_json.sh
+
+# bench-scale regenerates the same file with the cluster-size scaling
+# benchmarks in it (BenchmarkClusterScaling/{64,256,1024,4096}, ns per
+# simulated event — the regression surface for the ≤1.5x 64→1024
+# ns/event growth target, docs/perf.md). The scaling rows only gate
+# meaningfully against peers measured in the same session, so this is
+# the whole-trajectory run under its scaling-focused name.
+bench-scale: bench
 
 # benchdiff re-measures the same benchmarks and diffs against the
 # committed BENCH_flow.json, failing on >10% ns/op regressions — the gate

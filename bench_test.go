@@ -8,6 +8,7 @@
 package rcmp_test
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -156,6 +157,40 @@ func BenchmarkAblationLocality(b *testing.B) { runFigBenchmark(b, experiments.Ab
 // BenchmarkCostModels prints the Section III-B provisioning and
 // replication-guesswork tables.
 func BenchmarkCostModels(b *testing.B) { runFigBenchmark(b, experiments.CostModels) }
+
+// ---- Scaling benchmarks ----
+
+// BenchmarkClusterScaling runs the weak-scaling workload (fixed per-node
+// work, aggregated shuffle tier — the exact configuration the registered
+// weak-scaling experiment pins) at growing cluster sizes and reports ns
+// per simulated event, the size-comparable cost metric docs/perf.md
+// tracks: the target is ≤1.5x growth from 64 to 1024 nodes. The smoke
+// tier stops at 256 nodes to keep verify fast; `make bench-scale`
+// records the full sweep in BENCH_flow.json.
+func BenchmarkClusterScaling(b *testing.B) {
+	cfg := benchCfg()
+	sizes := []int{64, 256, 1024, 4096}
+	if cfg.Scale == experiments.ScaleSmoke && os.Getenv("RCMP_BENCH_SCALE") != "" {
+		sizes = []int{64, 256}
+	}
+	for _, nodes := range sizes {
+		b.Run(fmt.Sprintf("%d", nodes), func(b *testing.B) {
+			ccfg, ccfg2 := experiments.WeakScalingSetup(cfg, nodes)
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mapreduce.RunChain(ccfg, ccfg2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if events > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			}
+		})
+	}
+}
 
 // ---- Substrate micro-benchmarks ----
 

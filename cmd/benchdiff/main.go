@@ -1,28 +1,35 @@
 // Command benchdiff compares two BENCH_flow.json files (see
-// scripts/bench_json.sh) and flags ns/op regressions beyond a tolerance.
-// It is the repo's perf-regression gate: verify.sh regenerates a fresh
-// measurement and diffs it against the committed baseline, so a PR that
-// slows the simulation core down fails verification instead of landing
-// silently.
+// scripts/bench_json.sh) and flags ns/op and allocs/op regressions beyond
+// a tolerance. It is the repo's perf-regression gate: verify.sh
+// regenerates a fresh measurement and diffs it against the committed
+// baseline, so a PR that slows the simulation core down — or quietly
+// re-introduces allocations on the zero-alloc hot path — fails
+// verification instead of landing silently.
 //
 // Usage:
 //
 //	benchdiff [-max-regress 10] [-no-drift] BASELINE.json FRESH.json
 //
-// The gate is drift-normalized: the median ns/op delta across all shared
-// benchmarks estimates the global machine-speed drift between the two
-// measurements (CPU contention, frequency scaling — baseline files are
+// The gate is drift-normalized: the median delta across all shared
+// benchmarks estimates the global drift between the two measurements
+// (for ns/op: CPU contention, frequency scaling — baseline files are
 // recorded on the same machine, but rarely at the same moment), and a
 // benchmark fails only when it regresses more than max-regress BEYOND
 // that drift. A real code regression hits specific benchmarks and sticks
 // out of the median; a slow machine shifts every benchmark together and
-// cancels out. -no-drift disables the normalization for same-session A/B
-// comparisons.
+// cancels out. allocs/op goes through the identical normalization and
+// the same retry-once policy in scripts/benchdiff.sh — allocation counts
+// of single-threaded simulation benchmarks are nearly deterministic, so
+// their drift estimate is ~0 and the gate effectively fires on any
+// >max-regress allocation growth, which is what protects the pooled hot
+// path. Benchmarks matching -alloc-exempt (default: the worker-pool
+// "Parallel" benchmark, whose allocation count depends on goroutine
+// scheduling and per-P sync.Pool locality) report allocations without
+// gating on them; their ns/op still gates. -no-drift disables the
+// normalization for same-session A/B comparisons.
 //
 // Benchmarks present in only one file are reported but never fatal (the
-// set legitimately changes as benchmarks are added). Allocation counts
-// are reported for context; only ns/op gates, since allocs/op is exact
-// and intentional changes to it always come with a baseline update.
+// set legitimately changes as benchmarks are added).
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -66,7 +74,18 @@ func main() {
 		"fail when any benchmark's ns/op regresses more than this percentage beyond the run-wide drift")
 	noDrift := flag.Bool("no-drift", false,
 		"gate on raw deltas instead of drift-normalized ones (same-session A/B comparisons)")
+	allocExempt := flag.String("alloc-exempt", "Parallel",
+		"regexp of benchmarks whose allocs/op is scheduler-dependent and only reported, never gated (empty disables)")
 	flag.Parse()
+	var allocExemptRe *regexp.Regexp
+	if *allocExempt != "" {
+		re, err := regexp.Compile(*allocExempt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -alloc-exempt pattern: %v\n", err)
+			os.Exit(2)
+		}
+		allocExemptRe = re
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-no-drift] BASELINE.json FRESH.json")
 		os.Exit(2)
@@ -96,15 +115,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	drift := 0.0
+	nsDrift, allocDrift := 0.0, 0.0
 	if !*noDrift {
-		drift = medianDelta(base, fresh)
-		fmt.Printf("machine drift (median delta): %+.1f%%\n", drift)
-		if drift < 0 {
-			// A globally faster machine must not turn unchanged benchmarks
-			// into "relative regressions": normalize only when the fresh
-			// run is slower across the board.
-			drift = 0
+		nsDrift = medianDelta(base, fresh, func(b benchEntry) float64 { return b.NsPerOp })
+		allocDrift = medianDelta(base, fresh, func(b benchEntry) float64 { return b.AllocsPerOp })
+		fmt.Printf("machine drift (median delta): %+.1f%% ns/op, %+.1f%% allocs/op\n", nsDrift, allocDrift)
+		// A globally faster machine (or a cross-cutting allocation win)
+		// must not turn unchanged benchmarks into "relative regressions":
+		// normalize only when the fresh run is worse across the board.
+		if nsDrift < 0 {
+			nsDrift = 0
+		}
+		if allocDrift < 0 {
+			allocDrift = 0
 		}
 	}
 
@@ -120,28 +143,44 @@ func main() {
 		default:
 			delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
 			status := "ok"
-			if delta-drift > *maxRegress {
-				status = "REGRESSION"
+			if delta-nsDrift > *maxRegress {
+				status = "REGRESSION(ns/op)"
 				failed = true
+			}
+			if allocExemptRe == nil || !allocExemptRe.MatchString(b) {
+				switch {
+				case ob.AllocsPerOp > 0:
+					allocDelta := 100 * (nb.AllocsPerOp - ob.AllocsPerOp) / ob.AllocsPerOp
+					if allocDelta-allocDrift > *maxRegress {
+						status = "REGRESSION(allocs/op)"
+						failed = true
+					}
+				case nb.AllocsPerOp > 0:
+					// A zero-alloc baseline is the strongest claim the gate
+					// protects: any allocation at all is a regression, not a
+					// division-by-zero to skip.
+					status = "REGRESSION(allocs/op)"
+					failed = true
+				}
 			}
 			fmt.Printf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%  (allocs %.0f -> %.0f)  %s\n",
 				b, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp, status)
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regressed more than %.0f%% beyond drift on at least one benchmark\n", *maxRegress)
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op or allocs/op regressed more than %.0f%% beyond drift on at least one benchmark\n", *maxRegress)
 		os.Exit(1)
 	}
 }
 
-// medianDelta estimates the global machine-speed drift between the two
-// measurements: the median per-benchmark ns/op delta (percent). Requires
-// at least one shared benchmark; with none, drift is zero.
-func medianDelta(base, fresh map[string]benchEntry) float64 {
+// medianDelta estimates the global drift of one metric between the two
+// measurements: the median per-benchmark delta (percent). Requires at
+// least one shared benchmark; with none, drift is zero.
+func medianDelta(base, fresh map[string]benchEntry, metric func(benchEntry) float64) float64 {
 	var deltas []float64
 	for name, ob := range base {
-		if nb, ok := fresh[name]; ok && ob.NsPerOp > 0 {
-			deltas = append(deltas, 100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp)
+		if nb, ok := fresh[name]; ok && metric(ob) > 0 {
+			deltas = append(deltas, 100*(metric(nb)-metric(ob))/metric(ob))
 		}
 	}
 	if len(deltas) == 0 {

@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "experiment seed (0 reproduces the paper harness)")
 	seeds := flag.String("seeds", "", "comma-separated seed sweep, overrides -seed (e.g. '0,1,2')")
 	failAt := flag.Int("failure-at", 0, "override the single-failure injection run (0 = figure default)")
+	nodesOverride := flag.Int("nodes", 0, "override the simulated cluster size for any experiment (0 = figure default; Fig11 ignores it, weak-scaling runs just that size)")
 	schedule := flag.String("schedule", "", "failure schedule for schedule-aware figures: pulses 'RUN[@SEC][xNODES],...' (e.g. '2@15,4@5x2'), or 'stic[:SEED]'/'sugar[:SEED]' to sample one from the paper's traces")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment runner")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text figures")
@@ -88,12 +89,17 @@ func main() {
 		}
 		scheds = []failure.Schedule{sched}
 	}
+	var nodesDim []int
+	if *nodesOverride > 0 {
+		nodesDim = []int{*nodesOverride}
+	}
 	jobs := runner.Grid{
 		Specs:      specs,
 		Scales:     []experiments.Scale{scale},
 		Seeds:      seedList,
 		FailureAts: []int{*failAt},
 		Schedules:  scheds,
+		Nodes:      nodesDim,
 	}.Jobs()
 
 	// Profiling covers exactly the simulation work (the pool run), not

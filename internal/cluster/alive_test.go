@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcmp/internal/des"
+	"rcmp/internal/failure"
+)
+
+// alive_test.go pins the incremental alive set at scale: multi-node
+// failure pulses sampled from the paper's traces, applied to a 1024-node
+// cluster, must leave exactly the same alive view a from-scratch rebuild
+// produces — ascending IDs, consistent count, consistent pool sizing —
+// after every pulse.
+
+// rebuildAliveReference is the old O(n) from-scratch scan the incremental
+// set replaced; the oracle for these tests.
+func rebuildAliveReference(c *Cluster) []int {
+	var alive []int
+	for i := 0; i < c.NumNodes(); i++ {
+		if !c.Node(i).Failed() {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+func checkAliveAgainstReference(t *testing.T, c *Cluster, where string) {
+	t.Helper()
+	want := rebuildAliveReference(c)
+	got := c.Alive()
+	if len(got) != len(want) || c.NumAlive() != len(want) {
+		t.Fatalf("%s: alive count %d (NumAlive %d), reference %d", where, len(got), c.NumAlive(), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: alive[%d] = %d, reference %d (incremental set diverged or lost ascending order)",
+				where, i, got[i], want[i])
+		}
+	}
+	wantCap := float64(len(want)) * c.Cfg.NICBW
+	if c.ShufSrc.Capacity != wantCap {
+		t.Fatalf("%s: shuffle source pool capacity %g, want %g (alive-sized)", where, c.ShufSrc.Capacity, wantCap)
+	}
+}
+
+// TestAliveIncrementalAtScale drives trace-sampled failure schedules into
+// a 1024-node cluster: every pulse kills its node batch through Fail and
+// the incremental set must match the from-scratch rebuild afterwards.
+func TestAliveIncrementalAtScale(t *testing.T) {
+	const nodes = 1024
+	cfg := DCOConfig(nodes, 1, 1)
+	for seed := int64(0); seed < 3; seed++ {
+		sim := des.New()
+		c := New(sim, cfg)
+		checkAliveAgainstReference(t, c, "fresh")
+
+		sched, err := failure.FromTrace(failure.SUGARTrace(), 40, 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cap total losses the way the scenario engine does, leaving a
+		// working cluster.
+		sched = sched.Capped(nodes / 2)
+		if sched.Empty() {
+			t.Fatalf("seed %d sampled an empty schedule; pick a seed that fails nodes", seed)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		killed := 0
+		for pi, p := range sched.Pulses {
+			for k := 0; k < p.Nodes; k++ {
+				alive := c.Alive()
+				c.Fail(alive[rng.Intn(len(alive))])
+				killed++
+			}
+			checkAliveAgainstReference(t, c, "after pulse")
+			if c.NumAlive() != nodes-killed {
+				t.Fatalf("pulse %d: NumAlive %d, want %d", pi, c.NumAlive(), nodes-killed)
+			}
+		}
+		// Idempotent re-kill must not corrupt the set.
+		deadID := -1
+		for i := 0; i < nodes; i++ {
+			if c.Node(i).Failed() {
+				deadID = i
+				break
+			}
+		}
+		c.Fail(deadID)
+		checkAliveAgainstReference(t, c, "after idempotent re-kill")
+
+		// Reset restores the full cluster and pool sizing.
+		sim.Reset()
+		c.Reset()
+		checkAliveAgainstReference(t, c, "after reset")
+		if c.NumAlive() != nodes {
+			t.Fatalf("reset left %d alive, want %d", c.NumAlive(), nodes)
+		}
+	}
+}
+
+// TestAliveMidPulseUnsortedView checks the contract boundary directly:
+// kills leave the internal slice unsorted, and the first Alive() read
+// restores ascending order without losing members.
+func TestAliveMidPulseUnsortedView(t *testing.T) {
+	sim := des.New()
+	c := New(sim, DCOConfig(64, 1, 1))
+	// Kill a low ID so the swap-remove moves the tail into the middle.
+	c.Fail(3)
+	c.Fail(10)
+	checkAliveAgainstReference(t, c, "after low-ID kills")
+}

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"rcmp/internal/des"
 	"rcmp/internal/flow"
@@ -108,7 +109,25 @@ type Cluster struct {
 	Net   *flow.Network
 	Core  *flow.Resource
 	nodes []*Node
-	alive []int // cached non-failed node IDs, ascending; rebuilt on Fail
+
+	// alive is the incrementally maintained set of non-failed node IDs:
+	// Fail swap-removes in O(1) via alivePos (node ID -> slot in alive, -1
+	// when dead) and marks the slice unsorted; Alive() restores ascending
+	// order lazily, once per failure pulse, so a pulse killing k nodes
+	// costs O(k + a log a) instead of the old O(k*n) rebuild scans.
+	alive       []int
+	alivePos    []int
+	aliveSorted bool
+
+	// Pooled shuffle-side resources for the aggregated shuffle tier (see
+	// mapreduce's per-destination aggregated trunks): the source NICs,
+	// destination NICs and disks of all alive nodes collapsed into one
+	// resource each, capacities maintained from the alive count on Fail
+	// and Reset. Unused (zero members) unless the aggregated shuffle is
+	// active, so they cost nothing at the exact tier.
+	ShufSrc  *flow.Resource
+	ShufDst  *flow.Resource
+	ShufDisk *flow.Resource
 
 	// usesBuf backs the *UsesScratch path helpers: one shared buffer,
 	// valid until the next *UsesScratch call. See ReadUsesScratch.
@@ -138,7 +157,10 @@ func New(sim *des.Simulator, cfg Config) *Cluster {
 			Down: &flow.Resource{Name: fmt.Sprintf("%s/n%d/down", cfg.Name, i), Capacity: cfg.NICBW},
 		})
 	}
-	c.rebuildAlive()
+	c.ShufSrc = &flow.Resource{Name: cfg.Name + "/shuffle-src"}
+	c.ShufDst = &flow.Resource{Name: cfg.Name + "/shuffle-dst"}
+	c.ShufDisk = &flow.Resource{Name: cfg.Name + "/shuffle-disk"}
+	c.initAlive()
 	return c
 }
 
@@ -165,7 +187,10 @@ func (c *Cluster) Reset() {
 		resetResource(n.Down, c.Cfg.NICBW)
 	}
 	resetResource(c.Core, float64(c.Cfg.Nodes)*c.Cfg.NICBW/c.Cfg.Oversubscription)
-	c.rebuildAlive()
+	c.ShufSrc.ResetUsage()
+	c.ShufDst.ResetUsage()
+	c.ShufDisk.ResetUsage()
+	c.initAlive()
 }
 
 // resetResource clears a resource's live bookkeeping. Generation stamps
@@ -176,13 +201,42 @@ func resetResource(r *flow.Resource, capacity float64) {
 	r.ResetUsage()
 }
 
-func (c *Cluster) rebuildAlive() {
-	c.alive = c.alive[:0]
-	for _, n := range c.nodes {
-		if !n.failed {
-			c.alive = append(c.alive, n.ID)
-		}
+// initAlive restores the all-alive state: identity alive list, identity
+// position index, pool capacities at full cluster size.
+func (c *Cluster) initAlive() {
+	n := len(c.nodes)
+	if cap(c.alive) < n {
+		c.alive = make([]int, n)
+		c.alivePos = make([]int, n)
 	}
+	c.alive = c.alive[:n]
+	c.alivePos = c.alivePos[:n]
+	for i := range c.alive {
+		c.alive[i] = i
+		c.alivePos[i] = i
+	}
+	c.aliveSorted = true
+	c.sizeShufflePools()
+}
+
+// sizeShufflePools recomputes the aggregated shuffle pools from the alive
+// count. A mid-run capacity change is picked up by the next water-fill
+// that touches the pools — exactly when the next shuffle flow starts,
+// aborts or completes, which any failure pulse triggers via the stalled
+// fetches it aborts. The disk pool is sized at the seek-penalty-capped
+// throughput: an aggregated shuffle by construction runs many concurrent
+// streams per disk, so the capped effective rate — not the single-stream
+// rate — is the correct asymptotic for the pooled capacity (the exact
+// tier reaches the same floor through per-disk concurrency counts).
+func (c *Cluster) sizeShufflePools() {
+	a := float64(len(c.alive))
+	c.ShufSrc.Capacity = a * c.Cfg.NICBW
+	c.ShufDst.Capacity = a * c.Cfg.NICBW
+	disk := c.Cfg.DiskBW
+	if c.Cfg.DiskPenaltyCap > 0 {
+		disk /= 1 + c.Cfg.DiskPenaltyCap
+	}
+	c.ShufDisk.Capacity = a * disk
 }
 
 // Node returns node i.
@@ -192,16 +246,28 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
 // Alive returns the IDs of non-failed nodes, ascending. The slice is a
-// cached view rebuilt on Fail: callers must treat it as read-only and
-// must not retain it across a Fail or Reset. Failures are rare, so this
-// turns the scheduler's per-event alive scans allocation-free.
-func (c *Cluster) Alive() []int { return c.alive }
+// cached view maintained incrementally on Fail: callers must treat it as
+// read-only and must not retain it across a Fail or Reset. Fail leaves
+// the slice unsorted (swap-remove); the ascending order every scheduler
+// sweep depends on is restored here, once per failure pulse.
+func (c *Cluster) Alive() []int {
+	if !c.aliveSorted {
+		sort.Ints(c.alive)
+		for i, id := range c.alive {
+			c.alivePos[id] = i
+		}
+		c.aliveSorted = true
+	}
+	return c.alive
+}
 
 // NumAlive returns the count of non-failed nodes.
 func (c *Cluster) NumAlive() int { return len(c.alive) }
 
 // Fail marks a node dead at the current simulated time. Storage and compute
-// are both lost (collocated cluster). Fail is idempotent.
+// are both lost (collocated cluster). Fail is idempotent and O(1): the
+// alive set is swap-removed in place (re-sorted lazily by Alive), so a
+// pulse killing k nodes costs O(k) here, not O(k·n) rebuild scans.
 func (c *Cluster) Fail(id int) {
 	n := c.nodes[id]
 	if n.failed {
@@ -209,7 +275,17 @@ func (c *Cluster) Fail(id int) {
 	}
 	n.failed = true
 	n.failedAt = c.Sim.Now()
-	c.rebuildAlive()
+	i := c.alivePos[id]
+	last := len(c.alive) - 1
+	if i != last {
+		moved := c.alive[last]
+		c.alive[i] = moved
+		c.alivePos[moved] = i
+		c.aliveSorted = false
+	}
+	c.alive = c.alive[:last]
+	c.alivePos[id] = -1
+	c.sizeShufflePools()
 }
 
 // TransferUses returns the resource path for moving bytes from node src to
@@ -326,6 +402,27 @@ func (c *Cluster) WriteUsesScratch(src, dst int) []flow.Use {
 func (c *Cluster) DiskUseScratch(node int) []flow.Use {
 	c.usesBuf[0] = flow.Use{R: c.nodes[node].Disk, Weight: 1}
 	return c.usesBuf[:1]
+}
+
+// AggShuffleUses is the aggregated shuffle path: ShuffleUses with both
+// endpoints' NICs and disks collapsed into the cluster-wide pools (source
+// and destination disks each contribute the shuffle disk factor, hence
+// weight 2f on the disk pool). The core switch stays the real shared
+// resource, so oversubscription — the contention that matters at scale —
+// is preserved exactly; per-node hot-spots are averaged out, which is the
+// aggregation's documented approximation. Every aggregated fetch shares
+// this one path, so the flow layer's rate-class index arbitrates the
+// whole shuffle as a single unit regardless of cluster size.
+func (c *Cluster) AggShuffleUses() []flow.Use {
+	f := c.Cfg.ShuffleDiskFactor
+	if f <= 0 {
+		f = 0.25
+	}
+	c.usesBuf[0] = flow.Use{R: c.ShufSrc, Weight: 1}
+	c.usesBuf[1] = flow.Use{R: c.Core, Weight: 1}
+	c.usesBuf[2] = flow.Use{R: c.ShufDst, Weight: 1}
+	c.usesBuf[3] = flow.Use{R: c.ShufDisk, Weight: 2 * f}
+	return c.usesBuf[:4]
 }
 
 const (

@@ -9,6 +9,28 @@
 // locking. This mirrors the structure of classic network/cluster simulators
 // and keeps large experiments (hundreds of thousands of events) cheap.
 //
+// # The two-tier ladder queue
+//
+// The pending set is stored in a calendar/ladder structure instead of one
+// binary heap, so push and pop stay O(1) amortized as the pending count
+// grows with simulated cluster size:
+//
+//   - a small "front" binary heap holds the events nearest in time
+//     (every event with time < frontEnd);
+//   - a rung of equal-width buckets holds the mid-future, one unsorted
+//     slice per bucket; when the front heap drains, the next non-empty
+//     bucket is swept into it (and heapified) in one pass;
+//   - an unsorted "far" overflow list holds everything beyond the rung;
+//     when the rung is exhausted the far list is re-bucketed into a fresh
+//     rung sized from its population and time span.
+//
+// Events are totally ordered by (time, sequence number) and the sequence
+// number is unique, so the pop order is a property of the event set alone:
+// whatever tier an event sits in, the order events fire is bit-identical
+// to the old single binary heap (white-box tests pin this parity). Each
+// event remembers its tier and slot, so Cancel and Reschedule remain
+// eager O(1)/O(log front) removals and Pending stays an O(1) counter.
+//
 // # Event recycling
 //
 // Fired and cancelled events are recycled through a per-simulator free
@@ -50,18 +72,27 @@ type Timer interface {
 	Fire()
 }
 
+// Event tier markers, stored in Event.tier. Non-negative values are rung
+// bucket indices.
+const (
+	tierNone  = -3 // not queued (fired, cancelled, or on the free list)
+	tierFar   = -2 // in the far overflow list
+	tierFront = -1 // in the front heap
+)
+
 // Event is a scheduled callback. It is returned by At and After so callers
 // can cancel it before it fires. Handles are single-use: once the event
 // has fired or been cancelled the kernel recycles it, and the handle must
 // be dropped (see the package comment).
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	tm     Timer
-	index  int // heap index, -1 when not queued
-	fired  bool
-	cancel bool
+	at    Time
+	seq   uint64
+	fn    func()
+	tm    Timer
+	index int // slot within the current tier's container, -1 when not queued
+	tier  int // tierFront, tierFar, or a rung bucket index
+	fired bool
+	canc  bool
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -96,14 +127,36 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// minFarForRung is the far-list population below which re-bucketing is not
+// worth it: the whole list is swept straight into the front heap instead.
+const minFarForRung = 32
+
+// maxRungBuckets bounds the rung so a pathological far population cannot
+// allocate an absurd bucket array.
+const maxRungBuckets = 1 << 15
+
 // Simulator owns the virtual clock and event queue.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now     Time
-	queue   eventHeap
 	seq     uint64
 	stopped bool
 	free    []*Event // recycled events, see the package comment
+
+	// Two-tier ladder queue state. Invariant: every event in front has
+	// at < frontEnd; every event in buckets[cur:] or far has at >= frontEnd;
+	// bucket i spans times below rungStart + (i+1)*width (up to the
+	// transfer-time re-route for float rounding); far holds at >= rungEnd.
+	front     eventHeap
+	frontEnd  Time
+	buckets   [][]*Event
+	cur       int // next rung bucket to sweep into the front heap
+	rungStart Time
+	rungEnd   Time
+	width     float64
+	far       []*Event
+	count     int // total queued events (all tiers)
+
 	// Processed counts events that have fired, for diagnostics.
 	Processed uint64
 }
@@ -115,15 +168,39 @@ func New() *Simulator {
 
 // Reset returns the simulator to its initial state — clock at zero, empty
 // queue, sequence counter restarted — while keeping the allocated event
-// pool, so a reused simulator behaves exactly like a fresh one but
-// schedules its first events from recycled memory. Any events still
-// queued are discarded (their callbacks never fire).
+// pool and bucket capacities, so a reused simulator behaves exactly like a
+// fresh one but schedules its first events from recycled memory. Any
+// events still queued are discarded (their callbacks never fire).
 func (s *Simulator) Reset() {
-	for _, e := range s.queue {
+	for _, e := range s.front {
 		e.index = -1
+		e.tier = tierNone
 		s.recycle(e)
 	}
-	s.queue = s.queue[:0]
+	s.front = s.front[:0]
+	for i := s.cur; i < len(s.buckets); i++ {
+		for j, e := range s.buckets[i] {
+			e.index = -1
+			e.tier = tierNone
+			s.recycle(e)
+			s.buckets[i][j] = nil
+		}
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	for i, e := range s.far {
+		e.index = -1
+		e.tier = tierNone
+		s.recycle(e)
+		s.far[i] = nil
+	}
+	s.far = s.far[:0]
+	s.buckets = s.buckets[:0]
+	s.cur = 0
+	s.frontEnd = 0
+	s.rungStart = 0
+	s.rungEnd = 0
+	s.width = 0
+	s.count = 0
 	s.now = 0
 	s.seq = 0
 	s.stopped = false
@@ -142,7 +219,7 @@ func (s *Simulator) alloc(t Time, fn func(), tm Timer) *Event {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		e.fired = false
-		e.cancel = false
+		e.canc = false
 	} else {
 		e = &Event{}
 	}
@@ -151,6 +228,7 @@ func (s *Simulator) alloc(t Time, fn func(), tm Timer) *Event {
 	e.fn = fn
 	e.tm = tm
 	e.index = -1
+	e.tier = tierNone
 	return e
 }
 
@@ -163,6 +241,200 @@ func (s *Simulator) recycle(e *Event) {
 	s.free = append(s.free, e)
 }
 
+// push routes an event into the tier its time selects. The routing is a
+// pure performance decision: any tier assignment that respects the
+// front/rung/far invariant yields the same pop order, because popping
+// sorts by (at, seq) regardless.
+func (s *Simulator) push(e *Event) {
+	s.count++
+	switch {
+	case e.at < s.frontEnd:
+		e.tier = tierFront
+		heap.Push(&s.front, e)
+	case e.at < s.rungEnd:
+		idx := s.bucketFor(e.at, s.cur)
+		e.tier = idx
+		e.index = len(s.buckets[idx])
+		s.buckets[idx] = append(s.buckets[idx], e)
+	default:
+		e.tier = tierFar
+		e.index = len(s.far)
+		s.far = append(s.far, e)
+	}
+}
+
+// bucketFor maps a time into a rung bucket index, clamped to [lo,
+// len(buckets)-1] so float rounding at a bucket boundary can never route
+// an event into an already-swept bucket. Rounding can also land an event
+// one bucket LATE (the subtract-then-divide pair rounding up across the
+// boundary), which — unlike the early direction, which the sweep
+// re-routes — would fire it after later-timestamped events; the walk-down
+// restores the invariant that an event's bucket lower bound never exceeds
+// its time.
+func (s *Simulator) bucketFor(t Time, lo int) int {
+	idx := int(float64(t-s.rungStart) / s.width)
+	if idx >= len(s.buckets) {
+		idx = len(s.buckets) - 1
+	}
+	for idx > lo && t < Time(float64(s.rungStart)+s.width*float64(idx)) {
+		idx--
+	}
+	if idx < lo {
+		idx = lo
+	}
+	return idx
+}
+
+// remove detaches a queued event from whatever tier holds it, O(1) for
+// rung/far slots and O(log n) for the front heap.
+func (s *Simulator) remove(e *Event) {
+	switch {
+	case e.tier == tierFront:
+		heap.Remove(&s.front, e.index)
+	case e.tier == tierFar:
+		s.far = swapRemove(s.far, e.index)
+	default:
+		s.buckets[e.tier] = swapRemove(s.buckets[e.tier], e.index)
+	}
+	e.index = -1
+	e.tier = tierNone
+	s.count--
+}
+
+// swapRemove removes slot i from an unsorted tier slice, keeping the moved
+// event's index current. Order within a tier slice is irrelevant: the
+// front heap re-establishes the (at, seq) order at sweep time.
+func swapRemove(list []*Event, i int) []*Event {
+	last := len(list) - 1
+	if i != last {
+		moved := list[last]
+		list[i] = moved
+		moved.index = i
+	}
+	list[last] = nil
+	return list[:last]
+}
+
+// ensureFront makes the front heap hold the globally earliest event,
+// sweeping rung buckets (and re-bucketing the far list) as needed. It
+// reports whether any event is pending.
+func (s *Simulator) ensureFront() bool {
+	for len(s.front) == 0 {
+		if s.sweepBucket() {
+			continue
+		}
+		if len(s.far) == 0 {
+			return false
+		}
+		s.reRung()
+	}
+	return true
+}
+
+// sweepBucket moves the next non-empty rung bucket into the front heap,
+// advancing frontEnd to that bucket's upper boundary. It reports whether
+// a sweep happened (the front heap may still be empty if every event of
+// the bucket was re-routed forward by the rounding guard).
+func (s *Simulator) sweepBucket() bool {
+	for s.cur < len(s.buckets) {
+		i := s.cur
+		s.cur++
+		newEnd := Time(float64(s.rungStart) + s.width*float64(i+1))
+		if i == len(s.buckets)-1 || newEnd > s.rungEnd {
+			newEnd = s.rungEnd
+		}
+		b := s.buckets[i]
+		if len(b) == 0 {
+			s.frontEnd = newEnd
+			continue
+		}
+		for j, e := range b {
+			b[j] = nil
+			if e.at >= newEnd {
+				// Float rounding routed the event one bucket early; push it
+				// forward so the front-heap invariant (everything in front is
+				// earlier than everything outside) holds exactly.
+				s.count-- // push re-increments
+				s.push(e)
+				continue
+			}
+			e.tier = tierFront
+			e.index = len(s.front)
+			s.front = append(s.front, e)
+		}
+		s.buckets[i] = b[:0]
+		heap.Init(&s.front)
+		s.frontEnd = newEnd
+		return true
+	}
+	return false
+}
+
+// reRung rebuilds the rung from the far list: sized from the population,
+// spanning its time range. A small or zero-span population goes straight
+// into the front heap instead.
+func (s *Simulator) reRung() {
+	far := s.far
+	minAt, maxAt := far[0].at, far[0].at
+	for _, e := range far[1:] {
+		if e.at < minAt {
+			minAt = e.at
+		}
+		if e.at > maxAt {
+			maxAt = e.at
+		}
+	}
+	nb := len(far)
+	if nb > maxRungBuckets {
+		nb = maxRungBuckets
+	}
+	width := float64(maxAt-minAt) / float64(nb)
+	if len(far) < minFarForRung || width <= 0 || math.IsInf(width, 1) {
+		// Sweep everything into the front heap. frontEnd moves just past the
+		// latest time so future pushes route normally.
+		for j, e := range far {
+			far[j] = nil
+			e.tier = tierFront
+			e.index = len(s.front)
+			s.front = append(s.front, e)
+		}
+		s.far = far[:0]
+		heap.Init(&s.front)
+		s.frontEnd = Time(math.Nextafter(float64(maxAt), math.Inf(1)))
+		s.rungEnd = s.frontEnd
+		return
+	}
+	if cap(s.buckets) < nb {
+		s.buckets = append(s.buckets[:cap(s.buckets)], make([][]*Event, nb-cap(s.buckets))...)
+	}
+	s.buckets = s.buckets[:nb]
+	s.cur = 0
+	s.rungStart = minAt
+	s.width = width
+	end := Time(float64(minAt) + width*float64(nb))
+	if end <= maxAt {
+		end = Time(math.Nextafter(float64(maxAt), math.Inf(1)))
+	}
+	s.rungEnd = end
+	s.frontEnd = minAt
+	kept := far[:0]
+	for _, e := range far {
+		if e.at >= s.rungEnd {
+			e.index = len(kept)
+			kept = append(kept, e)
+			continue
+		}
+		idx := s.bucketFor(e.at, 0)
+		e.tier = idx
+		e.index = len(s.buckets[idx])
+		s.buckets[idx] = append(s.buckets[idx], e)
+	}
+	for i := len(kept); i < len(far); i++ {
+		far[i] = nil
+	}
+	s.far = kept
+}
+
 // At schedules fn to run at absolute virtual time t.
 // Scheduling in the past panics: it always indicates a model bug.
 func (s *Simulator) At(t Time, fn func()) *Event {
@@ -170,7 +442,7 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
 	e := s.alloc(t, fn, nil)
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
 }
 
@@ -182,7 +454,7 @@ func (s *Simulator) AtTimer(t Time, tm Timer) *Event {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
 	e := s.alloc(t, nil, tm)
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
 }
 
@@ -196,13 +468,14 @@ func (s *Simulator) Reschedule(e *Event, t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: rescheduling event at %v before now %v", t, s.now))
 	}
-	if e == nil || e.fired || e.cancel || e.index < 0 {
+	if e == nil || e.fired || e.canc || e.index < 0 {
 		panic("des: Reschedule of a fired, cancelled or unqueued event")
 	}
+	s.remove(e)
 	e.at = t
 	s.seq++
 	e.seq = s.seq
-	heap.Fix(&s.queue, e.index)
+	s.push(e)
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -226,12 +499,12 @@ func (s *Simulator) AfterTimer(d Time, tm Timer) *Event {
 // an event that has already fired or been cancelled is a no-op — but only
 // while the handle is fresh; see the package comment on handle lifetime.
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.fired || e.cancel {
+	if e == nil || e.fired || e.canc {
 		return
 	}
-	e.cancel = true
+	e.canc = true
 	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+		s.remove(e)
 		s.recycle(e)
 	}
 }
@@ -239,26 +512,25 @@ func (s *Simulator) Cancel(e *Event) {
 // Step fires the next pending event, advancing the clock to its time.
 // It reports whether an event fired.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.at
-		e.fired = true
-		s.Processed++
-		// Fire, then recycle: during the callback the event is marked
-		// fired, so a self-Cancel is a no-op and a Reschedule panics; the
-		// callback cannot observe the recycled state.
-		if e.tm != nil {
-			e.tm.Fire()
-		} else {
-			e.fn()
-		}
-		s.recycle(e)
-		return true
+	if !s.ensureFront() {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.front).(*Event)
+	e.tier = tierNone
+	s.count--
+	s.now = e.at
+	e.fired = true
+	s.Processed++
+	// Fire, then recycle: during the callback the event is marked
+	// fired, so a self-Cancel is a no-op and a Reschedule panics; the
+	// callback cannot observe the recycled state.
+	if e.tm != nil {
+		e.tm.Fire()
+	} else {
+		e.fn()
+	}
+	s.recycle(e)
+	return true
 }
 
 // Run fires events until the queue is empty or Stop is called.
@@ -272,7 +544,7 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(t Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 || s.peek().at > t {
+		if !s.ensureFront() || s.front[0].at > t {
 			break
 		}
 		s.Step()
@@ -285,14 +557,8 @@ func (s *Simulator) RunUntil(t Time) {
 // Stop makes the current Run/RunUntil return after the current event.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (uncancelled) events in O(1), so
-// callers may poll it per event without turning the run into an O(n^2)
-// scan. Cancel removes events from the heap eagerly and Step pops fired
-// ones, so every event still queued is live and the queue length IS the
-// pending count — no separately maintained counter to drift out of sync.
-func (s *Simulator) Pending() int { return len(s.queue) }
-
-func (s *Simulator) peek() *Event {
-	// The heap may have cancelled events removed eagerly, so the root is live.
-	return s.queue[0]
-}
+// Pending returns the number of queued (uncancelled) events in O(1).
+// Cancel removes events from their tier eagerly and Step pops fired ones,
+// so every queued event is live and the maintained count IS the pending
+// count — no separately drifting counter, no scan.
+func (s *Simulator) Pending() int { return s.count }

@@ -1,0 +1,282 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// ladder_test.go pins the two-tier ladder queue: white-box checks that
+// events migrate between the front heap, the rung buckets and the far
+// list without perturbing the (time, seq) pop order, and a randomized
+// property test against a naive sorted-slice reference model.
+
+// TestLadderTiersExercised builds a schedule wide enough to populate all
+// three tiers and checks the structure actually used them — so the parity
+// tests below genuinely cross tier boundaries instead of degenerating to
+// the front heap.
+func TestLadderTiersExercised(t *testing.T) {
+	s := New()
+	for i := 0; i < 4*minFarForRung; i++ {
+		s.At(Time(i), func() {})
+	}
+	// First Step re-rungs the far population; afterwards the rung must be
+	// live and hold the bulk of the events.
+	if !s.Step() {
+		t.Fatal("no event fired")
+	}
+	if len(s.buckets) == 0 || s.cur >= len(s.buckets) {
+		t.Fatalf("rung not active after re-bucketing: %d buckets, cur=%d", len(s.buckets), s.cur)
+	}
+	inRung := 0
+	for i := s.cur; i < len(s.buckets); i++ {
+		inRung += len(s.buckets[i])
+	}
+	if inRung == 0 {
+		t.Fatal("no events landed in rung buckets")
+	}
+	// A push far beyond the rung horizon must land in the far list.
+	s.At(1e12, func() {})
+	if len(s.far) != 1 {
+		t.Fatalf("far push landed in far=%d events, want 1", len(s.far))
+	}
+	// A push before frontEnd must land in the front heap.
+	s.At(s.now, func() {})
+	if len(s.front) == 0 {
+		t.Fatal("near push did not land in the front heap")
+	}
+}
+
+// TestLadderSeqParityAcrossTiers pins the FIFO tie-break across tier
+// migrations: same-time events scheduled while the queue is rung-backed
+// must still fire in sequence order after being swept into the front heap.
+func TestLadderSeqParityAcrossTiers(t *testing.T) {
+	s := New()
+	var got []int
+	// Populate enough spread to build a rung.
+	for i := 0; i < 2*minFarForRung; i++ {
+		s.At(Time(100+i), func() {})
+	}
+	s.Step() // trigger re-rung
+	// Now schedule a burst of ties at one far-future instant: they land in
+	// one rung bucket (or far), get swept together, and must pop FIFO.
+	for i := 0; i < 20; i++ {
+		i := i
+		s.At(130.5, func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 20 {
+		t.Fatalf("fired %d tie events, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v: ladder broke seq FIFO", got)
+		}
+	}
+}
+
+// TestLadderCancelInEveryTier cancels one event per tier and checks the
+// counter and the survivors.
+func TestLadderCancelInEveryTier(t *testing.T) {
+	s := New()
+	var events []*Event
+	for i := 0; i < 3*minFarForRung; i++ {
+		events = append(events, s.At(Time(i), func() {}))
+	}
+	s.Step() // build the rung; event 0 fired
+	frontE := s.At(s.now+1e-9, func() {})
+	farE := s.At(1e15, func() {})
+	if frontE.tier != tierFront || farE.tier != tierFar {
+		t.Fatalf("tier routing: front=%d far=%d", frontE.tier, farE.tier)
+	}
+	var rungE *Event
+	for _, e := range events[1:] {
+		if e.tier >= 0 {
+			rungE = e
+			break
+		}
+	}
+	if rungE == nil {
+		t.Fatal("no event in a rung bucket")
+	}
+	before := s.Pending()
+	s.Cancel(frontE)
+	s.Cancel(farE)
+	s.Cancel(rungE)
+	if s.Pending() != before-3 {
+		t.Fatalf("Pending %d after 3 cancels, want %d", s.Pending(), before-3)
+	}
+	fired := 0
+	for s.Step() {
+		fired++
+	}
+	if fired != len(events)-2 { // events minus the popped first and the cancelled rung one
+		t.Fatalf("fired %d, want %d", fired, len(events)-2)
+	}
+}
+
+// TestLadderRescheduleAcrossTiers moves events between tiers via
+// Reschedule and checks order and count.
+func TestLadderRescheduleAcrossTiers(t *testing.T) {
+	s := New()
+	var order []string
+	for i := 0; i < 2*minFarForRung; i++ {
+		s.At(Time(10+i), func() {})
+	}
+	s.Step()                                               // build the rung
+	a := s.At(1e12, func() { order = append(order, "a") }) // far
+	b := s.At(s.now+0.25, func() { order = append(order, "b") })
+	s.Reschedule(a, s.now+0.1) // far -> front, before b
+	s.Reschedule(b, 1e12)      // front -> far
+	s.Reschedule(b, s.now+0.2) // far -> front, after a
+	s.RunUntil(s.now + 1)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order %v, want [a b]", order)
+	}
+}
+
+// refModel is the naive reference: a slice kept sorted by (at, seq).
+type refModel struct {
+	events []*refEvent
+}
+
+type refEvent struct {
+	at    Time
+	seq   uint64
+	id    int
+	alive bool
+}
+
+func (m *refModel) push(at Time, seq uint64, id int) *refEvent {
+	e := &refEvent{at: at, seq: seq, id: id, alive: true}
+	m.events = append(m.events, e)
+	sort.SliceStable(m.events, func(i, j int) bool {
+		if m.events[i].at != m.events[j].at {
+			return m.events[i].at < m.events[j].at
+		}
+		return m.events[i].seq < m.events[j].seq
+	})
+	return e
+}
+
+func (m *refModel) pop() *refEvent {
+	for len(m.events) > 0 {
+		e := m.events[0]
+		m.events = m.events[1:]
+		if e.alive {
+			return e
+		}
+	}
+	return nil
+}
+
+// TestLadderPropertyVsReference drives randomized interleavings of
+// At/AfterTimer/Cancel/Reschedule through the ladder queue and a naive
+// sorted-slice reference model, checking identical pop order (including
+// seq tie-breaks — times are drawn from a small integer grid so ties are
+// dense).
+func TestLadderPropertyVsReference(t *testing.T) {
+	type tracked struct {
+		ev  *Event
+		ref *refEvent
+	}
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		s := New()
+		ref := &refModel{}
+		var live []tracked
+		var firedIDs []int
+		nextID := 0
+		schedule := func() {
+			// Small integer time grid → frequent exact ties, exercising the
+			// seq tie-break; occasional huge times exercise the far list.
+			var at Time
+			switch rng.Intn(10) {
+			case 0:
+				at = s.Now() + Time(rng.Intn(3))*1e9
+			default:
+				at = s.Now() + Time(rng.Intn(40))
+			}
+			id := nextID
+			nextID++
+			var ev *Event
+			if rng.Intn(2) == 0 {
+				ev = s.At(at, func() { firedIDs = append(firedIDs, id) })
+			} else {
+				d := at - s.Now()
+				ev = s.AfterTimer(d, timerFunc(func() { firedIDs = append(firedIDs, id) }))
+			}
+			live = append(live, tracked{ev, ref.push(ev.at, ev.seq, id)})
+		}
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(live) == 0:
+				schedule()
+			case r < 7:
+				j := rng.Intn(len(live))
+				s.Cancel(live[j].ev)
+				live[j].ref.alive = false
+				live = append(live[:j], live[j+1:]...)
+			case r < 8:
+				j := rng.Intn(len(live))
+				at := s.Now() + Time(rng.Intn(40))
+				s.Reschedule(live[j].ev, at)
+				live[j].ref.alive = false
+				live[j].ref = ref.push(at, live[j].ev.seq, live[j].ref.id)
+			default:
+				// Fire a few events and check they match the reference.
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					want := ref.pop()
+					if want == nil {
+						if s.Step() {
+							t.Fatalf("trial %d: simulator fired with empty reference", trial)
+						}
+						break
+					}
+					before := len(firedIDs)
+					if !s.Step() {
+						t.Fatalf("trial %d: simulator empty but reference holds id %d", trial, want.id)
+					}
+					if len(firedIDs) != before+1 || firedIDs[before] != want.id {
+						t.Fatalf("trial %d: fired id %v, reference expects %d", trial, firedIDs[before:], want.id)
+					}
+					// Firing removes it from live tracking.
+					for j, tr := range live {
+						if tr.ref == want {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+			if want := func() int {
+				n := 0
+				for _, e := range ref.events {
+					if e.alive {
+						n++
+					}
+				}
+				return n
+			}(); s.Pending() != want {
+				t.Fatalf("trial %d op %d: Pending=%d, reference=%d", trial, op, s.Pending(), want)
+			}
+		}
+		// Drain both and compare the tail order.
+		for {
+			want := ref.pop()
+			if want == nil {
+				break
+			}
+			before := len(firedIDs)
+			if !s.Step() {
+				t.Fatalf("trial %d: drained early, reference still holds id %d", trial, want.id)
+			}
+			if firedIDs[before] != want.id {
+				t.Fatalf("trial %d: drain fired %d, reference expects %d", trial, firedIDs[before], want.id)
+			}
+		}
+		if s.Step() {
+			t.Fatalf("trial %d: simulator still had events after reference drained", trial)
+		}
+	}
+}

@@ -29,6 +29,7 @@ var relativeCosts = map[string]map[Scale]float64{
 	"hybrid":               {ScalePaper: 28, ScaleQuick: 1.3},
 	"double-failure":       {ScalePaper: 32, ScaleQuick: 1.8},
 	"trace-replay":         {ScalePaper: 133, ScaleQuick: 5.8},
+	"weak-scaling":         {ScalePaper: 400, ScaleQuick: 1.5},
 	"ablation-scatter":     {ScalePaper: 35, ScaleQuick: 1.5},
 	"ablation-ratio":       {ScalePaper: 50, ScaleQuick: 1.7},
 	"ablation-reuse":       {ScalePaper: 27, ScaleQuick: 1.1},

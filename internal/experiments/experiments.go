@@ -78,6 +78,33 @@ type Config struct {
 	// pseudo-randomly from the chain seed, so a schedule sweep composes
 	// with a seed sweep.
 	Schedule failure.Schedule
+	// Nodes, when positive, overrides the simulated cluster size of the
+	// experiment's base setup (reducer counts scale with it, keeping one
+	// reducer wave), so any registered experiment can be run at an
+	// arbitrary cluster size — the weak-scaling tier runs the golden
+	// experiments at 1024–4096 nodes this way. Out-of-range values are
+	// per-job config errors, not panics (the registry guards every Run).
+	// Fig11 ignores the override: its x-axis IS the cluster size. For
+	// WeakScaling a positive Nodes selects that single sweep point.
+	Nodes int
+}
+
+// Cluster-size override bounds: below minNodesOverride the fixed failure
+// victim and replica placement degenerate; above maxNodesOverride a single
+// in-process simulation stops being a sane request.
+const (
+	minNodesOverride = 5
+	maxNodesOverride = 8192
+)
+
+// validateNodes checks the Config.Nodes override range. The registry
+// wraps every experiment with this check so a sweep grid containing an
+// out-of-range point records a per-job error instead of panicking.
+func (c Config) validateNodes() error {
+	if c.Nodes != 0 && (c.Nodes < minNodesOverride || c.Nodes > maxNodesOverride) {
+		return fmt.Errorf("experiments: Nodes=%d out of range [%d, %d]", c.Nodes, minNodesOverride, maxNodesOverride)
+	}
+	return nil
 }
 
 // Paper returns the default paper-scale configuration.
@@ -122,7 +149,13 @@ func sticSetup(c Config, mapSlots, redSlots int) setup {
 		cfg.InputPerNode = 512 * cluster.MB
 		cfg.BlockSize = 128 * cluster.MB
 	}
-	return setup{name: fmt.Sprintf("SLOTS %d-%d, STIC", mapSlots, redSlots), ccfg: ccfg, cfg: cfg}
+	name := fmt.Sprintf("SLOTS %d-%d, STIC", mapSlots, redSlots)
+	if c.Nodes > 0 {
+		ccfg.Nodes = c.Nodes
+		cfg.NumReducers = ccfg.Nodes * redSlots
+		name = fmt.Sprintf("%s @%d nodes", name, c.Nodes)
+	}
+	return setup{name: name, ccfg: ccfg, cfg: cfg}
 }
 
 // dcoSetup builds the DCO configuration: 60 nodes, one reducer wave.
@@ -145,7 +178,13 @@ func dcoSetup(c Config, nodes int) setup {
 		cfg.InputPerNode = 512 * cluster.MB
 		cfg.BlockSize = 128 * cluster.MB
 	}
-	return setup{name: "SLOTS 1-1, DCO", ccfg: ccfg, cfg: cfg}
+	name := "SLOTS 1-1, DCO"
+	if c.Nodes > 0 {
+		ccfg.Nodes = c.Nodes
+		cfg.NumReducers = ccfg.Nodes
+		name = fmt.Sprintf("%s @%d nodes", name, c.Nodes)
+	}
+	return setup{name: name, ccfg: ccfg, cfg: cfg}
 }
 
 // splitRatioFor returns the paper's reducer split ratios: 8 on STIC, N-1 on
@@ -610,6 +649,10 @@ func failedRunDuration(res *mapreduce.Result, atRun int) float64 {
 // N-1 versus no splitting. Speed-up is the mean initial job time over the
 // mean recomputation-run time.
 func Fig11(c Config) (*Result, error) {
+	// The figure's x-axis IS the cluster size, so a Nodes override would
+	// collapse every sweep point onto one size; it is ignored here the way
+	// Fig10 ignores a multi-failure Schedule.
+	c.Nodes = 0
 	r := newResult("Fig11: recomputation speed-up vs nodes")
 	nodeCounts := []int{12, 24, 36, 48, 60}
 	if c.Scale == ScaleQuick {

@@ -33,6 +33,7 @@ var goldenDigests = map[string]string{
 	"hybrid":               "349ffa76f4a43cbeb55a685fcf1d8265ec3793ec8a4498d035b42e44cc07931a",
 	"double-failure":       "5d0559b4664ae88c86eecb15801c1a1e6e5f98e6faef13882747fdf5a1a8994b", // new in PR 3: schedule engine
 	"trace-replay":         "bd5a8028e978bc27a0bc3deb672e85c2308c3791137b3a5d63f78ea06d9790d2", // new in PR 3: schedule engine
+	"weak-scaling":         "0a30eaa77f06d44d68ead33fdf61ae69cdc12d84cd5d2eeb1e80d1de09eeddd5", // new in PR 5: scaling benchmark tier
 	"ablation-scatter":     "19620a0141b6101b6d236ee386fe4a25173126204908dfa4a2d1994d7177b3a9",
 	"ablation-ratio":       "60e1310feca48e568327211feceb2bdcaac91807f0b7de133da758d0ebf97ea2",
 	"ablation-reuse":       "9ce612f882fb1a2df8592e409be5d6481340ebf02725e3029d0b85912213a692",

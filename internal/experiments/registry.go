@@ -28,6 +28,19 @@ type Spec struct {
 	Run func(Config) (*Result, error)
 }
 
+// Exec runs the experiment with the cross-cutting Config checks applied
+// first: an out-of-range Nodes override becomes the job's error — the
+// same per-job convention out-of-range FailureAt overrides follow —
+// instead of a deep panic inside a setup. The runner grid executes jobs
+// through Exec; Run stays the raw registered function so tooling can
+// resolve it back to its experiment.
+func (sp Spec) Exec(c Config) (*Result, error) {
+	if err := c.validateNodes(); err != nil {
+		return nil, err
+	}
+	return sp.Run(c)
+}
+
 // Registry returns every experiment in presentation order. The slice is
 // freshly allocated; callers may filter or reorder it.
 func Registry() []Spec {
@@ -45,6 +58,7 @@ func Registry() []Spec {
 		{Key: "hybrid", Name: "Hybrid", Desc: "hybrid replication every 5 jobs", Run: Hybrid},
 		{Key: "double-failure", Name: "DoubleFailure", Desc: "second failure lands mid-recomputation (schedule engine)", Run: DoubleFailure},
 		{Key: "trace-replay", Name: "TraceReplay", Desc: "recomputation work per day under STIC/SUG@R trace schedules", Run: TraceReplay},
+		{Key: "weak-scaling", Name: "WeakScaling", Desc: "fixed per-node work, cluster size swept 64→4096 (aggregated shuffle)", Run: WeakScaling},
 		{Key: "ablation-scatter", Name: "AblationScatterVsSplit", Desc: "split vs scatter-only vs none", Run: AblationScatterVsSplit},
 		{Key: "ablation-ratio", Name: "AblationSplitRatio", Desc: "split ratio sweep", Run: AblationSplitRatio},
 		{Key: "ablation-reuse", Name: "AblationMapReuse", Desc: "map-output reuse on/off", Run: AblationMapReuse},

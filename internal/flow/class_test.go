@@ -1,0 +1,198 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcmp/internal/des"
+)
+
+// class_test.go pins the rate-class index: pooled flows with identical
+// resource paths multiplex on one shared trunk, a join/leave touches only
+// its own class, and the coalesced arbitration stays exactly equivalent
+// to per-flow singleton trunks (the trunk contract the golden digests
+// lean on).
+
+// TestClassCoalescesIdenticalPaths checks that concurrent pooled flows
+// over one path share a trunk, while a different path gets its own class.
+func TestClassCoalescesIdenticalPaths(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r1 := &Resource{Name: "a", Capacity: 100}
+	r2 := &Resource{Name: "b", Capacity: 100}
+	var done doneCounter
+	f1 := net.StartC("x", 1000, []Use{{R: r1, Weight: 1}}, 0, &done)
+	f2 := net.StartC("y", 1000, []Use{{R: r1, Weight: 1}}, 0, &done)
+	f3 := net.StartC("z", 1000, []Use{{R: r2, Weight: 1}}, 0, &done)
+	if f1.tr != f2.tr {
+		t.Fatal("identical paths did not share a class trunk")
+	}
+	if f1.tr == f3.tr {
+		t.Fatal("distinct paths share a trunk")
+	}
+	if got := f1.tr.Members(); got != 2 {
+		t.Fatalf("class trunk members = %d, want 2", got)
+	}
+	if len(net.classes) != 2 {
+		t.Fatalf("class index holds %d entries, want 2", len(net.classes))
+	}
+	sim.Run()
+	if done.n != 3 {
+		t.Fatalf("completions = %d, want 3", done.n)
+	}
+	if len(net.classes) != 0 {
+		t.Fatalf("class index holds %d entries after drain, want 0", len(net.classes))
+	}
+}
+
+// TestClassWeightDistinguishes checks the signature includes weights: the
+// same resources with different weights are different classes.
+func TestClassWeightDistinguishes(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f1 := net.StartC("w1", 1000, []Use{{R: r, Weight: 1}}, 0, &done)
+	f2 := net.StartC("w2", 1000, []Use{{R: r, Weight: 2}}, 0, &done)
+	if f1.tr == f2.tr {
+		t.Fatal("different weights coalesced into one class")
+	}
+	sim.Run()
+}
+
+// TestClassDissolvesAndReforms pins the index lifecycle: the class entry
+// dies with its last member and a later same-path flow registers a fresh
+// representative (typically the recycled struct).
+func TestClassDissolvesAndReforms(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f1 := net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	t1 := f1.tr
+	net.Abort(f1)
+	if len(net.classes) != 0 {
+		t.Fatal("class survived its last member's abort")
+	}
+	f2 := net.StartC("b", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	if f2.tr != t1 {
+		t.Fatal("reformed class did not reuse the recycled trunk struct")
+	}
+	if f2.tr.inClass != true {
+		t.Fatal("reformed trunk not registered in the class index")
+	}
+	sim.Run()
+	if done.n != 1 {
+		t.Fatalf("completions = %d, want 1 (aborted flow must not fire)", done.n)
+	}
+}
+
+// TestClassMemberAbortKeepsClass checks a leave that does not empty the
+// class leaves the shared trunk registered and the surviving members
+// running.
+func TestClassMemberAbortKeepsClass(t *testing.T) {
+	sim := des.New()
+	net := NewNetwork(sim)
+	r := &Resource{Name: "d", Capacity: 100}
+	var done doneCounter
+	f1 := net.StartC("a", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	f2 := net.StartC("b", 500, []Use{{R: r, Weight: 1}}, 0, &done)
+	net.Abort(f1)
+	if f2.tr.Members() != 1 || len(net.classes) != 1 {
+		t.Fatalf("members=%d classes=%d after partial leave, want 1/1", f2.tr.Members(), len(net.classes))
+	}
+	sim.Run()
+	if done.n != 1 {
+		t.Fatalf("completions = %d, want 1", done.n)
+	}
+}
+
+// TestClassEquivalentToSingletons runs one network with class coalescing
+// (pooled StartC) against a twin where every transfer is a caller-owned
+// singleton trunk, through an identical random op sequence. Rates and
+// completion times must match exactly — the same contract
+// TestPropertyTrunkEquivalence pins for caller-coalesced trunks, here for
+// the automatic rate-class form.
+func TestClassEquivalentToSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		simA := des.New()
+		netA := NewNetwork(simA) // pooled StartC: class-coalesced
+		simB := des.New()
+		netB := NewNetwork(simB) // singleton trunks
+
+		const nodes = 5
+		mkres := func() ([]*Resource, *Resource) {
+			disks := make([]*Resource, nodes)
+			for i := range disks {
+				disks[i] = &Resource{Name: "disk", Capacity: 100, SeekPenalty: 0.35, PenaltyCap: 1.2}
+			}
+			return disks, &Resource{Name: "core", Capacity: 300}
+		}
+		disksA, coreA := mkres()
+		disksB, coreB := mkres()
+		uses := func(disks []*Resource, core *Resource, src, dst int) []Use {
+			if src == dst {
+				return []Use{{disks[src], 1}}
+			}
+			return []Use{{disks[src], 1}, {core, 1}, {disks[dst], 1}}
+		}
+
+		var doneA, doneB []des.Time
+		type pair struct{ a, b *Flow }
+		var live []pair
+		var cdA, cdB countDones
+		cdA.times = &doneA
+		cdA.sim = simA
+		cdB.times = &doneB
+		cdB.sim = simB
+		for step := 0; step < 60; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				src, dst := rng.Intn(nodes), rng.Intn(nodes)
+				size := 50 + rng.Float64()*2000
+				a := netA.StartC("m", size, uses(disksA, coreA, src, dst), 0, &cdA)
+				b := netB.Start("m", size, uses(disksB, coreB, src, dst), 0, func(*Flow) { doneB = append(doneB, simB.Now()) })
+				live = append(live, pair{a, b})
+			} else {
+				j := rng.Intn(len(live))
+				netA.Abort(live[j].a)
+				netB.Abort(live[j].b)
+				live = append(live[:j], live[j+1:]...)
+			}
+			dt := des.Time(rng.Float64() * 10)
+			simA.RunUntil(simA.Now() + dt)
+			simB.RunUntil(simB.Now() + dt)
+			kept := live[:0]
+			for _, p := range live {
+				// Pooled flows are recycled on completion; use the twin's
+				// finished flag (caller-owned, stable) to drop pairs.
+				if p.b.finished {
+					continue
+				}
+				if p.a.rate != p.b.rate {
+					t.Fatalf("trial %d: class rate %g != singleton rate %g", trial, p.a.rate, p.b.rate)
+				}
+				kept = append(kept, p)
+			}
+			live = kept
+		}
+		simA.Run()
+		simB.Run()
+		if len(doneA) != len(doneB) {
+			t.Fatalf("trial %d: %d class completions vs %d singleton", trial, len(doneA), len(doneB))
+		}
+		for i := range doneA {
+			if doneA[i] != doneB[i] {
+				t.Fatalf("trial %d: completion %d at %v (class) vs %v (singleton)", trial, i, doneA[i], doneB[i])
+			}
+		}
+	}
+}
+
+// countDones is a Completion recording completion times.
+type countDones struct {
+	times *[]des.Time
+	sim   *des.Simulator
+}
+
+func (c *countDones) FlowDone(*Flow) { *c.times = append(*c.times, c.sim.Now()) }

@@ -128,9 +128,64 @@ type Trunk struct {
 	comp    *component
 	tindex  int // position in comp.trunks, while active
 
-	frozen bool   // water-filling scratch
-	gen    uint64 // traversal stamp
-	pooled bool   // singleton trunk owned by the network's free list
+	frozen  bool   // water-filling scratch
+	gen     uint64 // traversal stamp
+	pooled  bool   // singleton trunk owned by the network's free list
+	inClass bool   // registered in the network's rate-class index
+	class   classKey
+
+	// Class-accounting state (EnableClassAccounting): every member of a
+	// trunk progresses at the same max-min rate, so the trunk carries the
+	// shared rate and the integral of it (cum, bytes per member since
+	// activation) instead of per-member rate/progress writes. A member's
+	// progress is cum - joinCum, materialized only when it leaves; its
+	// completion key size+joinCum is time-invariant, so a lazy min-heap
+	// ordered by it yields the trunk's earliest completion in O(1) however
+	// many members ride the trunk.
+	rate float64
+	cum  float64
+	done []doneEnt
+}
+
+// doneEnt is one entry of a trunk's completion heap. Entries are removed
+// lazily: epoch pairs the entry with one pooled incarnation of the flow,
+// so an entry surviving its member (abort, recycling) is detected and
+// discarded at pop time.
+type doneEnt struct {
+	key   float64 // f.size + f.joinCum: completes when trunk cum reaches it
+	f     *Flow
+	epoch uint64
+}
+
+// classKey is the resource-path signature of a rate class: the ordered
+// resources and weights of a trunk's uses. Pooled flows whose paths hash
+// to the same key are provably rate-equivalent (identical uses ⇒ identical
+// max-min treatment), so the network multiplexes them onto one shared
+// trunk — see the rate-class index on Network.
+type classKey struct {
+	n   int
+	res [maxClassUses]*Resource
+	wt  [maxClassUses]float64
+}
+
+// maxClassUses bounds the path length a rate class can describe; the
+// cluster model's longest path (a remote transfer) has 5 uses. Longer
+// paths fall back to a private trunk — correct, just not coalesced.
+const maxClassUses = 5
+
+// classKeyOf builds the signature of a resource path, reporting whether
+// the path is classifiable.
+func classKeyOf(uses []Use) (classKey, bool) {
+	var k classKey
+	if len(uses) > maxClassUses {
+		return k, false
+	}
+	k.n = len(uses)
+	for i, u := range uses {
+		k.res[i] = u.R
+		k.wt[i] = u.Weight
+	}
+	return k, true
 }
 
 // NewTrunk returns a dormant trunk over the given resource path. The
@@ -179,9 +234,13 @@ type Flow struct {
 	started  des.Time
 	finished bool
 	pooled   bool // recycle into Network.freeFlows when done
-	onDone   func(*Flow)
-	onDoneC  Completion
-	extra    des.Time // fixed latency added after the bytes finish
+	// joinCum is the owning trunk's cum at join time and epoch the pooled
+	// incarnation counter — both class-accounting state, see Trunk.
+	joinCum float64
+	epoch   uint64
+	onDone  func(*Flow)
+	onDoneC Completion
+	extra   des.Time // fixed latency added after the bytes finish
 	// extraEv is the pending deferred-finish event while the flow sits in
 	// its extra-latency window (or, for zero-size flows, its only event).
 	// Abort cancels it so the completion callback never fires on an
@@ -210,10 +269,25 @@ func (f *Flow) Size() float64 { return f.size }
 
 // Done returns the bytes transferred so far (valid after completion; during
 // a run it is only current as of the component's last banking).
-func (f *Flow) Done() float64 { return f.done }
+func (f *Flow) Done() float64 {
+	if f.net != nil && f.net.classAcct && f.tr != nil && f.mindex >= 0 {
+		if d := f.tr.cum - f.joinCum; d > f.done {
+			if d > f.size {
+				return f.size
+			}
+			return d
+		}
+	}
+	return f.done
+}
 
 // Rate returns the flow's current max-min fair rate in bytes/sec.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 {
+	if f.net != nil && f.net.classAcct && f.tr != nil && f.mindex >= 0 {
+		return f.tr.rate
+	}
+	return f.rate
+}
 
 // Started returns the virtual time the flow was started.
 func (f *Flow) Started() des.Time { return f.started }
@@ -228,17 +302,35 @@ type component struct {
 	lastBank  des.Time    // member progress is banked up to here
 	nextAt    des.Time    // cached earliest completion among members
 	next      *Flow       // member achieving nextAt, nil if none has rate > 0
+	classAcct bool        // mirrors the owning network's mode at alloc time
+	hindex    int         // slot in Network.compHeap, -1 when absent (class accounting)
+
+	// Completion-batch scratch: affGen stamps membership in the current
+	// batch's affected set (so dedup is O(1) per flow however many
+	// components a batch spans) and the flags accumulate what refresh
+	// needs to know per component.
+	affGen      uint64
+	affDirty    bool
+	affMaySplit bool
 }
 
-// bank accrues member progress up to now at the current rates.
+// bank accrues member progress up to now at the current rates. Under
+// class accounting the accrual is one addition per trunk (the shared-rate
+// integral); members materialize their progress from it when they leave.
 func (c *component) bank(now des.Time) {
 	dt := float64(now - c.lastBank)
 	if dt > 0 {
-		for _, t := range c.trunks {
-			for _, f := range t.members {
-				f.done += f.rate * dt
-				if f.done > f.size {
-					f.done = f.size
+		if c.classAcct {
+			for _, t := range c.trunks {
+				t.cum += t.rate * dt
+			}
+		} else {
+			for _, t := range c.trunks {
+				for _, f := range t.members {
+					f.done += f.rate * dt
+					if f.done > f.size {
+						f.done = f.size
+					}
 				}
 			}
 		}
@@ -264,7 +356,15 @@ type Network struct {
 	// accumulation chunks and event times keep the historical global
 	// rebalance's rounding behaviour (see docs/flow.md for the exact
 	// contract and its limits).
-	lazy       bool
+	lazy bool
+	// classAcct selects class-level accounting on top of lazy banking (see
+	// EnableClassAccounting): per-trunk shared rates, O(1) trunk banking
+	// and heap-backed completion candidates, so per-event cost depends on
+	// the number of rate classes, not members. Rates and completion times
+	// are mathematically identical to strict mode but accumulate in
+	// different floating-point chunks (closed-form drains); the scaling
+	// tier runs on it.
+	classAcct  bool
 	lastUpdate des.Time // strict mode: progress banked up to here, globally
 
 	// Reused scratch to keep the hot path allocation-free.
@@ -272,6 +372,7 @@ type Network struct {
 	scratchDone   []*Flow
 	scratchTrunks []*Trunk
 	scratchBounds []int
+	scratchComps  []*component
 
 	// Free lists for the pooled StartC path: flows recycle when their
 	// completion callback returns, singleton trunks when their sole member
@@ -280,6 +381,23 @@ type Network struct {
 	freeFlows  []*Flow
 	freeTrunks []*Trunk
 	freeComps  []*component
+
+	// classes is the rate-class index: one entry per distinct resource-path
+	// signature with live pooled flows, pointing at the shared trunk that
+	// carries them. A class forms when the first flow of a signature starts
+	// and dissolves when its last member leaves (deactivateTrunk), so a
+	// join or leave touches exactly its own class. Trunks with identical
+	// uses are arbitration-equivalent by the trunk contract (k members ≡ k
+	// separate flows), which is what makes the coalescing behaviorally
+	// invisible — the golden-digest suite pins this byte for byte.
+	classes map[classKey]*Trunk
+
+	// compHeap is the class-accounting completion index: components with a
+	// live candidate, keyed by their cached nextAt, so scheduling reads
+	// the network-wide earliest completion in O(1) and an event touching
+	// one component costs O(log components) to re-key — the last
+	// per-event cost that would otherwise scan every component.
+	compHeap []*component
 
 	compTimer completionTimer
 
@@ -328,9 +446,13 @@ func (n *Network) Reset() {
 	n.comps = n.comps[:0]
 	clearPointers(n.flows)
 	n.flows = n.flows[:0]
+	clear(n.classes)
+	clearPointers(n.compHeap)
+	n.compHeap = n.compHeap[:0]
 	n.completion = nil
 	n.nextFlow = nil
 	n.lazy = lazyDefault.Load()
+	n.classAcct = false
 	n.lastUpdate = 0
 	n.Completed = 0
 	// n.gen keeps counting: stale generation stamps on resources and
@@ -367,6 +489,27 @@ func (n *Network) EnableLazyBanking() {
 		panic("flow: EnableLazyBanking after flows started")
 	}
 	n.lazy = true
+}
+
+// EnableClassAccounting switches the network to class-level accounting —
+// lazy banking plus per-trunk shared rates, O(1) trunk progress banking
+// and heap-backed completion candidates. A trunk's members provably share
+// one max-min rate, so their relative completion order is fixed at join
+// time (by joined-progress + size); the heap exploits that to keep every
+// per-event cost proportional to the number of rate classes instead of
+// the number of in-flight transfers. Results are mathematically the
+// strict-mode ones, but drains and progress accumulate in closed form
+// rather than member at a time, so timestamps can drift by ulps — the
+// same contract lazy banking carries, which is why the aggregated
+// scaling tier (the only in-tree user) pins its own golden digest on
+// this mode. Must be called before the first flow starts; Reset clears
+// it.
+func (n *Network) EnableClassAccounting() {
+	if len(n.flows) > 0 {
+		panic("flow: EnableClassAccounting after flows started")
+	}
+	n.lazy = true
+	n.classAcct = true
 }
 
 // bankAll banks progress for every active flow up to now (strict mode),
@@ -421,8 +564,30 @@ func (n *Network) StartC(label string, size float64, uses []Use, extraLatency de
 		f.extraEv = n.sim.AfterTimer(extraLatency, f)
 		return f
 	}
-	t := n.allocTrunk(label, uses)
+	t := n.classTrunk(label, uses)
 	return n.startFlow(t, n.allocFlow(label, size, t, extraLatency, c))
+}
+
+// classTrunk returns the shared trunk of the rate class the path belongs
+// to, registering a fresh pooled trunk as the class representative when
+// the class has no live members. Unclassifiable paths get a private
+// pooled trunk, exactly like the pre-class StartC.
+func (n *Network) classTrunk(label string, uses []Use) *Trunk {
+	key, ok := classKeyOf(uses)
+	if !ok {
+		return n.allocTrunk(label, uses)
+	}
+	if t := n.classes[key]; t != nil {
+		return t
+	}
+	t := n.allocTrunk(label, uses)
+	t.class = key
+	t.inClass = true
+	if n.classes == nil {
+		n.classes = make(map[classKey]*Trunk)
+	}
+	n.classes[key] = t
+	return t
 }
 
 // StartC begins a pooled transfer as a member of the trunk: the flow
@@ -497,9 +662,13 @@ func (n *Network) allocFlow(label string, size float64, t *Trunk, extra des.Time
 	return f
 }
 
-// recycleFlow zeroes a pooled flow and returns it to the free list.
+// recycleFlow zeroes a pooled flow and returns it to the free list. The
+// epoch survives (incremented): it is what lets the class-accounting
+// completion heaps detect stale entries pointing at a recycled struct.
 func (n *Network) recycleFlow(f *Flow) {
+	epoch := f.epoch + 1
 	*f = Flow{}
+	f.epoch = epoch
 	n.freeFlows = append(n.freeFlows, f)
 }
 
@@ -542,6 +711,12 @@ func (n *Network) startFlow(t *Trunk, f *Flow) *Flow {
 	}
 	f.mindex = len(t.members)
 	t.members = append(t.members, f)
+	if n.classAcct {
+		// The component is banked to now, so the trunk's integral is the
+		// member's zero point and its completion key is fixed for life.
+		f.joinCum = t.cum
+		t.pushDone(doneEnt{key: t.cum + f.size, f: f, epoch: f.epoch})
+	}
 	f.gindex = len(n.flows)
 	n.flows = append(n.flows, f)
 	for _, u := range t.uses {
@@ -550,6 +725,58 @@ func (n *Network) startFlow(t *Trunk, f *Flow) *Flow {
 	n.waterfill(c, now)
 	n.scheduleCompletion()
 	return f
+}
+
+// pushDone inserts into the trunk's completion min-heap (keyed by the
+// time-invariant completion key).
+func (t *Trunk) pushDone(e doneEnt) {
+	t.done = append(t.done, e)
+	i := len(t.done) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.done[p].key <= t.done[i].key {
+			break
+		}
+		t.done[p], t.done[i] = t.done[i], t.done[p]
+		i = p
+	}
+}
+
+// popDone removes the heap root.
+func (t *Trunk) popDone() {
+	last := len(t.done) - 1
+	t.done[0] = t.done[last]
+	t.done[last] = doneEnt{}
+	t.done = t.done[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(t.done) && t.done[l].key < t.done[small].key {
+			small = l
+		}
+		if r < len(t.done) && t.done[r].key < t.done[small].key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.done[i], t.done[small] = t.done[small], t.done[i]
+		i = small
+	}
+}
+
+// validRoot discards stale heap entries (members that left, pooled flows
+// recycled into new lives) and returns the live root, or nil.
+func (t *Trunk) validRoot() *doneEnt {
+	for len(t.done) > 0 {
+		e := &t.done[0]
+		if e.f.tr == t && e.f.mindex >= 0 && e.f.epoch == e.epoch {
+			return e
+		}
+		t.popDone()
+	}
+	return nil
 }
 
 // placeTrunk attaches a dormant trunk to the component its resources imply,
@@ -612,6 +839,8 @@ func (n *Network) placeTrunk(t *Trunk, now des.Time) *component {
 	}
 	t.comp = c
 	t.tindex = len(c.trunks)
+	t.cum = 0
+	t.rate = 0
 	c.trunks = append(c.trunks, t)
 	if cap(t.userIdx) >= len(t.uses) {
 		t.userIdx = t.userIdx[:len(t.uses)]
@@ -653,11 +882,14 @@ func (n *Network) allocComp(now des.Time) *component {
 	}
 	c.cindex = len(n.comps)
 	c.lastBank = now
+	c.classAcct = n.classAcct
+	c.hindex = -1
 	n.comps = append(n.comps, c)
 	return c
 }
 
 func (n *Network) removeComp(c *component) {
+	n.compHeapRemove(c)
 	last := len(n.comps) - 1
 	moved := n.comps[last]
 	n.comps[c.cindex] = moved
@@ -698,6 +930,19 @@ func (n *Network) deactivateTrunk(t *Trunk) {
 		r.users[lastU] = nil
 		r.users = r.users[:lastU]
 	}
+	if t.inClass {
+		// The class's last member left; dissolve it so the next flow of
+		// this signature registers a fresh representative.
+		delete(n.classes, t.class)
+		t.inClass = false
+		t.class = classKey{}
+	}
+	for i := range t.done {
+		t.done[i].f = nil
+	}
+	t.done = t.done[:0]
+	t.cum = 0
+	t.rate = 0
 	if t.pooled {
 		t.pooled = false
 		t.net = nil
@@ -716,6 +961,17 @@ func (n *Network) deactivateTrunk(t *Trunk) {
 // banked f's component already.
 func (n *Network) detachMember(f *Flow, c *component, dirtyGen uint64, dirty *[]*Resource) (maySplit bool) {
 	t := f.tr
+	if n.classAcct {
+		// Materialize the member's progress from the trunk integral (the
+		// caller has banked the component). Completion has already pinned
+		// done to size; never lower it.
+		if d := t.cum - f.joinCum; d > f.done {
+			f.done = d
+			if f.done > f.size {
+				f.done = f.size
+			}
+		}
+	}
 	last := len(t.members) - 1
 	moved := t.members[last]
 	t.members[f.mindex] = moved
@@ -932,8 +1188,12 @@ func (n *Network) waterfill(c *component, now des.Time) {
 				r.weight = 0
 				r.count = 0
 			}
-			for j := 0; j < k; j++ {
-				r.weight += u.Weight
+			if n.classAcct {
+				r.weight += u.Weight * float64(k)
+			} else {
+				for j := 0; j < k; j++ {
+					r.weight += u.Weight
+				}
 			}
 			r.count += k
 		}
@@ -956,8 +1216,12 @@ func (n *Network) waterfill(c *component, now des.Time) {
 			for _, t := range c.trunks {
 				if !t.frozen {
 					t.frozen = true
-					for _, f := range t.members {
-						f.rate = math.MaxFloat64 / 4
+					if n.classAcct {
+						t.rate = math.MaxFloat64 / 4
+					} else {
+						for _, f := range t.members {
+							f.rate = math.MaxFloat64 / 4
+						}
 					}
 					unfrozen--
 				}
@@ -1017,9 +1281,25 @@ func (n *Network) waterfill(c *component, now des.Time) {
 
 // freezeTrunk locks every member at the given rate and drains the members'
 // consumption from the trunk's resources, one member at a time so the
-// arithmetic matches k independent flows exactly.
+// arithmetic matches k independent flows exactly. Class accounting stores
+// the shared rate on the trunk and drains in closed form instead — the
+// mathematically identical result with different rounding, which is the
+// mode's documented contract.
 func (n *Network) freezeTrunk(t *Trunk, rate float64) {
 	k := len(t.members)
+	if n.classAcct {
+		t.rate = rate
+		for _, u := range t.uses {
+			r := u.R
+			r.remaining -= rate * u.Weight * float64(k)
+			if r.remaining < 0 {
+				r.remaining = 0
+			}
+			r.weight -= float64(k) * u.Weight
+			r.count -= k
+		}
+		return
+	}
 	for _, f := range t.members {
 		f.rate = rate
 	}
@@ -1036,11 +1316,103 @@ func (n *Network) freezeTrunk(t *Trunk, rate float64) {
 	}
 }
 
+// compHeapUpdate re-keys (or inserts/removes) a component in the
+// completion index after its candidate changed.
+func (n *Network) compHeapUpdate(c *component) {
+	if c.next == nil {
+		n.compHeapRemove(c)
+		return
+	}
+	if c.hindex < 0 {
+		c.hindex = len(n.compHeap)
+		n.compHeap = append(n.compHeap, c)
+	}
+	n.compHeapSiftUp(c.hindex)
+	n.compHeapSiftDown(c.hindex)
+}
+
+func (n *Network) compHeapRemove(c *component) {
+	if c.hindex < 0 {
+		return
+	}
+	i := c.hindex
+	last := len(n.compHeap) - 1
+	if i != last {
+		moved := n.compHeap[last]
+		n.compHeap[i] = moved
+		moved.hindex = i
+	}
+	n.compHeap[last] = nil
+	n.compHeap = n.compHeap[:last]
+	c.hindex = -1
+	if i < len(n.compHeap) {
+		n.compHeapSiftUp(i)
+		n.compHeapSiftDown(i)
+	}
+}
+
+func (n *Network) compHeapSiftUp(i int) {
+	h := n.compHeap
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].nextAt <= h[i].nextAt {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		h[p].hindex = p
+		h[i].hindex = i
+		i = p
+	}
+}
+
+func (n *Network) compHeapSiftDown(i int) {
+	h := n.compHeap
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].nextAt < h[small].nextAt {
+			small = l
+		}
+		if r < len(h) && h[r].nextAt < h[small].nextAt {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].hindex = i
+		h[small].hindex = small
+		i = small
+	}
+}
+
 // rescanNext refreshes the component's cached earliest-completion
-// candidate from current rates and progress.
+// candidate from current rates and progress. Class accounting reads one
+// heap root per trunk; the member loops remain for plain lazy mode.
 func (n *Network) rescanNext(c *component, now des.Time) {
 	c.next = nil
 	c.nextAt = des.Forever
+	if n.classAcct {
+		for _, t := range c.trunks {
+			if t.rate <= 0 {
+				continue
+			}
+			e := t.validRoot()
+			if e == nil {
+				continue
+			}
+			eta := now + des.Time((e.key-t.cum)/t.rate)
+			if eta < now {
+				eta = now // completion-epsilon overshoot rounds to now
+			}
+			if eta < c.nextAt {
+				c.nextAt = eta
+				c.next = e.f
+			}
+		}
+		n.compHeapUpdate(c)
+		return
+	}
 	for _, t := range c.trunks {
 		for _, f := range t.members {
 			if f.rate <= 0 {
@@ -1064,7 +1436,12 @@ func (n *Network) rescanNext(c *component, now des.Time) {
 func (n *Network) scheduleCompletion() {
 	var next *Flow
 	nextAt := des.Forever
-	if n.lazy {
+	if n.classAcct {
+		if len(n.compHeap) > 0 {
+			nextAt = n.compHeap[0].nextAt
+			next = n.compHeap[0].next
+		}
+	} else if n.lazy {
 		for _, c := range n.comps {
 			if c.next != nil && c.nextAt < nextAt {
 				nextAt = c.nextAt
@@ -1120,59 +1497,121 @@ func (n *Network) complete() {
 		n.bankAll(now)
 	}
 	doneFlows := n.scratchDone[:0]
-	for _, f := range n.flows {
-		vdone := f.done
-		if n.lazy {
-			if dt := float64(now - f.tr.comp.lastBank); dt > 0 {
-				vdone += f.rate * dt
-				if vdone > f.size {
-					vdone = f.size
+	if n.classAcct {
+		// Drain the components due now off the completion index (they are
+		// its smallest keys), popping each trunk's heap down to the
+		// members within epsilon of done, then restore the global start
+		// order the flow-scan modes produce by construction. Heap keys
+		// are exactly size minus virtual progress shifted by the trunk
+		// integral, so the epsilon test matches the scan's per-flow test;
+		// an epsilon-done flow in a component whose candidate sits a hair
+		// later simply finalizes at its own event instead of this batch.
+		// Components are popped from the index here and re-registered by
+		// the post-detach rescan.
+		for len(n.compHeap) > 0 {
+			c := n.compHeap[0]
+			if c.nextAt > now {
+				break
+			}
+			n.compHeapRemove(c)
+			popped := false
+			dt := float64(now - c.lastBank)
+			for _, t := range c.trunks {
+				cumNow := t.cum
+				if dt > 0 {
+					cumNow += t.rate * dt
+				}
+				for {
+					e := t.validRoot()
+					if e == nil {
+						break
+					}
+					f := e.f
+					if f != target && e.key-cumNow > 1e-6*math.Max(1, f.size) {
+						break
+					}
+					t.popDone()
+					f.pendingFinish = true
+					doneFlows = append(doneFlows, f)
+					popped = true
 				}
 			}
-		}
-		if f == target || f.size-vdone <= 1e-6*math.Max(1, f.size) {
-			f.pendingFinish = true
-			doneFlows = append(doneFlows, f)
-		}
-	}
-	// Prune each affected component, then re-establish its invariants.
-	// Components are processed in first-affected order; state is independent
-	// across components, so only the finish order below is behaviorally
-	// visible.
-	dirtyGen := n.nextGen()
-	var affectedArr [8]*component
-	affected := affectedArr[:0]
-	for _, f := range doneFlows {
-		c := f.tr.comp
-		seen := false
-		for _, a := range affected {
-			if a == c {
-				seen = true
+			if !popped {
+				// Numeric edge: the component's ETA rounded to now but its
+				// candidate is not within the byte epsilon (e.g. an
+				// unconstrained-rate trunk whose huge rate collapses any
+				// remaining volume to a zero time delta). Re-register it
+				// and stop draining: it finalizes at its own event, where
+				// the candidate is the target and pops unconditionally —
+				// the same defer-to-own-event convergence plain lazy mode
+				// has.
+				c.bank(now)
+				n.rescanNext(c, now)
 				break
 			}
 		}
-		if !seen {
+		if target != nil && !target.pendingFinish && !target.finished && target.mindex >= 0 {
+			// Numerical backstop: the event fired for the target, so it
+			// finalizes now even if a stale-ordered heap missed it.
+			target.pendingFinish = true
+			doneFlows = append(doneFlows, target)
+		}
+		// Heapsort by global start index: allocation-free, and symmetric
+		// workloads legitimately complete thousands of flows at one
+		// instant, so the sort must not be quadratic in the batch.
+		sortFlowsByStart(doneFlows)
+	} else {
+		for _, f := range n.flows {
+			vdone := f.done
+			if n.lazy {
+				if dt := float64(now - f.tr.comp.lastBank); dt > 0 {
+					vdone += f.rate * dt
+					if vdone > f.size {
+						vdone = f.size
+					}
+				}
+			}
+			if f == target || f.size-vdone <= 1e-6*math.Max(1, f.size) {
+				f.pendingFinish = true
+				doneFlows = append(doneFlows, f)
+			}
+		}
+	}
+	// Prune each affected component, then re-establish its invariants.
+	// Components are collected in first-affected order (an O(1) stamp per
+	// flow — a symmetric batch can span thousands of components); state is
+	// independent across components, so detaching in one global pass and
+	// refreshing afterwards is equivalent to the per-component grouping,
+	// and only the finish order below is behaviorally visible.
+	dirtyGen := n.nextGen()
+	affGen := n.nextGen()
+	affected := n.scratchComps[:0]
+	dirty := n.scratchDirty[:0]
+	for _, f := range doneFlows {
+		c := f.tr.comp
+		if c.affGen != affGen {
+			c.affGen = affGen
+			c.affDirty = false
+			c.affMaySplit = false
 			if n.lazy {
 				c.bank(now)
 			}
 			affected = append(affected, c)
 		}
-	}
-	dirty := n.scratchDirty[:0]
-	for _, c := range affected {
-		lo := len(dirty)
-		maySplit := false
-		for _, f := range doneFlows {
-			if f.tr.comp != c {
-				continue
-			}
-			f.done = f.size
-			if n.detachMember(f, c, dirtyGen, &dirty) {
-				maySplit = true
-			}
+		f.done = f.size
+		before := len(dirty)
+		if n.detachMember(f, c, dirtyGen, &dirty) {
+			c.affMaySplit = true
 		}
-		n.refresh(c, dirtyGen, len(dirty) > lo, maySplit, now)
+		if len(dirty) > before {
+			c.affDirty = true
+		}
 	}
+	for i, c := range affected {
+		n.refresh(c, dirtyGen, c.affDirty, c.affMaySplit, now)
+		affected[i] = nil
+	}
+	n.scratchComps = affected[:0]
 	n.scratchDirty = dirty[:0]
 	n.scheduleCompletion()
 	for _, f := range doneFlows {
@@ -1193,6 +1632,49 @@ func (n *Network) complete() {
 		}
 	}
 	n.scratchDone = doneFlows[:0]
+}
+
+// sortFlowsByStart heapsorts a completion batch by global start index —
+// the order the flow-scan detection produces by construction — without
+// allocating.
+func sortFlowsByStart(fs []*Flow) {
+	// Batches drained from one trunk heap arrive in key order, which for
+	// same-size members IS start order — detect the sorted common case in
+	// one pass before paying for a sort.
+	sorted := true
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].gindex > fs[i].gindex {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sift := func(lo, hi int) {
+		root := lo
+		for {
+			child := 2*root + 1
+			if child >= hi {
+				return
+			}
+			if child+1 < hi && fs[child].gindex < fs[child+1].gindex {
+				child++
+			}
+			if fs[root].gindex >= fs[child].gindex {
+				return
+			}
+			fs[root], fs[child] = fs[child], fs[root]
+			root = child
+		}
+	}
+	for i := len(fs)/2 - 1; i >= 0; i-- {
+		sift(i, len(fs))
+	}
+	for i := len(fs) - 1; i > 0; i-- {
+		fs[0], fs[i] = fs[i], fs[0]
+		sift(0, i)
+	}
 }
 
 func (n *Network) finish(f *Flow) {

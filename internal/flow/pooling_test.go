@@ -199,7 +199,9 @@ func TestAbortFromCompletionCallbackSuppressesBatchSibling(t *testing.T) {
 	if net.Completed != 1 {
 		t.Fatalf("Completed = %d, want 1", net.Completed)
 	}
-	// Pooled variant: the suppressed sibling must also recycle.
+	// Pooled variant: the suppressed sibling must also recycle. The two
+	// flows share one resource path, so the rate-class index multiplexes
+	// them on a single shared trunk — one trunk recycles, two flows.
 	var done doneCounter
 	var p2 *Flow
 	net.StartC("p1", 500, []Use{{R: r, Weight: 1}}, 0, completionFunc(func() { net.Abort(p2) }))
@@ -208,8 +210,8 @@ func TestAbortFromCompletionCallbackSuppressesBatchSibling(t *testing.T) {
 	if done.n != 0 {
 		t.Fatal("aborted pooled batch sibling fired its completion")
 	}
-	if len(net.freeFlows) != 2 || len(net.freeTrunks) != 2 {
-		t.Fatalf("free lists flows=%d trunks=%d after batch abort, want 2/2",
+	if len(net.freeFlows) != 2 || len(net.freeTrunks) != 1 {
+		t.Fatalf("free lists flows=%d trunks=%d after batch abort, want 2/1",
 			len(net.freeFlows), len(net.freeTrunks))
 	}
 }

@@ -1,0 +1,96 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/des"
+)
+
+// agg_test.go exercises the aggregated shuffle tier's failure fallback:
+// the fast path skips per-output seen bitmaps, and the drop to exact
+// accounting must rebuild them for every reducer incarnation — including
+// the windows the fast path had already touched.
+
+func aggChain(nodes int, inj []Injection) (cluster.Config, ChainConfig) {
+	ccfg := cluster.DCOConfig(nodes, 1, 1)
+	cfg := ChainConfig{
+		Mode:               ModeRCMP,
+		NumJobs:            2,
+		NumReducers:        nodes,
+		InputPerNode:       64 * cluster.MB,
+		BlockSize:          32 * cluster.MB,
+		InputRepl:          3,
+		ShuffleAggregation: ShuffleAggOn,
+		Failures:           inj,
+	}
+	return ccfg, cfg
+}
+
+// TestAggFailureDuringReducerStartup pins the fallback window a reducer
+// sitting in its TaskStartup delay occupies when the failure lands: its
+// seen bitmap was truncated by the fast-path launch, aggSlowFallback
+// cannot see it (not shuffling yet), and the slow-path shuffle start must
+// size the bitmap itself before any map completion is accounted.
+func TestAggFailureDuringReducerStartup(t *testing.T) {
+	// DCO TaskStartup is 0.3s; 0.1s into run 1 every reducer is mid-startup.
+	ccfg, cfg := aggChain(16, []Injection{{AtRun: 1, After: 0.1, Node: 3}})
+	res, err := RunChain(ccfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("chain total %v, want > 0", res.Total)
+	}
+}
+
+// TestAggFailureScenarios sweeps the injection offset across the first
+// run so the fallback fires in every phase window (startup, map phase,
+// shuffle, output), and checks the chain recovers to completion each
+// time.
+func TestAggFailureScenarios(t *testing.T) {
+	for _, after := range []float64{0.1, 1, 5, 20, 60} {
+		ccfg, cfg := aggChain(16, []Injection{{AtRun: 1, After: des.Time(after), Node: 3}})
+		res, err := RunChain(ccfg, cfg)
+		if err != nil {
+			t.Fatalf("after=%v: %v", after, err)
+		}
+		if res.StartedRuns < cfg.NumJobs {
+			t.Fatalf("after=%v: only %d runs started", after, res.StartedRuns)
+		}
+	}
+}
+
+// TestAggMultiFailure drops two nodes at one instant mid-run on the
+// aggregated tier (the outage shape trace schedules produce).
+func TestAggMultiFailure(t *testing.T) {
+	ccfg, cfg := aggChain(16, []Injection{{AtRun: 1, After: 10, Node: 3, Count: 2}})
+	if _, err := RunChain(ccfg, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggMatchesExactFailureFree sanity-bounds the aggregation: with a
+// symmetric failure-free workload the pooled-endpoint model must land in
+// the same ballpark as the exact per-pair model. It is documented to be
+// optimistic — pooling removes per-node endpoint hot-spots, and disks no
+// longer interleave map and shuffle streams (their seek penalties enter
+// only through the capped pool sizing) — so the band is asymmetric:
+// faster than exact is expected, slower or wildly faster is a model bug.
+func TestAggMatchesExactFailureFree(t *testing.T) {
+	ccfg, cfg := aggChain(16, nil)
+	agg, err := RunChain(ccfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShuffleAggregation = ShuffleAggOff
+	exact, err := RunChain(ccfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(agg.Total) / float64(exact.Total)
+	if ratio < 0.5 || ratio > 1.1 {
+		t.Fatalf("aggregated total %v vs exact %v (ratio %.2f); aggregation drifted beyond its documented approximation",
+			agg.Total, exact.Total, ratio)
+	}
+}

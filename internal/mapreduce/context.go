@@ -20,6 +20,7 @@ import (
 	"rcmp/internal/des"
 	"rcmp/internal/dfs"
 	"rcmp/internal/flow"
+	"rcmp/internal/lineage"
 )
 
 // Context is a reusable simulation substrate for one cluster
@@ -33,15 +34,92 @@ type Context struct {
 	fs   *dfs.FS
 	key  string // canonical cluster-config identity, for pooling
 
-	// shufTrunks coalesces shuffle fetches per (source, destination) node
-	// pair, keyed src*NumNodes+dst. Trunks bind only to cluster resources,
-	// so they persist across runs and chains; a dormant trunk restarts
-	// exactly like a fresh one.
-	shufTrunks []*flow.Trunk
+	// shufTrunks coalesces exact-tier shuffle fetches per (source,
+	// destination) node pair, indexed [dst][src]. The outer slice is one
+	// pointer per destination; a destination's row is allocated on its
+	// first fetch, so memory is O(active destinations × nodes) instead of
+	// the old eager O(nodes²) array — the layout a thousand-node cluster
+	// cannot afford. Trunks bind only to cluster resources, so they
+	// persist across runs and chains; a dormant trunk restarts exactly
+	// like a fresh one. (The aggregated shuffle tier needs no trunk state
+	// here at all: its fetches share one resource path and coalesce in the
+	// flow network's rate-class index.)
+	shufTrunks [][]*flow.Trunk
+
+	// diskTrunks are persistent per-node trunks for the single-disk unit
+	// path ([disk, weight 1]) that local map reads, map-output writes and
+	// local reducer-output writes all share; aggTrunk is the one trunk of
+	// the aggregated shuffle tier (every aggregated fetch shares one
+	// pooled resource path). Both exist so the hottest flow starts skip
+	// the rate-class index's map lookup: a persistent trunk with the same
+	// uses is the same arbitration unit the index would have built.
+	diskTrunks []*flow.Trunk
+	aggTrunk   *flow.Trunk
 
 	freeRuns []*jobRun
 	freeMaps []*mapTask
 	freeReds []*reduceTask
+
+	// Lineage records die with their chain (a Result never exposes the
+	// chain), so the context recycles them: chainRecs tracks the records
+	// the running chain allocated, harvested into freeRecs at the next
+	// reset. Each record keeps its Mappers/Reducers slice capacities plus
+	// the nodes backing array initialRunDone packs reducer locations into.
+	chainRecs     []*lineage.JobRecord
+	freeRecs      []*lineage.JobRecord
+	chainNodeBufs [][]int
+	freeNodeBufs  [][]int
+}
+
+// allocJobRec pops a recycled lineage record (empty, with capacities) or
+// makes a fresh one, tracking it for harvest at the next reset.
+func (ctx *Context) allocJobRec() *lineage.JobRecord {
+	var rec *lineage.JobRecord
+	if k := len(ctx.freeRecs); k > 0 {
+		rec = ctx.freeRecs[k-1]
+		ctx.freeRecs[k-1] = nil
+		ctx.freeRecs = ctx.freeRecs[:k-1]
+	} else {
+		rec = &lineage.JobRecord{}
+	}
+	ctx.chainRecs = append(ctx.chainRecs, rec)
+	return rec
+}
+
+// allocNodeBuf hands out a length-n int buffer from the pool, tracking it
+// for harvest at the next reset (the chain's records slice into it).
+func (ctx *Context) allocNodeBuf(n int) []int {
+	var buf []int
+	if k := len(ctx.freeNodeBufs); k > 0 && cap(ctx.freeNodeBufs[k-1]) >= n {
+		buf = ctx.freeNodeBufs[k-1][:n]
+		ctx.freeNodeBufs[k-1] = nil
+		ctx.freeNodeBufs = ctx.freeNodeBufs[:k-1]
+	} else {
+		buf = make([]int, n)
+	}
+	ctx.chainNodeBufs = append(ctx.chainNodeBufs, buf)
+	return buf
+}
+
+// harvestLineage reclaims the previous chain's records and node buffers.
+// Called from reset, when the previous chain (and every pointer into its
+// records) is unreachable.
+func (ctx *Context) harvestLineage() {
+	for i, rec := range ctx.chainRecs {
+		mappers := rec.Mappers[:0]
+		reducers := rec.Reducers[:0]
+		*rec = lineage.JobRecord{}
+		rec.Mappers = mappers
+		rec.Reducers = reducers
+		ctx.freeRecs = append(ctx.freeRecs, rec)
+		ctx.chainRecs[i] = nil
+	}
+	ctx.chainRecs = ctx.chainRecs[:0]
+	for i, buf := range ctx.chainNodeBufs {
+		ctx.freeNodeBufs = append(ctx.freeNodeBufs, buf)
+		ctx.chainNodeBufs[i] = nil
+	}
+	ctx.chainNodeBufs = ctx.chainNodeBufs[:0]
 }
 
 // NewContext builds a fresh context for the cluster configuration. It
@@ -62,29 +140,68 @@ func (ctx *Context) reset(blockSize int64) {
 	ctx.sim.Reset()
 	ctx.clus.Reset()
 	ctx.fs.Reset(blockSize)
+	ctx.harvestLineage()
 	// Shuffle trunks survive reset dormant. A trunk still holding members
 	// (a chain that ended in an error mid-flight) must not be reused; such
 	// contexts are dropped by RunChain rather than pooled, so by the time
 	// reset runs every trunk is dormant — verify cheaply all the same.
-	for i, t := range ctx.shufTrunks {
-		if t != nil && t.Members() != 0 {
-			ctx.shufTrunks[i] = nil
+	for _, row := range ctx.shufTrunks {
+		for i, t := range row {
+			if t != nil && t.Members() != 0 {
+				row[i] = nil
+			}
 		}
+	}
+	for i, t := range ctx.diskTrunks {
+		if t != nil && t.Members() != 0 {
+			ctx.diskTrunks[i] = nil
+		}
+	}
+	if ctx.aggTrunk != nil && ctx.aggTrunk.Members() != 0 {
+		ctx.aggTrunk = nil
 	}
 }
 
-// shuffleTrunk returns the persistent coalescing trunk for fetches from
-// src to dst, creating it on first use.
-func (ctx *Context) shuffleTrunk(c *cluster.Cluster, src, dst int) *flow.Trunk {
-	n := c.NumNodes()
-	if ctx.shufTrunks == nil {
-		ctx.shufTrunks = make([]*flow.Trunk, n*n)
+// diskTrunk returns node's persistent single-disk trunk, creating it on
+// first use.
+func (ctx *Context) diskTrunk(node int) *flow.Trunk {
+	if ctx.diskTrunks == nil {
+		ctx.diskTrunks = make([]*flow.Trunk, ctx.clus.NumNodes())
 	}
-	key := src*n + dst
-	t := ctx.shufTrunks[key]
+	t := ctx.diskTrunks[node]
+	if t == nil {
+		t = ctx.clus.Net.NewTrunk("disk", []flow.Use{{R: ctx.clus.Node(node).Disk, Weight: 1}})
+		ctx.diskTrunks[node] = t
+	}
+	return t
+}
+
+// aggShuffleTrunk returns the aggregated shuffle tier's single trunk,
+// creating it on first use (with a retained copy of the pooled path).
+func (ctx *Context) aggShuffleTrunk() *flow.Trunk {
+	if ctx.aggTrunk == nil {
+		ctx.aggTrunk = ctx.clus.Net.NewTrunk("shuffle-agg",
+			append([]flow.Use(nil), ctx.clus.AggShuffleUses()...))
+	}
+	return ctx.aggTrunk
+}
+
+// shuffleTrunk returns the persistent coalescing trunk for exact-tier
+// fetches from src to dst, creating it (and the destination's row) on
+// first use.
+func (ctx *Context) shuffleTrunk(c *cluster.Cluster, src, dst int) *flow.Trunk {
+	if ctx.shufTrunks == nil {
+		ctx.shufTrunks = make([][]*flow.Trunk, c.NumNodes())
+	}
+	row := ctx.shufTrunks[dst]
+	if row == nil {
+		row = make([]*flow.Trunk, c.NumNodes())
+		ctx.shufTrunks[dst] = row
+	}
+	t := row[src]
 	if t == nil {
 		t = c.Net.NewTrunk("shuffle", c.ShuffleUses(src, dst))
-		ctx.shufTrunks[key] = t
+		row[src] = t
 	}
 	return t
 }

@@ -23,6 +23,7 @@ type Driver struct {
 	rec  *metrics.Recorder
 	cfg  ChainConfig
 	rng  *rand.Rand
+	agg  bool // aggregated shuffle tier resolved for this chain
 
 	frontier    int // 1-based chain job currently being computed
 	runCounter  int
@@ -70,6 +71,13 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		return nil, err
 	}
 	ctx.reset(cfg.BlockSize)
+	if cfg.aggregatedShuffle(ctx.clus.NumNodes()) {
+		// The aggregated tier rides the flow network's class accounting:
+		// per-trunk shared rates and heap-backed completion candidates, so
+		// per-event cost tracks rate classes, not in-flight transfers.
+		// (Reset clears the mode, so pooled contexts flip per chain.)
+		ctx.clus.Net.EnableClassAccounting()
+	}
 	d := &Driver{
 		ctx:         ctx,
 		sim:         ctx.sim,
@@ -79,12 +87,22 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		rec:         &metrics.Recorder{},
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		agg:         cfg.aggregatedShuffle(ctx.clus.NumNodes()),
 		frontier:    1,
 		failedNodes: make(map[int]bool),
 	}
 	if err := d.createInput(); err != nil {
 		return nil, err
 	}
+	// Pre-size the recorder for the failure-free sample volume (failure
+	// chains grow past it once, harmlessly): one sample per map block and
+	// reducer per job, one run stat per job.
+	taskCap := 0
+	if !cfg.NoTaskSamples {
+		blocksPerPart := int((cfg.InputPerNode + cfg.BlockSize - 1) / cfg.BlockSize)
+		taskCap = cfg.NumJobs * (ctx.clus.NumNodes()*blocksPerPart + cfg.NumReducers)
+	}
+	d.rec.Reserve(taskCap, cfg.NumJobs+4)
 	d.startInitial(1)
 	ctx.sim.Run()
 	if d.err != nil {
@@ -104,6 +122,8 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		StartedRuns:         d.runCounter,
 		SpeculativeLaunched: d.specLaunched,
 		SpeculativeWasted:   d.specWasted,
+		Events:              ctx.sim.Processed,
+		Flows:               ctx.clus.Net.Completed,
 	}, nil
 }
 
@@ -119,8 +139,13 @@ func (d *Driver) createInput() error {
 	if repl > n {
 		repl = n
 	}
+	// One reused replica buffer: SetPartition copies the set into its
+	// blocks, so the loop plans n partitions with a single allocation.
+	var buf []int
+	sets := [][]int{nil}
 	for p := 0; p < n; p++ {
-		sets := [][]int{d.fs.PlanReplicas(p, repl, all)}
+		buf = d.fs.PlanReplicasInto(buf[:0], p, repl, all)
+		sets[0] = buf
 		if _, err := d.fs.SetPartition(inputFileName, p, d.cfg.InputPerNode, sets); err != nil {
 			return err
 		}
@@ -245,13 +270,18 @@ func (d *Driver) startInitial(job int) {
 // initialRunDone records lineage for a completed full run and advances the
 // chain.
 func (d *Driver) initialRunDone(r *jobRun) {
-	rec := &lineage.JobRecord{
-		ID:         r.job,
-		Name:       fmt.Sprintf("job%d", r.job),
-		InputFile:  r.inputFile,
-		OutputFile: r.outputFile,
-		Splittable: true,
-		Completed:  true,
+	rec := d.ctx.allocJobRec()
+	rec.ID = r.job
+	rec.Name = fmt.Sprintf("job%d", r.job)
+	rec.InputFile = r.inputFile
+	rec.OutputFile = r.outputFile
+	rec.Splittable = true
+	rec.Completed = true
+	if cap(rec.Mappers) < len(r.maps) {
+		rec.Mappers = make([]lineage.MapperMeta, 0, len(r.maps))
+	}
+	if cap(rec.Reducers) < len(r.reduces) {
+		rec.Reducers = make([]lineage.ReducerMeta, 0, len(r.reduces))
 	}
 	for _, mt := range r.maps {
 		node := mt.node
@@ -267,11 +297,16 @@ func (d *Driver) initialRunDone(r *jobRun) {
 			Node:           node,
 		})
 	}
-	for _, rt := range r.reduces {
+	// One backing array for every reducer's single-node location set,
+	// full-capacity sub-slices so a later SetReducerOutput swap can never
+	// alias a neighbour.
+	nodes := d.ctx.allocNodeBuf(len(r.reduces))
+	for i, rt := range r.reduces {
+		nodes[i] = rt.node
 		rec.Reducers = append(rec.Reducers, lineage.ReducerMeta{
 			Index:       rt.reducer,
 			OutputBytes: rt.outBytes,
-			Nodes:       []int{rt.node},
+			Nodes:       nodes[i : i+1 : i+1],
 		})
 	}
 	if err := d.ch.Append(rec); err != nil {

@@ -15,19 +15,24 @@ import (
 
 // assignOneMap launches at most one mapper, preferring data-local placement.
 func (r *jobRun) assignOneMap() bool {
-	if len(r.pendingMaps) == 0 {
+	if len(r.pendingMaps) == 0 || r.mapSlotsFree <= 0 {
 		return false
 	}
 	// Pass 1: a node with a free slot holding a pending task's input block.
+	// The scan resumes at the pump's watermark: everything before it was
+	// rejected earlier in this pump and nothing since has freed a slot.
 	if !r.cfg().DisableLocality {
-		for qi, mt := range r.pendingMaps {
+		for qi := r.pumpScanFrom; qi < len(r.pendingMaps); qi++ {
+			mt := r.pendingMaps[qi]
 			for _, n := range r.inputLocations(mt) {
 				if r.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
+					r.pumpScanFrom = qi
 					r.launchMap(mt, n, qi)
 					return true
 				}
 			}
 		}
+		r.pumpScanFrom = len(r.pendingMaps)
 	}
 	// Pass 2: any free slot. A speculative duplicate avoids its original's
 	// node — rerunning a straggler in place defeats the purpose.
@@ -51,13 +56,16 @@ func (r *jobRun) assignOneMap() bool {
 // the next call, which is all the scheduler's scan-and-launch loops need,
 // and keeps the per-event scheduling pass allocation-free.
 func (r *jobRun) inputLocations(mt *mapTask) []int {
-	r.locBuf = r.fs().BlockReplicas(r.inputFile, mt.part, mt.block, r.locBuf[:0])
+	r.locBuf = r.fs().FileBlockReplicas(r.inFile, mt.part, mt.block, r.locBuf[:0])
 	return r.locBuf
 }
 
 func (r *jobRun) launchMap(mt *mapTask, node int, queueIdx int) {
 	r.pendingMaps = append(r.pendingMaps[:queueIdx], r.pendingMaps[queueIdx+1:]...)
-	r.mapFree[node]--
+	if queueIdx < r.pumpScanFrom {
+		r.pumpScanFrom--
+	}
+	r.takeMapSlot(node)
 	mt.to(taskRunning)
 	mt.node = node
 	mt.start = r.sim().Now()
@@ -73,7 +81,7 @@ func (r *jobRun) mapRead(mt *mapTask) {
 		// slot frees; the master sorts the situation out at detection time
 		// (RCMP cancels the run, Hadoop either finds a replica or aborts).
 		mt.to(taskBlocked)
-		r.mapFree[mt.node]++
+		r.freeMapSlot(mt.node)
 		mt.node = -1
 		return
 	}
@@ -95,8 +103,13 @@ func (r *jobRun) mapRead(mt *mapTask) {
 		}
 	}
 	mt.step = mtStepRead
-	mt.fl = r.net().StartC("map-read", float64(mt.inputBytes),
-		r.clus().ReadUsesScratch(src, mt.node), 0, mt)
+	if src == mt.node {
+		// Local read: the per-node disk trunk, skipping the class index.
+		mt.fl = r.d.ctx.diskTrunk(src).StartC("map-read", float64(mt.inputBytes), 0, mt)
+	} else {
+		mt.fl = r.net().StartC("map-read", float64(mt.inputBytes),
+			r.clus().ReadUsesScratch(src, mt.node), 0, mt)
+	}
 }
 
 func (r *jobRun) mapCompute(mt *mapTask) {
@@ -112,14 +125,13 @@ func (r *jobRun) mapCompute(mt *mapTask) {
 func (r *jobRun) mapWrite(mt *mapTask) {
 	mt.ev = nil
 	mt.step = mtStepWrite
-	mt.fl = r.net().StartC("map-write", float64(mt.outBytes),
-		r.clus().DiskUseScratch(mt.node), 0, mt)
+	mt.fl = r.d.ctx.diskTrunk(mt.node).StartC("map-write", float64(mt.outBytes), 0, mt)
 }
 
 func (r *jobRun) mapDone(mt *mapTask) {
 	mt.fl = nil
 	mt.to(taskDone)
-	r.mapFree[mt.node]++
+	r.freeMapSlot(mt.node)
 
 	// Speculation: the losing copy of a pair is killed now; only the
 	// winner's output counts.
@@ -141,14 +153,21 @@ func (r *jobRun) mapDone(mt *mapTask) {
 	r.mapDoneCount++
 	r.mapDoneSum += float64(r.sim().Now() - mt.start)
 	r.aggOut[mt.node] += float64(mt.outBytes)
-	r.d.rec.AddTask(metrics.TaskSample{
-		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskMap,
-		Index: mt.index, Node: mt.node, Start: mt.start, End: r.sim().Now(),
-	})
-	// Feed every shuffling reducer.
-	for _, rt := range r.reduces {
-		if rt.state == taskRunning && rt.shuffling {
-			r.offerMapOutput(rt, mt)
+	if !r.cfg().NoTaskSamples {
+		r.d.rec.AddTask(metrics.TaskSample{
+			RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskMap,
+			Index: mt.index, Node: mt.node, Start: mt.start, End: r.sim().Now(),
+		})
+	}
+	// Feed every shuffling reducer — through the O(1) entitlement counter
+	// on the aggregated tier, per reducer otherwise.
+	if r.d.agg && !r.aggSlow {
+		r.offerAggOutput(mt)
+	} else {
+		for _, rt := range r.reduces {
+			if rt.state == taskRunning && rt.shuffling {
+				r.offerMapOutput(rt, mt)
+			}
 		}
 	}
 	if r.cfg().Speculation {
@@ -179,7 +198,7 @@ func (r *jobRun) killSpeculative(loser *mapTask) {
 	switch loser.state {
 	case taskRunning:
 		r.abortMapWork(loser)
-		r.mapFree[loser.node]++
+		r.freeMapSlot(loser.node)
 		if loser.dupOf != nil {
 			r.d.specWasted++
 		}

@@ -31,11 +31,34 @@ func (rt *reduceTask) removeOutFlow(fl *flow.Flow) {
 }
 
 // partCommit accumulates finished splits of one output partition until all
-// have completed and the partition can be registered in the DFS.
+// have completed and the partition can be registered in the DFS. Commits
+// live in a per-run value slice reused across runs (begin resets them in
+// place, keeping every replicas slice's capacity), so the commit path
+// allocates nothing in steady state.
 type partCommit struct {
+	used     bool
 	done     int
 	bytes    int64
 	replicas [][]int // one replica set per split, ordered by split index
+}
+
+// open readies the commit for a reducer with the given split count on
+// first touch.
+func (c *partCommit) open(splits int) {
+	if c.used {
+		return
+	}
+	c.used = true
+	c.done = 0
+	c.bytes = 0
+	if cap(c.replicas) >= splits {
+		c.replicas = c.replicas[:splits]
+		for i := range c.replicas {
+			c.replicas[i] = nil
+		}
+	} else {
+		c.replicas = make([][]int, splits)
+	}
 }
 
 func (r *jobRun) reduceWrite(rt *reduceTask) {
@@ -64,8 +87,13 @@ func (r *jobRun) reduceWrite(rt *reduceTask) {
 
 	rt.outPending = len(rt.outReplicas)
 	for _, tgt := range rt.outReplicas {
-		fl := r.net().StartC("red-out", float64(rt.outBytes),
-			r.clus().WriteUsesScratch(rt.node, tgt), 0, rt)
+		var fl *flow.Flow
+		if tgt == rt.node {
+			fl = r.d.ctx.diskTrunk(tgt).StartC("red-out", float64(rt.outBytes), 0, rt)
+		} else {
+			fl = r.net().StartC("red-out", float64(rt.outBytes),
+				r.clus().WriteUsesScratch(rt.node, tgt), 0, rt)
+		}
 		rt.outFlows = append(rt.outFlows, outFlow{fl, tgt})
 	}
 }
@@ -81,19 +109,18 @@ func (r *jobRun) outWriteDone(rt *reduceTask, f *flow.Flow) {
 
 func (r *jobRun) reduceDone(rt *reduceTask) {
 	rt.to(taskDone)
-	r.redFree[rt.node]++
+	r.freeRedSlot(rt.node)
 	r.redRemaining--
-	r.d.rec.AddTask(metrics.TaskSample{
-		RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskReduce,
-		Index: rt.reducer, Split: rt.split, Node: rt.node, Start: rt.start, End: r.sim().Now(),
-	})
+	if !r.cfg().NoTaskSamples {
+		r.d.rec.AddTask(metrics.TaskSample{
+			RunIndex: r.runIndex, Job: r.job, RunKind: r.kind, Kind: metrics.TaskReduce,
+			Index: rt.reducer, Split: rt.split, Node: rt.node, Start: rt.start, End: r.sim().Now(),
+		})
+	}
 
 	// Commit the partition when all splits of the reducer have finished.
-	c := r.commits[rt.reducer]
-	if c == nil {
-		c = &partCommit{replicas: make([][]int, rt.splits)}
-		r.commits[rt.reducer] = c
-	}
+	c := &r.commits[rt.reducer]
+	c.open(rt.splits)
 	c.done++
 	c.bytes += rt.outBytes
 	if r.scatter && rt.splits == 1 {

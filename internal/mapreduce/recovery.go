@@ -16,8 +16,13 @@ func (r *jobRun) nodeDown(n int) {
 	if r.done {
 		return
 	}
+	r.mapSlotsFree -= r.mapFree[n]
+	r.redSlotsFree -= r.redFree[n]
 	r.mapFree[n] = 0
 	r.redFree[n] = 0
+	// An aggregated run reverts to exact per-reducer offer accounting the
+	// moment any failure can make outputs disappear.
+	r.aggSlowFallback()
 	for _, mt := range r.maps {
 		if mt.state == taskRunning && mt.node == n {
 			r.abortMapWork(mt)
@@ -44,16 +49,22 @@ func (r *jobRun) nodeDown(n int) {
 		if rt.state != taskRunning {
 			continue
 		}
-		// Healthy reducer: fetches sourced from n stall.
-		if b := &rt.buckets[n]; b.used {
-			if b.fl != nil {
-				r.net().Abort(b.fl)
-				b.fl = nil
-				b.pending += b.inflight
-				b.inflight = 0
-				rt.inflight--
+		// Healthy reducer: fetches sourced from n stall. The aggregated
+		// tier cannot attribute in-flight bytes to one source — its single
+		// bucket multiplexes every alive node — so the fetch keeps flowing
+		// through the pooled path (one node among hundreds barely moves the
+		// pool capacities) and only the exact tier stalls per source.
+		if !r.d.agg {
+			if b := &rt.buckets[n]; b.used {
+				if b.fl != nil {
+					r.net().Abort(b.fl)
+					b.fl = nil
+					b.pending += b.inflight
+					b.inflight = 0
+					rt.inflight--
+				}
+				b.stalled = true
 			}
-			b.stalled = true
 		}
 		// Output-write replicas targeting n will be retargeted at detection.
 		kept := rt.outFlows[:0]
@@ -142,12 +153,14 @@ func (r *jobRun) handleDetection(n int) {
 		if rt.state != taskRunning {
 			continue
 		}
-		if b := &rt.buckets[n]; b.used {
-			rt.needResupply += b.pending
-			// Forget the bucket entirely, the way the old map delete did: a
-			// later re-execution offering bytes from another node starts it
-			// fresh, and the dead source never contributes again.
-			*b = srcBucket{rt: rt, src: n}
+		if !r.d.agg {
+			if b := &rt.buckets[n]; b.used {
+				rt.needResupply += b.pending
+				// Forget the bucket entirely, the way the old map delete did:
+				// a later re-execution offering bytes from another node starts
+				// it fresh, and the dead source never contributes again.
+				*b = srcBucket{rt: rt, src: n}
+			}
 		}
 		// Replace aborted replica writes with a new target.
 		var stillOwed []int

@@ -122,6 +122,9 @@ type reduceTask struct {
 	// needResupply is bytes lost with dead source nodes that re-executed
 	// mappers must re-provide (Hadoop within-job recovery).
 	needResupply float64
+	// aggAccounted is the run's aggOfferBytes watermark this reducer has
+	// already taken its share of (aggregated tier only).
+	aggAccounted float64
 	inflight     int
 	fetched      float64
 	shuffling    bool
@@ -179,8 +182,11 @@ type jobRun struct {
 
 	inputFile  string
 	outputFile string
-	repl       int
-	scatter    bool // scatter reducer output blocks across alive nodes
+	// inFile is the resolved input-file handle, cached at begin so the
+	// scheduler's per-scan replica lookups skip the DFS name lookup.
+	inFile  *dfs.File
+	repl    int
+	scatter bool // scatter reducer output blocks across alive nodes
 
 	maps    []*mapTask
 	reduces []*reduceTask
@@ -196,12 +202,34 @@ type jobRun struct {
 	pendingReds   []*reduceTask
 	mapFree       []int // free mapper slots, indexed by node ID
 	redFree       []int // free reducer slots, indexed by node ID
-	redCursor     int   // round-robin start for reducer placement
+	// mapSlotsFree/redSlotsFree are the cluster-wide totals of the two
+	// slices, maintained through the take/free helpers below, so the pump
+	// (which runs after every event) can reject an assignment pass in O(1)
+	// instead of scanning every node when the cluster is saturated.
+	mapSlotsFree int
+	redSlotsFree int
+	redCursor    int // round-robin start for reducer placement
+	// pumpScanFrom is the locality pass's scan watermark within one pump:
+	// a task rejected by assignOneMap stays rejected for the rest of the
+	// pump (launches only consume slots), so re-scanning the blocked
+	// prefix on every assignment is pure waste — the watermark makes a
+	// pump's total scan O(queue), not O(queue × launches). Reset per
+	// pump; adjusted when a launch splices below it.
+	pumpScanFrom int
 
-	commits   []*partCommit // indexed by reducer ID, nil until first split lands
-	seenSize  int           // 1 + max mapper index, for reducers' seen bitmaps
+	commits   []partCommit // indexed by reducer ID, opened when the first split lands
+	seenSize  int          // 1 + max mapper index, for reducers' seen bitmaps
 	done      bool
 	cancelled bool
+
+	// Aggregated-tier offer accounting (see offerAggOutput in
+	// shuffle_phase.go): aggOfferBytes is the cumulative map-output volume
+	// reducers are entitled to shares of, aggSweepNext the next volume at
+	// which every shuffling reducer is synced and kicked, and aggSlow the
+	// failure fallback that reverts to exact per-reducer offers.
+	aggOfferBytes float64
+	aggSweepNext  float64
+	aggSlow       bool
 
 	// Speculation state: mean completed-mapper duration feeds the
 	// straggler threshold; specDups tracks live duplicates for failure
@@ -231,6 +259,14 @@ func (r *jobRun) fs() *dfs.FS            { return r.d.fs }
 func (r *jobRun) cfg() *ChainConfig      { return &r.d.cfg }
 func (r *jobRun) ccfg() *cluster.Config  { return &r.d.clus.Cfg }
 
+// Slot bookkeeping goes through these four helpers so the per-node slices
+// and the cluster-wide totals can never drift apart.
+
+func (r *jobRun) takeMapSlot(n int) { r.mapFree[n]--; r.mapSlotsFree-- }
+func (r *jobRun) freeMapSlot(n int) { r.mapFree[n]++; r.mapSlotsFree++ }
+func (r *jobRun) takeRedSlot(n int) { r.redFree[n]--; r.redSlotsFree-- }
+func (r *jobRun) freeRedSlot(n int) { r.redFree[n]++; r.redSlotsFree++ }
+
 // grow returns s resized to n entries, all zeroed, reusing capacity —
 // the shared shape of every per-node/per-reducer state slice reset.
 func grow[T any](s []T, n int) []T {
@@ -245,6 +281,7 @@ func grow[T any](s []T, n int) []T {
 // begin initializes slot state and starts scheduling.
 func (r *jobRun) begin() {
 	r.start = r.sim().Now()
+	r.inFile = r.fs().File(r.inputFile)
 	n := r.clus().NumNodes()
 	r.mapFree = grow(r.mapFree, n)
 	r.redFree = grow(r.redFree, n)
@@ -252,7 +289,18 @@ func (r *jobRun) begin() {
 		r.mapFree[node] = r.ccfg().MapSlots
 		r.redFree[node] = r.ccfg().ReduceSlots
 	}
-	r.commits = grow(r.commits, r.cfg().NumReducers)
+	r.mapSlotsFree = r.clus().NumAlive() * r.ccfg().MapSlots
+	r.redSlotsFree = r.clus().NumAlive() * r.ccfg().ReduceSlots
+	// Commits are reset in place, not zeroed: each entry keeps its
+	// replicas slice capacity so steady-state commits allocate nothing.
+	if cap(r.commits) < r.cfg().NumReducers {
+		r.commits = make([]partCommit, r.cfg().NumReducers)
+	} else {
+		r.commits = r.commits[:r.cfg().NumReducers]
+		for i := range r.commits {
+			r.commits[i].used = false
+		}
+	}
 	r.mapsRemaining = len(r.maps)
 	r.redRemaining = len(r.reduces)
 	r.pendingMaps = append(r.pendingMaps, r.maps...)
@@ -267,6 +315,16 @@ func (r *jobRun) begin() {
 		})
 	}
 	r.pendingReds = append(r.pendingReds, r.reduces...)
+	if r.d.agg {
+		// The run starts entitled to every already-present output byte
+		// (persisted map outputs registered by startRecompute).
+		r.aggOfferBytes = 0
+		for _, b := range r.aggOut {
+			r.aggOfferBytes += b
+		}
+		r.aggSweepNext = r.aggOfferBytes + r.aggSweepStep()
+		r.aggSlow = false
+	}
 	// Mapper indices are the job's original indices (recompute runs hold a
 	// subset), so seen bitmaps must span the largest index.
 	for _, mt := range r.maps {
@@ -285,6 +343,7 @@ func (r *jobRun) pump() {
 	if r.done {
 		return
 	}
+	r.pumpScanFrom = 0
 	for r.assignOneMap() {
 	}
 	for r.assignOneReduce() {

@@ -15,6 +15,16 @@ import (
 // task runs), and each bucket is its own fetch-flow Completion, so the
 // per-fetch cycle — account, batch, start flow, complete — allocates
 // nothing beyond the pooled flow itself.
+//
+// On the aggregated shuffle tier (ChainConfig.ShuffleAggregation) the
+// bucket slice collapses to a single per-destination aggregate: every
+// source's contribution lands in bucket 0 and fetches run over the
+// cluster-wide shuffle pools (cluster.AggShuffleUses) instead of the
+// per-pair trunks, so per-reducer state and flow-network arbitration
+// units stop growing with cluster size. Byte accounting (entitlements,
+// re-supply debts, seen bitmaps) is unchanged; what the aggregate gives
+// up is per-source attribution of endpoint contention and of in-flight
+// bytes at failure time — see recovery.go.
 
 // FlowDone implements flow.Completion for the bucket's in-flight fetch.
 func (b *srcBucket) FlowDone(*flow.Flow) { b.rt.run.fetchDone(b.rt, b.src) }
@@ -41,6 +51,16 @@ func (r *jobRun) shuffleTrunk(src, dst int) *flow.Trunk {
 	return r.d.ctx.shuffleTrunk(r.clus(), src, dst)
 }
 
+// srcBucketOf maps a source node to the reducer's bucket index: its own
+// slot on the exact tier, the single per-destination aggregate slot on
+// the aggregated tier.
+func (r *jobRun) srcBucketOf(src int) int {
+	if r.d.agg {
+		return 0
+	}
+	return src
+}
+
 // offerMapOutput accounts one completed map output to one shuffling reducer.
 func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
 	share := float64(mt.outBytes) * rt.shareFrac(r.cfg().NumReducers)
@@ -55,16 +75,107 @@ func (r *jobRun) offerMapOutput(rt *reduceTask, mt *mapTask) {
 		rt.seen[mt.index] = true
 	}
 	if share > 0 {
-		rt.bucket(mt.node).pending += share
+		rt.bucket(r.srcBucketOf(mt.node)).pending += share
 	}
 	r.kickFetch(rt)
 	r.maybeFinishShuffle(rt)
 }
 
+// The aggregated tier replaces the per-map-completion broadcast — every
+// completed mapper offering its share to every running reducer, an
+// O(maps × reducers) loop that dominates thousand-node profiles — with
+// run-level entitlement accounting: aggOfferBytes accumulates the
+// offered volume in O(1) per completion, each reducer holds a watermark
+// of the volume it has taken its share of, and reducers are synced (and
+// their fetches kicked) in bounded sweeps: once per chunk-per-reducer of
+// new volume, and finally when the map phase ends. Failure-free
+// simulations — the entire scaling tier — produce byte-identical fetch
+// flows this way, since kickFetch batches below the chunk threshold
+// anyway, so fetch flows keep their chunk granularity (sweeps hand each
+// reducer exactly one chunk of new share); on the first failure the run
+// falls back to exact per-reducer offers (aggSlowFallback), because loss
+// accounting needs the per-output seen bitmap the fast path skips.
+
+// aggFastShuffle reports whether the run is on the aggregated tier's
+// failure-free fast path: entitlement-counter offers, no per-output seen
+// bitmaps. Any failure in the chain (a dead DFS node, or this run's
+// fallback already taken) drops to the exact accounting.
+func (r *jobRun) aggFastShuffle() bool {
+	return r.d.agg && !r.aggSlow && !r.fs().AnyFailed()
+}
+
+// aggSweepStep is the offered-volume interval between reducer sweeps:
+// one fetch chunk per reducer.
+func (r *jobRun) aggSweepStep() float64 {
+	return float64(r.cfg().BlockSize) / 4 * float64(r.cfg().NumReducers)
+}
+
+// offerAggOutput is the aggregated-tier fast path of mapDone's feeding
+// loop: account the bytes once, sweep reducers only at chunk boundaries.
+func (r *jobRun) offerAggOutput(mt *mapTask) {
+	r.aggOfferBytes += float64(mt.outBytes)
+	if r.mapsRemaining == 0 || r.aggOfferBytes >= r.aggSweepNext {
+		r.aggSweep()
+		r.aggSweepNext = r.aggOfferBytes + r.aggSweepStep()
+	}
+}
+
+// aggSweep syncs every shuffling reducer to the current offered volume
+// and kicks its fetches.
+func (r *jobRun) aggSweep() {
+	for _, rt := range r.reduces {
+		if rt.state == taskRunning && rt.shuffling {
+			r.aggSync(rt)
+			r.kickFetch(rt)
+			r.maybeFinishShuffle(rt)
+		}
+	}
+}
+
+// aggSync credits rt its share of the volume offered since its watermark.
+func (r *jobRun) aggSync(rt *reduceTask) {
+	if delta := r.aggOfferBytes - rt.aggAccounted; delta > 0 {
+		rt.bucket(0).pending += delta * rt.shareFrac(r.cfg().NumReducers)
+		rt.aggAccounted = r.aggOfferBytes
+	}
+}
+
+// aggSlowFallback switches an aggregated run to exact per-reducer offers
+// at its first failure: watermarks are settled and the seen bitmaps
+// caught up to every completed output, so the slow path's re-execution
+// dedup (and needResupply capping) works from here on.
+func (r *jobRun) aggSlowFallback() {
+	if r.aggSlow || !r.d.agg {
+		return
+	}
+	r.aggSlow = true
+	for _, rt := range r.reduces {
+		if rt.state != taskRunning || !rt.shuffling {
+			continue
+		}
+		r.aggSync(rt)
+		// Fast-path launches skipped the seen bitmap entirely; rebuild it
+		// before the slow path's per-output dedup relies on it.
+		rt.seen = grow(rt.seen, r.seenSize)
+		for _, mt := range r.maps {
+			if mt.state == taskDone {
+				rt.seen[mt.index] = true
+			}
+		}
+		if r.persistedSeen != nil {
+			for i, p := range r.persistedSeen {
+				if p {
+					rt.seen[i] = true
+				}
+			}
+		}
+	}
+}
+
 // assignOneReduce launches at most one reducer, round-robin across nodes so
 // a handful of recomputed tasks spread over the cluster.
 func (r *jobRun) assignOneReduce() bool {
-	if len(r.pendingReds) == 0 {
+	if len(r.pendingReds) == 0 || r.redSlotsFree <= 0 {
 		return false
 	}
 	alive := r.clus().Alive()
@@ -82,16 +193,20 @@ func (r *jobRun) assignOneReduce() bool {
 }
 
 func (r *jobRun) launchReduce(rt *reduceTask, node int) {
-	r.redFree[node]--
+	r.takeRedSlot(node)
 	rt.run = r
 	rt.to(taskRunning)
 	rt.node = node
 	rt.start = r.sim().Now()
-	// One bucket slot per potential source node; all idle until bytes are
-	// accounted. The slice must not be reallocated while fetches are in
-	// flight (each bucket is its own flow Completion), so it is sized here,
-	// before any fetch starts, and never grown.
+	// One bucket slot per potential source node — or a single aggregate
+	// slot on the aggregated tier. All idle until bytes are accounted. The
+	// slice must not be reallocated while fetches are in flight (each
+	// bucket is its own flow Completion), so it is sized here, before any
+	// fetch starts, and never grown.
 	numNodes := r.clus().NumNodes()
+	if r.d.agg {
+		numNodes = 1
+	}
 	if cap(rt.buckets) < numNodes {
 		rt.buckets = make([]srcBucket, numNodes)
 	} else {
@@ -100,9 +215,14 @@ func (r *jobRun) launchReduce(rt *reduceTask, node int) {
 	for i := range rt.buckets {
 		rt.buckets[i] = srcBucket{rt: rt, src: i}
 	}
-	rt.seen = grow(rt.seen, r.seenSize)
+	if r.aggFastShuffle() {
+		rt.seen = rt.seen[:0] // unused until a failure; fallback rebuilds it
+	} else {
+		rt.seen = grow(rt.seen, r.seenSize)
+	}
 	rt.fetched = 0
 	rt.needResupply = 0
+	rt.aggAccounted = 0
 	rt.shuffling = false
 	// A relaunch after a zombie re-queue must also forget the previous
 	// incarnation's output phase: a stale owedRewrites debt would otherwise
@@ -121,20 +241,39 @@ func (r *jobRun) reduceShuffle(rt *reduceTask) {
 	rt.ev = nil
 	rt.shuffling = true
 	frac := rt.shareFrac(r.cfg().NumReducers)
+	if r.aggFastShuffle() {
+		// Failure-free aggregated launch: every offered byte is on an
+		// alive node, so the reducer's entitlement is one multiply — no
+		// per-node scan, no per-output bitmap.
+		if r.aggOfferBytes > 0 {
+			rt.bucket(0).pending += r.aggOfferBytes * frac
+		}
+		rt.aggAccounted = r.aggOfferBytes
+		r.kickFetch(rt)
+		r.maybeFinishShuffle(rt)
+		return
+	}
+	// The launch may have taken the fast path (seen truncated) before a
+	// failure dropped the run to exact accounting while this reducer sat
+	// in its startup window — aggSlowFallback only rebuilds bitmaps of
+	// reducers already shuffling, so size it here. Nothing is marked yet
+	// at this point in any mode, making the (re-)grow a no-op otherwise.
+	rt.seen = grow(rt.seen, r.seenSize)
 	// Persisted (reused) outputs and any mappers that completed before this
 	// reducer launched. Outputs on a node that died but is not yet detected
 	// become a resupply debt settled by the post-detection re-executions.
 	// Ascending node order, as every sweep that reaches the flow network
-	// must be.
+	// must be. Failure-free runs skip the per-node liveness lookups.
+	anyFailed := r.fs().AnyFailed()
 	for n, bytes := range r.aggOut {
 		if bytes <= 0 {
 			continue
 		}
-		if !r.fs().NodeAlive(n) {
+		if anyFailed && !r.fs().NodeAlive(n) {
 			rt.needResupply += bytes * frac
 			continue
 		}
-		rt.bucket(n).pending += bytes * frac
+		rt.bucket(r.srcBucketOf(n)).pending += bytes * frac
 	}
 	for _, mt := range r.maps {
 		if mt.state == taskDone {
@@ -148,6 +287,9 @@ func (r *jobRun) reduceShuffle(rt *reduceTask) {
 			}
 		}
 	}
+	// The launch-time aggOut scan above accounted every byte offered so
+	// far, so the aggregated tier's watermark starts at the current total.
+	rt.aggAccounted = r.aggOfferBytes
 	r.kickFetch(rt)
 	r.maybeFinishShuffle(rt)
 }
@@ -167,7 +309,9 @@ func (r *jobRun) kickFetch(rt *reduceTask) {
 	}
 	// Sources are visited in node order: with a bounded fetch parallelism
 	// the visit order decides which flows exist, so it must stay the
-	// ascending sweep the old sorted-map iteration produced.
+	// ascending sweep the old sorted-map iteration produced. (On the
+	// aggregated tier there is exactly one bucket, so the loop shape is
+	// shared.)
 	for n := range rt.buckets {
 		b := &rt.buckets[n]
 		if !b.used {
@@ -183,8 +327,13 @@ func (r *jobRun) kickFetch(rt *reduceTask) {
 		b.pending = 0
 		b.inflight = bytes
 		rt.inflight++
-		b.fl = r.shuffleTrunk(n, rt.node).StartC("shuffle", bytes,
-			r.ccfg().ShuffleTransferDelay, b)
+		if r.d.agg {
+			b.fl = r.d.ctx.aggShuffleTrunk().StartC("shuffle", bytes,
+				r.ccfg().ShuffleTransferDelay, b)
+		} else {
+			b.fl = r.shuffleTrunk(n, rt.node).StartC("shuffle", bytes,
+				r.ccfg().ShuffleTransferDelay, b)
+		}
 	}
 }
 

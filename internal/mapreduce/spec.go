@@ -127,6 +127,29 @@ type ChainConfig struct {
 	// (Hadoop's mapred.reduce.parallel.copies; default 5).
 	FetchParallelism int
 
+	// NoTaskSamples skips per-task metrics samples (Result.Recorder.Tasks
+	// stays empty; run-level stats are unaffected). Scaling sweeps record
+	// O(nodes) samples per run that no scaling metric reads — at thousand-
+	// node sizes that volume alone dominates the allocator and the GC.
+	NoTaskSamples bool
+
+	// ShuffleAggregation selects how shuffle fetches map onto the flow
+	// network. The exact tier (the historical model) tracks one bucket per
+	// (reducer, source node) and one coalescing trunk per communicating
+	// node pair — per-node hot-spots are exact, but per-reducer state and
+	// arbitration units grow with cluster size. The aggregated tier keeps
+	// one bucket per reducer (the per-destination aggregate of every
+	// source's contribution) and runs fetches over the cluster-wide
+	// shuffle pools sized from the alive count (cluster.AggShuffleUses);
+	// the core switch stays exact, so the contention that matters at scale
+	// — oversubscription — is preserved, while per-node endpoint
+	// hot-spots and failure-time per-source fetch attribution are averaged
+	// out. ShuffleAggAuto (the zero value) picks the exact tier below
+	// ShuffleAggThreshold nodes and the aggregated tier at or above it, so
+	// every paper-scale experiment keeps its historical behaviour and
+	// thousand-node runs stay tractable.
+	ShuffleAggregation ShuffleAggregation
+
 	// Speculation enables speculative execution of straggling mappers
 	// (Section II): a mapper running longer than SpeculationFactor times
 	// the mean completed-mapper duration is duplicated on another node; the
@@ -142,6 +165,37 @@ type ChainConfig struct {
 	Failures []Injection
 	// Seed drives deterministic victim selection for Node:-1 injections.
 	Seed int64
+}
+
+// ShuffleAggregation selects the shuffle modelling tier; see the
+// ChainConfig field.
+type ShuffleAggregation int
+
+const (
+	// ShuffleAggAuto aggregates at or above ShuffleAggThreshold nodes.
+	ShuffleAggAuto ShuffleAggregation = iota
+	// ShuffleAggOff forces the exact per-(source, destination) tier.
+	ShuffleAggOff
+	// ShuffleAggOn forces the aggregated per-destination tier.
+	ShuffleAggOn
+)
+
+// ShuffleAggThreshold is the cluster size at which ShuffleAggAuto switches
+// to the aggregated shuffle tier. Every cluster shape the paper's
+// experiments use (STIC: 10, DCO: up to 60) stays well below it, so the
+// golden digests never see the aggregated model unless asked for.
+const ShuffleAggThreshold = 128
+
+// aggregatedShuffle resolves the tier for a cluster of the given size.
+func (c *ChainConfig) aggregatedShuffle(nodes int) bool {
+	switch c.ShuffleAggregation {
+	case ShuffleAggOn:
+		return true
+	case ShuffleAggOff:
+		return false
+	default:
+		return nodes >= ShuffleAggThreshold
+	}
 }
 
 func (c *ChainConfig) withDefaults() ChainConfig {
@@ -209,6 +263,11 @@ type Result struct {
 	// benefit".
 	SpeculativeLaunched int
 	SpeculativeWasted   int
+	// Events is the number of simulator events the chain fired and Flows
+	// the number of transfers completed — the denominators scaling
+	// benchmarks normalize wall-clock by (ns per simulated event).
+	Events uint64
+	Flows  uint64
 }
 
 // inputFileName is the DFS name of the original computation input.

@@ -66,6 +66,23 @@ type Recorder struct {
 // AddTask records a completed task.
 func (r *Recorder) AddTask(s TaskSample) { r.Tasks = append(r.Tasks, s) }
 
+// Reserve pre-sizes the sample slices for an expected task and run count,
+// so large simulations don't churn the garbage collector with append
+// doublings. Already-recorded samples are preserved; reserving less (or
+// nothing) stays correct.
+func (r *Recorder) Reserve(tasks, runs int) {
+	if cap(r.Tasks) < tasks {
+		grown := make([]TaskSample, len(r.Tasks), tasks)
+		copy(grown, r.Tasks)
+		r.Tasks = grown
+	}
+	if cap(r.Runs) < runs {
+		grown := make([]RunStat, len(r.Runs), runs)
+		copy(grown, r.Runs)
+		r.Runs = grown
+	}
+}
+
 // AddRun records a finished (or cancelled) job run.
 func (r *Recorder) AddRun(s RunStat) { r.Runs = append(r.Runs, s) }
 

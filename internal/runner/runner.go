@@ -143,5 +143,8 @@ func jobName(sp experiments.Spec, c experiments.Config) string {
 	if !c.Schedule.Empty() {
 		name += "/sched=" + c.Schedule.Label()
 	}
+	if c.Nodes > 0 {
+		name += fmt.Sprintf("/nodes=%d", c.Nodes)
+	}
 	return name
 }

@@ -5,14 +5,20 @@ import (
 	"rcmp/internal/failure"
 )
 
-// Grid expands a (spec × scale × seed × failure-scenario) grid into runner
-// jobs. An empty dimension falls back to a single default per spec: the
-// spec's registered Scale and Seed, each figure's own failure position,
-// and no schedule override.
+// Grid expands a (spec × scale × seed × failure-scenario × cluster-size)
+// grid into runner jobs. An empty dimension falls back to a single
+// default per spec: the spec's registered Scale and Seed, each figure's
+// own failure position, no schedule override, and the figure's own
+// cluster shape.
 type Grid struct {
 	Specs  []experiments.Spec
 	Scales []experiments.Scale
 	Seeds  []int64
+	// Nodes overrides the simulated cluster size (see
+	// experiments.Config.Nodes); 0 keeps each figure's own shape.
+	// Out-of-range sizes are legal grid entries recorded as per-job
+	// errors.
+	Nodes []int
 	// FailureAts overrides the single-failure injection run; 0 keeps each
 	// figure's default (see experiments.Config.FailureAt). Out-of-range
 	// points are legal grid entries: their jobs complete with a recorded
@@ -26,8 +32,9 @@ type Grid struct {
 }
 
 // Jobs materializes the grid in deterministic order: specs outermost, then
-// scales, seeds, failure positions and schedules — the order Run reports
-// results in.
+// scales, seeds, failure positions, schedules and cluster sizes — the
+// order Run reports results in. Jobs execute through Spec.Exec, so grid
+// points with invalid overrides complete with recorded errors.
 func (g Grid) Jobs() []Job {
 	fails := g.FailureAts
 	if len(fails) == 0 {
@@ -36,6 +43,10 @@ func (g Grid) Jobs() []Job {
 	scheds := g.Schedules
 	if len(scheds) == 0 {
 		scheds = []failure.Schedule{{}}
+	}
+	nodes := g.Nodes
+	if len(nodes) == 0 {
+		nodes = []int{0}
 	}
 	var out []Job
 	for _, sp := range g.Specs {
@@ -51,13 +62,15 @@ func (g Grid) Jobs() []Job {
 			for _, seed := range seeds {
 				for _, fa := range fails {
 					for _, sched := range scheds {
-						c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched}
-						out = append(out, Job{
-							Name:   jobName(sp, c),
-							Config: c,
-							Run:    sp.Run,
-							Cost:   experiments.RelativeCost(sp.Key, sc),
-						})
+						for _, n := range nodes {
+							c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched, Nodes: n}
+							out = append(out, Job{
+								Name:   jobName(sp, c),
+								Config: c,
+								Run:    sp.Exec,
+								Cost:   experiments.RelativeCost(sp.Key, sc),
+							})
+						}
 					}
 				}
 			}

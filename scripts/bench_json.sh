@@ -1,9 +1,12 @@
 #!/bin/sh
 # bench_json.sh — runs the perf-trajectory benchmarks and emits a JSON
 # summary (default: BENCH_flow.json at the repo root): ns/op, bytes/op and
-# allocs/op for the flow-core rebalance benchmarks (BenchmarkRebalance*)
-# and the end-to-end experiment regeneration (BenchmarkAllSerial /
-# BenchmarkAllParallel at the smoke tier). Future PRs diff this file —
+# allocs/op for the flow-core rebalance benchmarks (BenchmarkRebalance*),
+# the end-to-end experiment regeneration (BenchmarkAllSerial /
+# BenchmarkAllParallel at the smoke tier) and the cluster-size weak-scaling
+# sweep (BenchmarkClusterScaling/{64,256,1024,4096} at paper scale, which
+# also records ns per simulated event — the metric whose 64→1024 growth
+# docs/perf.md bounds at 1.5x). Future PRs diff this file —
 # scripts/benchdiff.sh / cmd/benchdiff — to see the perf trajectory of the
 # simulation core.
 #
@@ -14,11 +17,12 @@
 # benchmarks, which keeps the benchdiff regression gate from flaking on
 # scheduler noise. The rounds are interleaved (COUNT passes over the whole
 # suite, not -count=N on one bench) so a sustained load burst cannot cover
-# every sample of one benchmark. bytes/op and allocs/op come from the same
-# (minimal) sample; they are deterministic per run anyway.
+# every sample of one benchmark. bytes/op, allocs/op and ns/event come
+# from the same (minimal) sample; allocs/op is deterministic per run
+# anyway and gates alongside ns/op in cmd/benchdiff.
 #
 # RCMP_BENCH_ITERS overrides the fixed iteration counts (default: 3 for the
-# end-to-end pair, 50000 for the microbenchmarks).
+# end-to-end pair and the scaling sweep, 50000 for the microbenchmarks).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,17 +37,30 @@ i=0
 while [ "$i" -lt "$COUNT" ]; do
     RCMP_BENCH_SCALE=smoke go test -run xxx -bench 'BenchmarkAll(Serial|Parallel)$' \
         -benchtime "${E2E_ITERS}x" -benchmem . >>"$tmp"
+    go test -run xxx -bench 'BenchmarkClusterScaling' \
+        -benchtime "${E2E_ITERS}x" -benchmem . >>"$tmp"
     go test -run xxx -bench 'BenchmarkRebalance' \
         -benchtime "${MICRO_ITERS}x" -benchmem ./internal/flow >>"$tmp"
     i=$((i + 1))
 done
 
+# Fields are located by their unit token, not by position: custom metrics
+# (ns/event) shift the -benchmem columns.
 awk '
 /^Benchmark/ && / ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    if (!(name in ns) || $3 + 0 < ns[name] + 0) {
-        ns[name] = $3; bytes[name] = $5; allocs[name] = $7; iters[name] = $2
+    ns = ""; bytes = "0"; allocs = "0"; nsev = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+        else if ($i == "ns/event") nsev = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in nsv) || ns + 0 < nsv[name] + 0) {
+        nsv[name] = ns; bytesv[name] = bytes; allocsv[name] = allocs
+        iters[name] = $2; nsevv[name] = nsev
     }
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
@@ -52,12 +69,14 @@ END {
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-            name, iters[name], ns[name], bytes[name], allocs[name]
-        printf i < n ? ",\n" : "\n"
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+            name, iters[name], nsv[name], bytesv[name], allocsv[name]
+        if (nsevv[name] != "")
+            printf ", \"ns_per_event\": %s", nsevv[name]
+        printf i < n ? "},\n" : "}\n"
     }
     printf "  ],\n"
-    printf "  \"note\": \"min ns/op over %d runs; AllSerial/AllParallel at smoke scale; Rebalance* on the 64-node synthetic topologies in internal/flow/bench_test.go\"\n", '"$COUNT"'
+    printf "  \"note\": \"min ns/op over %d runs; AllSerial/AllParallel at smoke scale; ClusterScaling at paper scale with ns/event; Rebalance* on the 64-node synthetic topologies in internal/flow/bench_test.go\"\n", '"$COUNT"'
     print "}"
 }' "$tmp" >"$OUT"
 

@@ -8,12 +8,15 @@
 #      goroutines share the per-config context pool) and the distributed
 #      runtime (internal/dmr) with -count=2 so pool/scratch-state reuse
 #      across runs stays honest
-#   4. rcmpsim smoke: the schedule-engine experiments end to end through
-#      the CLI and the parallel runner
-#   5. benchmark smoke pass: every benchmark once at the smoke tier
-#   6. perf-regression gate: re-measure the perf-trajectory benchmarks and
+#   4. rcmpsim smoke: the schedule-engine experiments and the scaling
+#      tier (weak-scaling, -nodes override) end to end through the CLI
+#      and the parallel runner
+#   5. golden-digest + lazy-equivalence suites, explicitly, with the
+#      ladder event queue and rate-class flow core on (their defaults)
+#   6. benchmark smoke pass: every benchmark once at the smoke tier
+#   7. perf-regression gate: re-measure the perf-trajectory benchmarks and
 #      diff against the committed BENCH_flow.json (scripts/benchdiff.sh;
-#      >10% ns/op regressions fail)
+#      >10% ns/op or allocs/op regressions fail)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -44,6 +47,13 @@ echo "== rcmpsim smoke (failure-schedule engine) =="
 go run ./cmd/rcmpsim -fig double-failure -quick -parallel 2 > /dev/null
 go run ./cmd/rcmpsim -fig trace-replay -quick -parallel 2 -json > /dev/null
 go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
+
+echo "== rcmpsim smoke (scaling tier: weak-scaling + -nodes override) =="
+go run ./cmd/rcmpsim -fig weak-scaling -quick > /dev/null
+go run ./cmd/rcmpsim -fig 8b -quick -nodes 16 > /dev/null
+
+echo "== golden digests + lazy equivalence (ladder queue + rate-class flow core on) =="
+go test -count=1 -run 'TestGoldenDigests|TestGoldenResultsEquivalentUnderLazyBanking' ./internal/experiments
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
