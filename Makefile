@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench bench-scale bench-full benchdiff verify
+.PHONY: all build test race bench-smoke bench bench-scale bench-serve bench-full benchdiff verify
 
 all: build test
 
@@ -43,6 +43,15 @@ bench-scale: bench
 # verify.sh runs.
 benchdiff:
 	./scripts/benchdiff.sh
+
+# bench-serve load-tests the sweep server (cmd/serveload): two phases of
+# 1000 fully concurrent smoke-tier sweep requests against an in-process
+# rcmpserve instance, verifying zero dropped/duplicated jobs, byte-identical
+# payloads per grid and a >=90% repeat cache hit rate, then writes
+# throughput + p50/p95/p99 latency + hit rate to BENCH_serve.json
+# (docs/serving.md). Exits non-zero if any serving guarantee is violated.
+bench-serve:
+	$(GO) run ./cmd/serveload
 
 # bench-full runs every benchmark at paper scale (seconds of wall time each).
 bench-full:

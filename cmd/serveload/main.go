@@ -1,0 +1,416 @@
+// Command serveload load-tests the sweep server in-process: it boots an
+// internal/server instance on an ephemeral port, fires thousands of
+// concurrent sweep requests at the smoke tier, and verifies the serving
+// guarantees under load — no job dropped or duplicated, deterministic
+// payloads byte-identical across repeats, 429s retried to completion —
+// then writes throughput, latency percentiles and cache hit rates to a
+// JSON report (BENCH_serve.json by default).
+//
+// Two phases run back to back: a cold phase whose requests mix cache
+// misses with concurrent single-flight hits, and a repeat phase replaying
+// the identical request mix, which must be served almost entirely from the
+// result cache (≥90% hit rate) with byte-identical bodies.
+//
+// Usage:
+//
+//	serveload                        # 1000 requests per phase, all concurrent
+//	serveload -requests 2000 -grids 128 -out BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcmp/internal/server"
+)
+
+const (
+	jobsPerRequest = 2  // seeds per sweep grid
+	clientIDs      = 32 // distinct fair-scheduling lanes the load spreads over
+	maxAttempts    = 8  // per-request tries before counting it failed
+)
+
+type latencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+type phaseSummary struct {
+	DurationSec   float64        `json:"duration_sec"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       latencySummary `json:"latency"`
+}
+
+type report struct {
+	RequestsPerPhase int          `json:"requests_per_phase"`
+	Concurrency      int          `json:"concurrency"`
+	DistinctGrids    int          `json:"distinct_grids"`
+	JobsPerRequest   int          `json:"jobs_per_request"`
+	ServerWorkers    int          `json:"server_workers"`
+	Cold             phaseSummary `json:"cold"`
+	Repeat           phaseSummary `json:"repeat"`
+	Retries429       int64        `json:"retries_429"`
+	Cache            struct {
+		Hits          int64   `json:"hits"`
+		Misses        int64   `json:"misses"`
+		RepeatHitRate float64 `json:"repeat_hit_rate"`
+	} `json:"cache"`
+	Verified struct {
+		DroppedJobs        int64 `json:"dropped_jobs"`
+		DuplicatedJobs     int64 `json:"duplicated_jobs"`
+		ByteIdenticalGrids int   `json:"byte_identical_grids"`
+	} `json:"verified"`
+	Note string `json:"note"`
+}
+
+// harness aggregates verification state across all in-flight requests.
+type harness struct {
+	base    string
+	client  *http.Client
+	grids   int
+	retries atomic.Int64
+	dropped atomic.Int64
+	dupes   atomic.Int64
+	failed  atomic.Int64
+
+	mu     sync.Mutex
+	bodies map[int][]byte // grid -> first deterministic (non-stream) body seen
+	errs   []string
+}
+
+func (h *harness) fail(format string, args ...any) {
+	h.failed.Add(1)
+	h.mu.Lock()
+	if len(h.errs) < 20 {
+		h.errs = append(h.errs, fmt.Sprintf(format, args...))
+	}
+	h.mu.Unlock()
+}
+
+// run drives one sweep request to completion, retrying on 429. Even grids
+// use the NDJSON stream (verifying per-job result events), odd grids the
+// deterministic single-document report (verifying byte-identity per grid).
+func (h *harness) run(i int) time.Duration {
+	grid := i % h.grids
+	stream := grid%2 == 0
+	body := fmt.Sprintf(`{"specs":["cost"],"scale":"smoke","seeds":[%d,%d],"stream":%t}`,
+		grid*jobsPerRequest, grid*jobsPerRequest+1, stream)
+
+	start := time.Now()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, h.base+"/v1/sweep", strings.NewReader(body))
+		if err != nil {
+			h.fail("request %d: %v", i, err)
+			return time.Since(start)
+		}
+		req.Header.Set("X-Client-ID", fmt.Sprintf("load-%d", i%clientIDs))
+		resp, err := h.client.Do(req)
+		if err != nil {
+			h.fail("request %d: %v", i, err)
+			return time.Since(start)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			h.fail("request %d: read: %v", i, err)
+			return time.Since(start)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			h.retries.Add(1)
+			wait := time.Duration(attempt+1) * 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				if d := time.Duration(ra) * time.Second; d < 2*time.Second {
+					wait = d
+				} else {
+					wait = 2 * time.Second
+				}
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			h.fail("request %d: status %d: %.200s", i, resp.StatusCode, raw)
+			return time.Since(start)
+		}
+		if stream {
+			h.verifyStream(i, raw)
+		} else {
+			h.verifyReport(i, grid, raw)
+		}
+		return time.Since(start)
+	}
+	h.fail("request %d: still 429 after %d attempts", i, maxAttempts)
+	return time.Since(start)
+}
+
+// verifyStream checks the NDJSON framing: every job index reported exactly
+// once, a final report with one row per job and no error rows.
+func (h *harness) verifyStream(i int, raw []byte) {
+	seen := make(map[int]bool)
+	results := 0
+	reportRows := -1
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		var ev struct {
+			Type   string `json:"type"`
+			Index  int    `json:"index"`
+			Error  string `json:"error"`
+			Report struct {
+				Results []struct {
+					Error string `json:"error"`
+				} `json:"results"`
+			} `json:"report"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			h.fail("request %d: bad stream line %.100q: %v", i, line, err)
+			return
+		}
+		switch ev.Type {
+		case "result":
+			results++
+			if seen[ev.Index] {
+				h.dupes.Add(1)
+				h.fail("request %d: job index %d reported twice", i, ev.Index)
+			}
+			seen[ev.Index] = true
+		case "report":
+			reportRows = len(ev.Report.Results)
+			for _, rr := range ev.Report.Results {
+				if rr.Error != "" {
+					h.fail("request %d: job error: %s", i, rr.Error)
+				}
+			}
+		case "error":
+			h.fail("request %d: stream error: %s", i, ev.Error)
+		}
+	}
+	if results != jobsPerRequest {
+		h.dropped.Add(int64(jobsPerRequest - results))
+		h.fail("request %d: %d of %d job results streamed", i, results, jobsPerRequest)
+	}
+	if reportRows != jobsPerRequest {
+		h.fail("request %d: final report has %d rows, want %d", i, reportRows, jobsPerRequest)
+	}
+}
+
+// verifyReport checks the deterministic document: full row count, no
+// errors, and byte-identity with every other response for the same grid.
+func (h *harness) verifyReport(i, grid int, raw []byte) {
+	var rep struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		h.fail("request %d: bad report: %v", i, err)
+		return
+	}
+	if len(rep.Results) != jobsPerRequest {
+		h.dropped.Add(int64(jobsPerRequest - len(rep.Results)))
+		h.fail("request %d: report has %d rows, want %d", i, len(rep.Results), jobsPerRequest)
+		return
+	}
+	for _, rr := range rep.Results {
+		if rr.Error != "" {
+			h.fail("request %d: job error: %s", i, rr.Error)
+		}
+	}
+	h.mu.Lock()
+	prev, ok := h.bodies[grid]
+	if !ok {
+		h.bodies[grid] = raw
+	}
+	h.mu.Unlock()
+	if ok && string(prev) != string(raw) {
+		h.fail("request %d: grid %d payload not byte-identical to earlier response", i, grid)
+	}
+}
+
+// phase fires n requests with bounded concurrency (0 = all at once) and
+// returns the sorted per-request latencies.
+func (h *harness) phase(n, concurrency int) ([]time.Duration, time.Duration) {
+	var sem chan struct{}
+	if concurrency > 0 {
+		sem = make(chan struct{}, concurrency)
+	}
+	lat := make([]time.Duration, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			lat[i] = h.run(i)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return lat, elapsed
+}
+
+func pct(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+func summarize(lat []time.Duration, elapsed time.Duration) phaseSummary {
+	return phaseSummary{
+		DurationSec:   elapsed.Seconds(),
+		ThroughputRPS: float64(len(lat)) / elapsed.Seconds(),
+		Latency: latencySummary{
+			P50Ms: pct(lat, 0.50),
+			P95Ms: pct(lat, 0.95),
+			P99Ms: pct(lat, 0.99),
+			MaxMs: pct(lat, 1.00),
+		},
+	}
+}
+
+func fetchStats(base string) (server.Stats, error) {
+	var st server.Stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func main() {
+	requests := flag.Int("requests", 1000, "sweep requests per phase")
+	concurrency := flag.Int("concurrency", 0, "max in-flight requests (0 = all at once)")
+	grids := flag.Int("grids", 64, "distinct sweep grids in the request mix")
+	workers := flag.Int("workers", 0, "server simulation workers (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_serve.json", "where to write the JSON report")
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	h := &harness{
+		base:  "http://" + ln.Addr().String(),
+		grids: *grids,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 4096,
+			},
+			Timeout: 5 * time.Minute,
+		},
+		bodies: make(map[int][]byte),
+	}
+
+	fmt.Printf("serveload: %d requests/phase (%d grids, %d jobs each) against %s\n",
+		*requests, *grids, jobsPerRequest, h.base)
+
+	coldLat, coldElapsed := h.phase(*requests, *concurrency)
+	coldStats, err := fetchStats(h.base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: stats: %v\n", err)
+		os.Exit(1)
+	}
+	repeatLat, repeatElapsed := h.phase(*requests, *concurrency)
+	finalStats, err := fetchStats(h.base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: stats: %v\n", err)
+		os.Exit(1)
+	}
+
+	repeatHits := finalStats.Cache.Hits - coldStats.Cache.Hits
+	repeatMisses := finalStats.Cache.Misses - coldStats.Cache.Misses
+	repeatHitRate := 0.0
+	if repeatHits+repeatMisses > 0 {
+		repeatHitRate = float64(repeatHits) / float64(repeatHits+repeatMisses)
+	}
+
+	var rep report
+	rep.RequestsPerPhase = *requests
+	rep.Concurrency = *concurrency
+	rep.DistinctGrids = *grids
+	rep.JobsPerRequest = jobsPerRequest
+	rep.ServerWorkers = *workers
+	if rep.ServerWorkers <= 0 {
+		rep.ServerWorkers = runtime.GOMAXPROCS(0)
+	}
+	rep.Cold = summarize(coldLat, coldElapsed)
+	rep.Repeat = summarize(repeatLat, repeatElapsed)
+	rep.Retries429 = h.retries.Load()
+	rep.Cache.Hits = finalStats.Cache.Hits
+	rep.Cache.Misses = finalStats.Cache.Misses
+	rep.Cache.RepeatHitRate = math.Round(repeatHitRate*10000) / 10000
+	rep.Verified.DroppedJobs = h.dropped.Load()
+	rep.Verified.DuplicatedJobs = h.dupes.Load()
+	rep.Verified.ByteIdenticalGrids = len(h.bodies)
+	rep.Note = "in-process sweep-server load test at the smoke tier; cold phase mixes misses with single-flight hits, repeat phase replays the identical mix out of the result cache; latencies per request including 429 retries"
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "serveload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serveload: cold p99 %.1fms (%.0f req/s), repeat p99 %.1fms (%.0f req/s), repeat hit rate %.1f%%, retries %d -> %s\n",
+		rep.Cold.Latency.P99Ms, rep.Cold.ThroughputRPS,
+		rep.Repeat.Latency.P99Ms, rep.Repeat.ThroughputRPS,
+		repeatHitRate*100, rep.Retries429, *out)
+
+	ok := true
+	if n := h.failed.Load(); n > 0 {
+		h.mu.Lock()
+		fmt.Fprintf(os.Stderr, "serveload: %d requests failed verification; first errors:\n", n)
+		for _, e := range h.errs {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		h.mu.Unlock()
+		ok = false
+	}
+	if h.dropped.Load() != 0 || h.dupes.Load() != 0 {
+		fmt.Fprintf(os.Stderr, "serveload: dropped=%d duplicated=%d, want 0/0\n", h.dropped.Load(), h.dupes.Load())
+		ok = false
+	}
+	if repeatHitRate < 0.9 {
+		fmt.Fprintf(os.Stderr, "serveload: repeat hit rate %.1f%% below the 90%% floor\n", repeatHitRate*100)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ConfigDigest returns a stable cache key for one experiment execution:
+// the hex SHA-256 of a canonical encoding of (spec key, scale, seed,
+// failure-at, schedule, nodes).
+//
+// Keying results by this digest is sound because every registered
+// experiment is a pure function of its Config (the package contract the
+// parallel runner already relies on): equal Configs yield identical
+// Results, bit for bit. The encoding covers exactly the inputs that reach
+// a simulation:
+//
+//   - the spec key selects the experiment function;
+//   - Scale, Seed, FailureAt and Nodes are threaded into the setup and
+//     RNGs verbatim;
+//   - the schedule enters twice: Schedule.String(), the canonical
+//     run@secondsxnodes pulse syntax that fully determines the injected
+//     failures, and Schedule.Label(), because figure titles (failureNote)
+//     embed the display label — two schedules with equal pulses but
+//     different trace names produce byte-different Result.Text and must
+//     not share a cache slot.
+//
+// Each field is framed with its name and a newline, and the label (the
+// only free-form field, but one ParseSchedule restricts to name[:seed]
+// forms) goes last, so no two distinct Configs can collide by
+// concatenation.
+func ConfigDigest(specKey string, c Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "spec=%s\nscale=%d\nseed=%d\nfailure-at=%d\nschedule=%s\nnodes=%d\nschedule-label=%s",
+		specKey, int(c.Scale), c.Seed, c.FailureAt, c.Schedule.String(), c.Nodes, c.Schedule.Label())
+	return hex.EncodeToString(h.Sum(nil))
+}

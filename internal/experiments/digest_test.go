@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"rcmp/internal/failure"
+)
+
+func TestConfigDigestStableAndDimensionSensitive(t *testing.T) {
+	base := Config{Scale: ScaleQuick, Seed: 1, FailureAt: 2, Nodes: 16}
+	d := ConfigDigest("8b", base)
+	if len(d) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(d))
+	}
+	if d2 := ConfigDigest("8b", base); d2 != d {
+		t.Fatalf("digest not stable: %s vs %s", d, d2)
+	}
+
+	sched := failure.Schedule{Pulses: []failure.Pulse{{AtRun: 2, After: 15, Nodes: 1}}}
+	variants := map[string]struct {
+		key string
+		c   Config
+	}{
+		"spec":       {"8c", base},
+		"scale":      {"8b", Config{Scale: ScalePaper, Seed: 1, FailureAt: 2, Nodes: 16}},
+		"seed":       {"8b", Config{Scale: ScaleQuick, Seed: 2, FailureAt: 2, Nodes: 16}},
+		"failure-at": {"8b", Config{Scale: ScaleQuick, Seed: 1, FailureAt: 3, Nodes: 16}},
+		"nodes":      {"8b", Config{Scale: ScaleQuick, Seed: 1, FailureAt: 2, Nodes: 32}},
+		"schedule":   {"8b", Config{Scale: ScaleQuick, Seed: 1, Nodes: 16, Schedule: sched}},
+	}
+	seen := map[string]string{d: "base"}
+	for name, v := range variants {
+		dv := ConfigDigest(v.key, v.c)
+		if prev, dup := seen[dv]; dup {
+			t.Errorf("digest for %s collides with %s", name, prev)
+		}
+		seen[dv] = name
+	}
+}
+
+// Figure titles embed the schedule's display label, so schedules with equal
+// pulses but different names must not share a digest — their Results differ
+// byte for byte.
+func TestConfigDigestDistinguishesScheduleLabels(t *testing.T) {
+	pulses := []failure.Pulse{{AtRun: 2, After: 15, Nodes: 1}}
+	anon := Config{Scale: ScaleQuick, Schedule: failure.Schedule{Pulses: pulses}}
+	named := Config{Scale: ScaleQuick, Schedule: failure.Schedule{Name: "stic:1", Pulses: pulses}}
+	if ConfigDigest("12", anon) == ConfigDigest("12", named) {
+		t.Fatal("digest ignores the schedule label that titles depend on")
+	}
+}

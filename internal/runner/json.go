@@ -15,7 +15,11 @@ type ReportResult struct {
 	// Schedule is the canonical pulse syntax of the failure-schedule
 	// override, when one was set (see failure.Schedule.String).
 	Schedule string `json:"schedule,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// Error is the job's error message line. Recovered panics carry a
+	// stack trace in Result.Err, but stacks are nondeterministic (frame
+	// addresses, goroutine IDs), so the report keeps the message only —
+	// the determinism guarantee covers error rows too.
+	Error string `json:"error,omitempty"`
 	// Experiment is the Result.Name the experiment itself reported.
 	Experiment string `json:"experiment,omitempty"`
 	// Values holds the figure's key numbers. Non-finite values are encoded
@@ -44,7 +48,7 @@ func NewReport(results []Result, withTiming bool) Report {
 			Seed:      res.Config.Seed,
 			FailureAt: res.Config.FailureAt,
 			Schedule:  res.Config.Schedule.String(),
-			Error:     res.Err,
+			Error:     res.ErrMessage(),
 		}
 		if res.Res != nil {
 			rr.Experiment = res.Res.Name

@@ -12,7 +12,9 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +26,11 @@ type Job struct {
 	// Name uniquely identifies the job in results and reports,
 	// e.g. "Fig8b/quick/seed=3".
 	Name string
+	// Key is the registry key of the spec the job executes ("8b",
+	// "ablation-reuse", ...). Grid fills it in; together with Config it
+	// identifies the job's output (experiments.ConfigDigest), which is
+	// what lets a serving layer cache results soundly.
+	Key string
 	// Config parameterizes the run; equal Configs yield identical Results.
 	Config experiments.Config
 	// Run executes the experiment (typically a Spec.Run from the registry).
@@ -47,7 +54,11 @@ type Result struct {
 	// experiment returned (e.g. a sweep point whose failure injection falls
 	// beyond the chain), or a recovered panic from a simulator bug. Either
 	// way the error stays in its job's slot — one bad grid point cannot
-	// take down the pool or the sweep.
+	// take down the pool or the sweep. For recovered panics the first line
+	// is the panic message and the rest is the goroutine stack at the
+	// panic site (see ErrMessage): long-running consumers like the sweep
+	// server log the full value, while deterministic JSON reports keep the
+	// message line only.
 	Err string
 	// Elapsed is per-job wall-clock time. It is reported for scheduling
 	// insight only and excluded from deterministic JSON output.
@@ -107,6 +118,24 @@ func scheduleOrder(jobs []Job) []int {
 	return order
 }
 
+// ErrMessage returns the first line of Err — the panic or config error
+// message without any captured stack trace. This is the form deterministic
+// reports use: stack traces carry addresses and goroutine IDs that vary
+// run to run.
+func (r Result) ErrMessage() string {
+	if i := strings.IndexByte(r.Err, '\n'); i >= 0 {
+		return r.Err[:i]
+	}
+	return r.Err
+}
+
+// RunOne executes a single job outside any pool, with the same panic
+// confinement Run gives pool workers: a panicking experiment becomes that
+// job's Err — message first, then the stack at the panic site — and never
+// unwinds the caller. Long-running services schedule jobs one at a time
+// through this.
+func RunOne(j Job) Result { return runOne(j) }
+
 func runOne(j Job) (res Result) {
 	res.Name = j.Name
 	res.Config = j.Config
@@ -115,7 +144,12 @@ func runOne(j Job) (res Result) {
 		res.Elapsed = time.Since(start)
 		if p := recover(); p != nil {
 			res.Res = nil
-			res.Err = fmt.Sprint(p)
+			// Keep the stack: a panic here is a simulator bug surfaced by
+			// some grid point, and without the trace a server operator has
+			// no way to diagnose it from a recorded per-job error. The
+			// message stays on line one so ErrMessage can strip the
+			// nondeterministic remainder for byte-stable reports.
+			res.Err = fmt.Sprintf("%v\n%s", p, debug.Stack())
 		}
 	}()
 	r, err := j.Run(j.Config)

@@ -301,3 +301,52 @@ func TestJSONSanitizesNonFinite(t *testing.T) {
 		t.Fatal("deterministic JSON leaked elapsed_ms")
 	}
 }
+
+// TestPanicStackCapturedAndStrippedFromReports pins the two halves of the
+// panic-diagnosis contract: Result.Err carries the message plus the stack
+// at the panic site (so a server operator can diagnose a simulator bug from
+// a recorded per-job error), while the deterministic JSON report keeps only
+// the message line (stacks carry addresses and goroutine IDs that vary run
+// to run).
+func TestPanicStackCapturedAndStrippedFromReports(t *testing.T) {
+	job := Job{
+		Name:   "panicky",
+		Config: experiments.Config{Scale: experiments.ScaleQuick},
+		Run: func(experiments.Config) (*experiments.Result, error) {
+			panic("simulated simulator bug")
+		},
+	}
+	res := RunOne(job)
+	if res.Res != nil {
+		t.Fatalf("panicking job produced a result: %+v", res.Res)
+	}
+	if !strings.HasPrefix(res.Err, "simulated simulator bug\n") {
+		t.Fatalf("Err does not lead with the panic message: %q", res.Err)
+	}
+	if !strings.Contains(res.Err, "goroutine") || !strings.Contains(res.Err, "runner_test.go") {
+		t.Fatalf("Err lost the stack trace: %q", res.Err)
+	}
+	if got := res.ErrMessage(); got != "simulated simulator bug" {
+		t.Fatalf("ErrMessage() = %q", got)
+	}
+
+	// The JSON report strips the stack — and stays byte-identical across
+	// two independent panics whose stacks differ in addresses.
+	b1, err := MarshalJSONDeterministic([]Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b1, []byte("goroutine")) {
+		t.Fatalf("report leaked a stack trace:\n%s", b1)
+	}
+	if !bytes.Contains(b1, []byte(`"error": "simulated simulator bug"`)) {
+		t.Fatalf("report lost the panic message:\n%s", b1)
+	}
+	b2, err := MarshalJSONDeterministic([]Result{RunOne(job)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("panic reports differ across runs:\n%s\n----\n%s", b1, b2)
+	}
+}

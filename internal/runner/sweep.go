@@ -66,6 +66,7 @@ func (g Grid) Jobs() []Job {
 							c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched, Nodes: n}
 							out = append(out, Job{
 								Name:   jobName(sp, c),
+								Key:    sp.Key,
 								Config: c,
 								Run:    sp.Exec,
 								Cost:   experiments.RelativeCost(sp.Key, sc),

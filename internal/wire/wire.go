@@ -42,6 +42,24 @@ type Handler func(from net.Addr, req any) (any, error)
 // ErrClosed is returned by calls on a closed client or server.
 var ErrClosed = errors.New("wire: closed")
 
+// transportError marks an error as raised by the transport layer itself —
+// a failed dial, send, lost connection or call timeout — as opposed to an
+// error a remote handler returned by value. Pool.Call drops connections
+// only on transport errors, and the distinction must be carried in the
+// type: classifying by message text would let a handler whose error
+// happens to start with "wire: send" masquerade as a transport failure
+// and cost a healthy connection. Check with errors.As; Unwrap exposes the
+// underlying cause for errors.Is.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// transportf builds a transport-classified error.
+func transportf(format string, args ...any) error {
+	return &transportError{err: fmt.Errorf(format, args...)}
+}
+
 // conn wraps a net.Conn with gob codecs and a write lock. Gob streams are
 // stateful (type definitions are sent once), so each direction must be
 // written by one encoder guarded against interleaving.
@@ -121,7 +139,14 @@ func (s *Server) serveConn(c *conn) {
 		if env.Reply {
 			continue // a server connection never issues requests
 		}
+		// Handler goroutines join the server WaitGroup so Close keeps its
+		// drain contract: without the Add an in-flight handler outlives
+		// Close and can touch handler state the caller is tearing down.
+		// Adding here is safe — this serveConn goroutine holds a WaitGroup
+		// count of its own, so the counter cannot reach zero concurrently.
+		s.wg.Add(1)
 		go func(env Envelope) {
+			defer s.wg.Done()
 			reply := Envelope{ID: env.ID, Reply: true}
 			body, err := s.handler(c.c.RemoteAddr(), env.Body)
 			if err != nil {
@@ -171,7 +196,7 @@ type Client struct {
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, transportf("wire: dial %s: %w", addr, err)
 	}
 	cl := &Client{c: newConn(nc), pending: make(map[uint64]chan *Envelope)}
 	go cl.readLoop()
@@ -226,7 +251,13 @@ func (cl *Client) Call(req any, timeout time.Duration) (any, error) {
 		cl.mu.Lock()
 		delete(cl.pending, id)
 		cl.mu.Unlock()
-		return nil, fmt.Errorf("wire: send: %w", err)
+		// A failed send leaves the shared gob encoder in an unknown state
+		// (type definitions and values interleave on one stateful stream),
+		// so the connection can never be trusted again: a later Call could
+		// hang or decode garbage. Poison the client — pending calls fail,
+		// subsequent calls get ErrClosed — so a Pool re-dials fresh.
+		cl.fail(err)
+		return nil, transportf("wire: send: %w", err)
 	}
 
 	t := time.NewTimer(timeout)
@@ -234,7 +265,7 @@ func (cl *Client) Call(req any, timeout time.Duration) (any, error) {
 	select {
 	case env, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("wire: connection lost: %w", cl.connErr())
+			return nil, transportf("wire: connection lost: %w", cl.connErr())
 		}
 		if env.Err != "" {
 			return nil, errors.New(env.Err)
@@ -244,8 +275,24 @@ func (cl *Client) Call(req any, timeout time.Duration) (any, error) {
 		cl.mu.Lock()
 		delete(cl.pending, id)
 		cl.mu.Unlock()
-		return nil, fmt.Errorf("wire: call timed out after %v", timeout)
+		return nil, transportf("wire: call timed out after %v", timeout)
 	}
+}
+
+// fail marks the client permanently broken after a transport fault: new
+// calls return ErrClosed immediately, and closing the underlying
+// connection makes the read loop exit and fail every pending call. Safe
+// to call multiple times.
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	if !cl.closed {
+		cl.closed = true
+		if cl.readErr == nil {
+			cl.readErr = err
+		}
+	}
+	cl.mu.Unlock()
+	cl.c.c.Close()
 }
 
 func (cl *Client) connErr() error {
@@ -343,21 +390,22 @@ func (p *Pool) Call(addr string, req any, timeout time.Duration) (any, error) {
 }
 
 // isAppError reports whether err came from the remote handler (the
-// connection is healthy) rather than from the transport.
+// connection is healthy) rather than from the transport. The check is
+// purely type-based: every transport failure this package raises is a
+// *transportError (or ErrClosed / a net.Error), while handler errors
+// arrive as plain text re-materialized with errors.New — whatever their
+// message says, they can never satisfy errors.As below.
 func isAppError(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return false
+	}
 	var ne net.Error
 	if errors.As(err, &ne) {
 		return false
 	}
-	s := err.Error()
-	return !errors.Is(err, ErrClosed) &&
-		!hasPrefix(s, "wire: send") &&
-		!hasPrefix(s, "wire: call timed out") &&
-		!hasPrefix(s, "wire: connection lost") &&
-		!hasPrefix(s, "wire: dial")
+	return !errors.Is(err, ErrClosed)
 }
-
-func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 
 // Close severs every cached connection.
 func (p *Pool) Close() {

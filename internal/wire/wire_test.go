@@ -3,9 +3,11 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -333,5 +335,180 @@ func TestServerIgnoresStrayReplyEnvelopes(t *testing.T) {
 	}
 	if _, err := cl.Call(echoReq{N: 5}, time.Second); err != nil {
 		t.Fatalf("call after stray reply: %v", err)
+	}
+}
+
+// ---- regression: Server.Close must wait for in-flight handlers ----
+
+func TestServerCloseWaitsForHandlers(t *testing.T) {
+	started := make(chan struct{})
+	var finished atomic.Bool
+	h := func(_ net.Addr, req any) (any, error) {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+		finished.Store(true)
+		return echoResp{N: 1}, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln, h)
+	cl := dial(t, s.Addr())
+	go func() { _, _ = cl.Call(echoReq{N: 1}, 5*time.Second) }()
+	<-started
+	s.Close()
+	if !finished.Load() {
+		t.Fatal("Close returned while a handler goroutine was still running")
+	}
+}
+
+// ---- regression: transport-vs-application classification is typed ----
+
+func TestIsAppErrorTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		app  bool
+	}{
+		// Handler errors arrive re-materialized as plain errors.New text;
+		// adversarial messages mimicking transport prefixes must still be
+		// classified as application errors.
+		{"spoofed send prefix", errors.New("wire: send: from the handler"), true},
+		{"spoofed dial prefix", errors.New("wire: dial 10.0.0.1:1: refused"), true},
+		{"spoofed lost prefix", errors.New("wire: connection lost: just kidding"), true},
+		{"spoofed timeout prefix", errors.New("wire: call timed out after 30s"), true},
+		{"plain handler error", errors.New("task 7 not found"), true},
+		// Real transport errors carry the type.
+		{"real send failure", transportf("wire: send: %w", io.ErrShortWrite), false},
+		{"real timeout", transportf("wire: call timed out after %v", time.Second), false},
+		{"real lost connection", transportf("wire: connection lost: %w", io.EOF), false},
+		{"real dial failure", transportf("wire: dial 10.0.0.1:1: %w", io.EOF), false},
+		{"closed", ErrClosed, false},
+		{"wrapped closed", fmt.Errorf("get: %w", ErrClosed), false},
+		{"net error", &net.OpError{Op: "read", Err: io.EOF}, false},
+	}
+	for _, tc := range cases {
+		if got := isAppError(tc.err); got != tc.app {
+			t.Errorf("%s: isAppError(%v) = %v, want %v", tc.name, tc.err, got, tc.app)
+		}
+	}
+}
+
+func TestPoolKeepsConnOnAdversarialHandlerMessage(t *testing.T) {
+	s := startServer(t)
+	p := NewPool(time.Second)
+	defer p.Close()
+	before, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler error's text starts with a transport prefix; the pool
+	// must still recognize it as an application error and keep the client.
+	if _, err := p.Call(s.Addr(), failReq{Msg: "wire: send: spoofed"}, time.Second); err == nil {
+		t.Fatal("expected handler error")
+	}
+	after, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("pool dropped a healthy connection on a spoofed handler message")
+	}
+}
+
+// ---- regression: a failed mid-stream send poisons the client ----
+
+// flakyConn wraps a net.Conn whose writes, once armed, write only a prefix
+// of the buffer and fail — a short write that leaves the peer mid-message
+// and the local gob encoder in an inconsistent state.
+type flakyConn struct {
+	net.Conn
+	armed atomic.Bool
+}
+
+func (f *flakyConn) Write(b []byte) (int, error) {
+	if f.armed.Load() {
+		n := len(b) / 2
+		_, _ = f.Conn.Write(b[:n])
+		return n, io.ErrShortWrite
+	}
+	return f.Conn.Write(b)
+}
+
+// newTestClient is Dial over a caller-supplied connection.
+func newTestClient(nc net.Conn) *Client {
+	cl := &Client{c: newConn(nc), pending: make(map[uint64]chan *Envelope)}
+	go cl.readLoop()
+	return cl
+}
+
+func TestSendFailurePoisonsClient(t *testing.T) {
+	s := startServer(t)
+	nc, err := net.DialTimeout("tcp", s.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &flakyConn{Conn: nc}
+	cl := newTestClient(fc)
+	defer cl.Close()
+
+	// Healthy first call proves the wrapped transport works.
+	if _, err := cl.Call(echoReq{N: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a call on the server so it is pending when the stream breaks.
+	pending := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(slowReq{Delay: 2 * time.Second}, 10*time.Second)
+		pending <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow call reach the server
+
+	fc.armed.Store(true)
+	_, err = cl.Call(echoReq{N: 2}, time.Second)
+	if err == nil {
+		t.Fatal("call over a broken stream succeeded")
+	}
+	if isAppError(err) {
+		t.Fatalf("send failure classified as application error: %v", err)
+	}
+
+	// The pending call must fail promptly — not hang for its full delay or
+	// decode garbage from the corrupted stream.
+	select {
+	case err := <-pending:
+		if err == nil {
+			t.Fatal("pending call survived a poisoned stream")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending call hung after the stream broke")
+	}
+
+	// The client is permanently broken: later calls fail fast with
+	// ErrClosed instead of reusing the corrupt encoder.
+	if _, err := cl.Call(echoReq{N: 3}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call on poisoned client: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolRedialsAfterPoisonedClient(t *testing.T) {
+	s := startServer(t)
+	p := NewPool(time.Second)
+	defer p.Close()
+	cl, err := p.Get(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.fail(io.ErrShortWrite) // as a mid-stream send failure would
+
+	// The first pooled call sees the poisoned client, classifies ErrClosed
+	// as transport, and drops it; the retry dials fresh and succeeds.
+	if _, err := p.Call(s.Addr(), echoReq{N: 1}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("poisoned pooled call: err = %v, want ErrClosed", err)
+	}
+	if _, err := p.Call(s.Addr(), echoReq{N: 2}, time.Second); err != nil {
+		t.Fatalf("pool did not recover with a fresh dial: %v", err)
 	}
 }

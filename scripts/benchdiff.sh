@@ -18,9 +18,17 @@ cd "$(dirname "$0")/.."
 fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 
+# Allocation gating is exempted where counts are scheduler- or
+# warmup-dependent rather than hot-path-determined: the worker-pool
+# Parallel benchmark (per-P sync.Pool locality) and the ClusterScaling
+# sweep, whose first-iteration context-pool fills amortize differently
+# run to run at -benchtime 3x (observed flipping 108<->150 allocs/op at
+# /64 and 84<->2831 at /4096 with identical code). Their ns/op still
+# gates.
 run_once() {
     ./scripts/bench_json.sh "$fresh" >/dev/null
-    go run ./cmd/benchdiff -max-regress "${MAX_REGRESS:-10}" BENCH_flow.json "$fresh"
+    go run ./cmd/benchdiff -max-regress "${MAX_REGRESS:-10}" \
+        -alloc-exempt 'Parallel|ClusterScaling' BENCH_flow.json "$fresh"
 }
 
 if run_once; then

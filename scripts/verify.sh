@@ -11,10 +11,15 @@
 #   4. rcmpsim smoke: the schedule-engine experiments and the scaling
 #      tier (weak-scaling, -nodes override) end to end through the CLI
 #      and the parallel runner
-#   5. golden-digest + lazy-equivalence suites, explicitly, with the
+#   5. rcmpserve smoke: the sweep server end to end on an ephemeral port —
+#      a sweep over HTTP must be byte-identical to the rcmpsim CLI report,
+#      the cached repeat byte-identical again, and SIGTERM must drain
+#      cleanly — plus a small serveload pass (concurrent clients, cache
+#      hit-rate and zero-dropped-jobs checks in-process)
+#   6. golden-digest + lazy-equivalence suites, explicitly, with the
 #      ladder event queue and rate-class flow core on (their defaults)
-#   6. benchmark smoke pass: every benchmark once at the smoke tier
-#   7. perf-regression gate: re-measure the perf-trajectory benchmarks and
+#   7. benchmark smoke pass: every benchmark once at the smoke tier
+#   8. perf-regression gate: re-measure the perf-trajectory benchmarks and
 #      diff against the committed BENCH_flow.json (scripts/benchdiff.sh;
 #      >10% ns/op or allocs/op regressions fail)
 set -eu
@@ -40,8 +45,8 @@ go test ./...
 echo "== race (full suite) =="
 go test -race ./...
 
-echo "== race (simulation core + pooled runner + distributed runtime, repeated) =="
-go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/runner ./internal/experiments ./internal/dmr
+echo "== race (simulation core + pooled runner + distributed runtime + sweep server, repeated) =="
+go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server
 
 echo "== rcmpsim smoke (failure-schedule engine) =="
 go run ./cmd/rcmpsim -fig double-failure -quick -parallel 2 > /dev/null
@@ -51,6 +56,38 @@ go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
 echo "== rcmpsim smoke (scaling tier: weak-scaling + -nodes override) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick > /dev/null
 go run ./cmd/rcmpsim -fig 8b -quick -nodes 16 > /dev/null
+
+echo "== rcmpserve smoke (sweep server end to end: HTTP vs CLI byte-identity, cache, SIGTERM drain) =="
+tmp="${TMPDIR:-/tmp}/rcmp-verify-$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/rcmpserve" ./cmd/rcmpserve
+"$tmp/rcmpserve" -addr 127.0.0.1:0 -workers 2 > "$tmp/serve.out" &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base="$(sed -n 's|^rcmpserve: listening on ||p' "$tmp/serve.out")"
+    [ -n "$base" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$base" ]; then
+    echo "rcmpserve never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sf "$base/healthz" > /dev/null
+sweep='{"specs":["cost"],"scale":"quick","seeds":[1],"stream":false}'
+curl -sf -X POST -d "$sweep" "$base/v1/sweep" > "$tmp/http_report.json"
+go run ./cmd/rcmpsim -fig cost -quick -seed 1 -json > "$tmp/cli_report.json"
+cmp "$tmp/http_report.json" "$tmp/cli_report.json"
+curl -sf -X POST -d "$sweep" "$base/v1/sweep" | cmp - "$tmp/http_report.json"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+
+echo "== serveload smoke (concurrent clients, cache hit rate, zero dropped jobs) =="
+go run ./cmd/serveload -requests 200 -grids 16 -out "$tmp/BENCH_serve_smoke.json" > /dev/null
 
 echo "== golden digests + lazy equivalence (ladder queue + rate-class flow core on) =="
 go test -count=1 -run 'TestGoldenDigests|TestGoldenResultsEquivalentUnderLazyBanking' ./internal/experiments
