@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench bench-scale bench-serve bench-full benchdiff verify
+.PHONY: all build test race bench-smoke bench bench-scale bench-serve bench-full benchdiff profile-scale verify
 
 all: build test
 
@@ -43,6 +43,17 @@ bench-scale: bench
 # verify.sh runs.
 benchdiff:
 	./scripts/benchdiff.sh
+
+# profile-scale profiles the 4096-node weak-scaling benchmark — the tail
+# the ns/event growth target gates — into profiles/ and prints the top-10
+# flat CPU list, so a scaling regression is diagnosable in one command.
+# Inspect interactively with `go tool pprof profiles/scale4096.cpu.pprof`.
+profile-scale:
+	@mkdir -p profiles
+	$(GO) test -run xxx -bench 'BenchmarkClusterScaling/4096' -benchtime 5x \
+		-cpuprofile profiles/scale4096.cpu.pprof \
+		-memprofile profiles/scale4096.mem.pprof .
+	$(GO) tool pprof -top -nodecount=10 profiles/scale4096.cpu.pprof
 
 # bench-serve load-tests the sweep server (cmd/serveload): two phases of
 # 1000 fully concurrent smoke-tier sweep requests against an in-process

@@ -25,8 +25,12 @@
 // path. Benchmarks matching -alloc-exempt (default: the worker-pool
 // "Parallel" benchmark, whose allocation count depends on goroutine
 // scheduling and per-P sync.Pool locality) report allocations without
-// gating on them; their ns/op still gates. -no-drift disables the
-// normalization for same-session A/B comparisons.
+// gating on them; their ns/op still gates. The ClusterScaling rows also
+// gate ns_per_event — the size-comparable cost metric docs/perf.md
+// tracks — under the same drift normalization; benchmarks matching
+// -event-exempt (default: the paper-scale 8192 trend row) report it
+// without gating. -no-drift disables the normalization for same-session
+// A/B comparisons.
 //
 // Benchmarks present in only one file are reported but never fatal (the
 // set legitimately changes as benchmarks are added).
@@ -51,6 +55,10 @@ type benchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NsPerEvent is the size-comparable cost metric of the ClusterScaling
+	// sweep (wall-clock normalized by simulated events); zero for every
+	// other benchmark, whose JSON omits the field.
+	NsPerEvent float64 `json:"ns_per_event,omitempty"`
 }
 
 func load(path string) (map[string]benchEntry, error) {
@@ -76,6 +84,8 @@ func main() {
 		"gate on raw deltas instead of drift-normalized ones (same-session A/B comparisons)")
 	allocExempt := flag.String("alloc-exempt", "Parallel",
 		"regexp of benchmarks whose allocs/op is scheduler-dependent and only reported, never gated (empty disables)")
+	eventExempt := flag.String("event-exempt", "/8192",
+		"regexp of benchmarks whose ns/event is only reported, never gated (the paper-scale 8192 trend row; empty disables)")
 	flag.Parse()
 	var allocExemptRe *regexp.Regexp
 	if *allocExempt != "" {
@@ -85,6 +95,15 @@ func main() {
 			os.Exit(2)
 		}
 		allocExemptRe = re
+	}
+	var eventExemptRe *regexp.Regexp
+	if *eventExempt != "" {
+		re, err := regexp.Compile(*eventExempt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -event-exempt pattern: %v\n", err)
+			os.Exit(2)
+		}
+		eventExemptRe = re
 	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] [-no-drift] BASELINE.json FRESH.json")
@@ -115,10 +134,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	nsDrift, allocDrift := 0.0, 0.0
+	nsDrift, allocDrift, nsevDrift := 0.0, 0.0, 0.0
 	if !*noDrift {
 		nsDrift = medianDelta(base, fresh, func(b benchEntry) float64 { return b.NsPerOp })
 		allocDrift = medianDelta(base, fresh, func(b benchEntry) float64 { return b.AllocsPerOp })
+		// ns/event shares ns/op's drift estimator rather than growing its
+		// own: only the handful of ClusterScaling rows carry the metric,
+		// and a median over so few points would track their very
+		// regressions instead of the machine.
+		nsevDrift = nsDrift
 		fmt.Printf("machine drift (median delta): %+.1f%% ns/op, %+.1f%% allocs/op\n", nsDrift, allocDrift)
 		// A globally faster machine (or a cross-cutting allocation win)
 		// must not turn unchanged benchmarks into "relative regressions":
@@ -128,6 +152,9 @@ func main() {
 		}
 		if allocDrift < 0 {
 			allocDrift = 0
+		}
+		if nsevDrift < 0 {
+			nsevDrift = 0
 		}
 	}
 
@@ -163,12 +190,22 @@ func main() {
 					failed = true
 				}
 			}
-			fmt.Printf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%  (allocs %.0f -> %.0f)  %s\n",
-				b, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp, status)
+			event := ""
+			if ob.NsPerEvent > 0 && nb.NsPerEvent > 0 {
+				evDelta := 100 * (nb.NsPerEvent - ob.NsPerEvent) / ob.NsPerEvent
+				event = fmt.Sprintf("  (ns/event %.0f -> %.0f %+.1f%%)", ob.NsPerEvent, nb.NsPerEvent, evDelta)
+				if evDelta-nsevDrift > *maxRegress &&
+					(eventExemptRe == nil || !eventExemptRe.MatchString(b)) {
+					status = "REGRESSION(ns/event)"
+					failed = true
+				}
+			}
+			fmt.Printf("%-44s %12.0f -> %12.0f ns/op  %+6.1f%%  (allocs %.0f -> %.0f)%s  %s\n",
+				b, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp, event, status)
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op or allocs/op regressed more than %.0f%% beyond drift on at least one benchmark\n", *maxRegress)
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op, allocs/op or ns/event regressed more than %.0f%% beyond drift on at least one benchmark\n", *maxRegress)
 		os.Exit(1)
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"rcmp/internal/experiments"
 	"rcmp/internal/failure"
+	"rcmp/internal/mapreduce"
 	"rcmp/internal/runner"
 )
 
@@ -48,7 +49,12 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile after the experiment run to this file (go tool pprof)")
+	ff := flag.Bool("ff", false, "force the fast-forward engine on at every cluster size (normally automatic at >=1024 nodes); results are equivalent, only wall-clock changes")
 	flag.Parse()
+
+	if *ff {
+		mapreduce.EnableFastForward(true)
+	}
 
 	if *list || (*fig == "" && *runPat == "") {
 		fmt.Println("available experiments (-fig KEY or -run REGEXP):")

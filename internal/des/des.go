@@ -159,6 +159,13 @@ type Simulator struct {
 
 	// Processed counts events that have fired, for diagnostics.
 	Processed uint64
+
+	// Absorbed counts semantic events a fast-forward layer completed in
+	// closed form instead of scheduling through the queue. The kernel only
+	// stores it (cleared by Reset alongside Processed) so that
+	// Processed+Absorbed stays the total model-event count whatever mix of
+	// exact and fast-forwarded execution produced a run.
+	Absorbed uint64
 }
 
 // New returns a simulator with the clock at zero and an empty queue.
@@ -205,6 +212,7 @@ func (s *Simulator) Reset() {
 	s.seq = 0
 	s.stopped = false
 	s.Processed = 0
+	s.Absorbed = 0
 }
 
 // Now returns the current virtual time.
@@ -556,6 +564,33 @@ func (s *Simulator) RunUntil(t Time) {
 
 // Stop makes the current Run/RunUntil return after the current event.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// NextAt reports the time of the earliest pending event without firing it —
+// the queue's quiescence horizon: nothing scheduled through the kernel can
+// happen before it. It sweeps ladder tiers as needed (the same work Step
+// would do), so the peek is amortized O(1) and leaves the pop order
+// untouched. The second result is false when the queue is empty.
+func (s *Simulator) NextAt() (Time, bool) {
+	if !s.ensureFront() {
+		return 0, false
+	}
+	return s.front[0].at, true
+}
+
+// SetNow advances the clock to t without firing anything — the clock jump
+// of a fast-forward layer that has completed the interval's work in closed
+// form. Moving the clock backwards, or past the earliest pending event,
+// panics: either would break the monotonic-time invariant every scheduled
+// callback relies on.
+func (s *Simulator) SetNow(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: SetNow to %v before now %v", t, s.now))
+	}
+	if next, ok := s.NextAt(); ok && t > next {
+		panic(fmt.Sprintf("des: SetNow to %v past pending event at %v", t, next))
+	}
+	s.now = t
+}
 
 // Pending returns the number of queued (uncancelled) events in O(1).
 // Cancel removes events from their tier eagerly and Step pops fired ones,

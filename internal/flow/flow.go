@@ -401,9 +401,77 @@ type Network struct {
 
 	compTimer completionTimer
 
+	// horizon, when non-nil, diverts completion scheduling to an external
+	// controller (see SetCompletionHorizon): instead of keeping its own
+	// simulator event, the network notifies the controller whenever the
+	// earliest completion time changes and the controller decides when to
+	// call RunCompletions. The fast-forward layer uses this to fold flow
+	// completions into its closed-form clock jumps.
+	horizon CompletionHorizon
+
 	// Completed counts flows that have finished, for diagnostics.
 	Completed uint64
 }
+
+// CompletionHorizon receives the network's earliest-completion time
+// whenever it changes, in place of the network's own simulator event. The
+// registered controller owns the schedule: it must arrange for
+// RunCompletions to be called with the simulator clock at the notified
+// time (des.Forever means no completion is pending). Notifications fire
+// from inside flow operations — including from inside RunCompletions
+// itself as the batch reschedules — so implementations must only adjust
+// their own timer state, never re-enter the network.
+type CompletionHorizon interface {
+	CompletionHorizonChanged(at des.Time)
+}
+
+// SetCompletionHorizon registers h as the external completion scheduler
+// (nil restores the network's own event). Like the accounting-mode
+// switches it must happen before the first flow starts; Reset clears it.
+func (n *Network) SetCompletionHorizon(h CompletionHorizon) {
+	if len(n.flows) > 0 {
+		panic("flow: SetCompletionHorizon after flows started")
+	}
+	n.horizon = h
+}
+
+// NextCompletionAt returns the earliest pending completion time the
+// network currently knows, or des.Forever when no flow is in flight. Under
+// class accounting this is the completion index root in O(1); other modes
+// fall back to the same scans scheduleCompletion performs.
+func (n *Network) NextCompletionAt() des.Time {
+	if n.classAcct {
+		if len(n.compHeap) > 0 {
+			return n.compHeap[0].nextAt
+		}
+		return des.Forever
+	}
+	at := des.Forever
+	if n.lazy {
+		for _, c := range n.comps {
+			if c.next != nil && c.nextAt < at {
+				at = c.nextAt
+			}
+		}
+		return at
+	}
+	now := n.sim.Now()
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if eta := now + des.Time((f.size-f.done)/f.rate); eta < at {
+			at = eta
+		}
+	}
+	return at
+}
+
+// RunCompletions finalizes every flow due at the current simulator time —
+// the external-horizon counterpart of the network's own completion event
+// firing. The registered CompletionHorizon calls it after advancing the
+// clock to the notified time.
+func (n *Network) RunCompletions() { n.complete() }
 
 // completionTimer fires the network's single completion event without the
 // method-value closure that n.complete as a callback would allocate.
@@ -451,6 +519,7 @@ func (n *Network) Reset() {
 	n.compHeap = n.compHeap[:0]
 	n.completion = nil
 	n.nextFlow = nil
+	n.horizon = nil
 	n.lazy = lazyDefault.Load()
 	n.classAcct = false
 	n.lastUpdate = 0
@@ -1470,9 +1539,16 @@ func (n *Network) scheduleCompletion() {
 			n.completion = nil
 		}
 		n.nextFlow = nil
+		if n.horizon != nil {
+			n.horizon.CompletionHorizonChanged(des.Forever)
+		}
 		return
 	}
 	n.nextFlow = next
+	if n.horizon != nil {
+		n.horizon.CompletionHorizonChanged(nextAt)
+		return
+	}
 	if n.completion != nil {
 		n.sim.Reschedule(n.completion, nextAt)
 	} else {

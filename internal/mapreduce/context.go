@@ -60,6 +60,12 @@ type Context struct {
 	freeMaps []*mapTask
 	freeReds []*reduceTask
 
+	// ff is the chain-scoped fast-forward engine. RunChain attaches it (and
+	// points Driver.ff at it) only for chains that resolve the mode on;
+	// otherwise the field is dormant — nothing reads it, and the simulator
+	// reset already dropped any wake event a previous chain left behind.
+	ff ffController
+
 	// Lineage records die with their chain (a Result never exposes the
 	// chain), so the context recycles them: chainRecs tracks the records
 	// the running chain allocated, harvested into freeRecs at the next

@@ -23,7 +23,8 @@ type Driver struct {
 	rec  *metrics.Recorder
 	cfg  ChainConfig
 	rng  *rand.Rand
-	agg  bool // aggregated shuffle tier resolved for this chain
+	agg  bool          // aggregated shuffle tier resolved for this chain
+	ff   *ffController // fast-forward engine, nil when off for this chain
 
 	frontier    int // 1-based chain job currently being computed
 	runCounter  int
@@ -91,6 +92,13 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		frontier:    1,
 		failedNodes: make(map[int]bool),
 	}
+	if cfg.fastForwarded(ctx.clus.NumNodes()) {
+		// The engine attaches to the freshly reset context before any flow
+		// or event exists, mirroring the accounting-mode switch above; a
+		// pooled context runs exact again next chain unless re-attached.
+		ctx.ff.attach(ctx.sim, ctx.clus.Net, ctx.clus)
+		d.ff = &ctx.ff
+	}
 	if err := d.createInput(); err != nil {
 		return nil, err
 	}
@@ -115,6 +123,15 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		ctx.recycleRun(d.current)
 		d.current = nil
 	}
+	// Semantic event count: queue events plus absorbed micro-events, minus
+	// the engine's wake firings (pure orchestration). The correction makes
+	// Events identical between an exact and a fast-forwarded run of the
+	// same chain — every absorbed micro-event replaces exactly one queue
+	// event — so scaling diagnostics stay comparable across modes.
+	events := ctx.sim.Processed + ctx.sim.Absorbed
+	if d.ff != nil {
+		events -= d.ff.wakes
+	}
 	return &Result{
 		Total:               d.endTime,
 		Runs:                d.rec.Runs,
@@ -122,7 +139,7 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		StartedRuns:         d.runCounter,
 		SpeculativeLaunched: d.specLaunched,
 		SpeculativeWasted:   d.specWasted,
-		Events:              ctx.sim.Processed,
+		Events:              events,
 		Flows:               ctx.clus.Net.Completed,
 	}, nil
 }
@@ -204,6 +221,7 @@ func (d *Driver) newRun(job int, kind metrics.RunKind) *jobRun {
 	for _, inj := range d.cfg.Failures {
 		if inj.AtRun == d.runCounter {
 			inj := inj
+			d.clus.RegisterPulse(d.sim.Now() + inj.After)
 			d.sim.After(inj.After, func() {
 				// A multi-node injection kills its whole batch at one
 				// simulated instant, the way an outage day loses machines
@@ -436,6 +454,7 @@ func (d *Driver) injectFailure(node int) {
 	if d.current != nil {
 		d.current.nodeDown(node)
 	}
+	d.clus.RegisterPulse(d.sim.Now() + d.clus.Cfg.FailureDetectionTimeout)
 	d.sim.After(d.clus.Cfg.FailureDetectionTimeout, func() { d.onDetect(node) })
 }
 

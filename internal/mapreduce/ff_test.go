@@ -1,0 +1,125 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"rcmp/internal/des"
+)
+
+// ff_test.go pins the fast-forward engine's equivalence contract at the
+// chain level: a pulse landing at any offset inside a phase the engine
+// would otherwise skip must force fallback to exact processing and produce
+// byte-identical results from the perturbation onward. The registry-wide
+// suite (internal/experiments) checks printed values at 1e-6; this test
+// compares the raw Result — simulated times exactly, counts exactly —
+// because the engine replays the exact event total order, not an
+// approximation of it.
+
+// ffCompare runs one chain twice — fast-forward forced off, then on — and
+// asserts identical results.
+func ffCompare(t *testing.T, label string, nodes int, inj []Injection) {
+	t.Helper()
+	ccfg, cfg := aggChain(nodes, inj)
+	cfg.FastForward = FastForwardOff
+	exact, err := RunChain(ccfg, cfg)
+	if err != nil {
+		t.Fatalf("%s: exact: %v", label, err)
+	}
+	cfg.FastForward = FastForwardOn
+	ff, err := RunChain(ccfg, cfg)
+	if err != nil {
+		t.Fatalf("%s: fast-forward: %v", label, err)
+	}
+
+	if exact.Total != ff.Total {
+		t.Errorf("%s: Total diverged: exact %v vs ff %v", label, exact.Total, ff.Total)
+	}
+	if exact.StartedRuns != ff.StartedRuns {
+		t.Errorf("%s: StartedRuns diverged: exact %d vs ff %d", label, exact.StartedRuns, ff.StartedRuns)
+	}
+	if exact.SpeculativeLaunched != ff.SpeculativeLaunched || exact.SpeculativeWasted != ff.SpeculativeWasted {
+		t.Errorf("%s: speculation diverged: exact %d/%d vs ff %d/%d", label,
+			exact.SpeculativeLaunched, exact.SpeculativeWasted,
+			ff.SpeculativeLaunched, ff.SpeculativeWasted)
+	}
+	if exact.Events != ff.Events {
+		t.Errorf("%s: Events diverged: exact %d vs ff %d", label, exact.Events, ff.Events)
+	}
+	if exact.Flows != ff.Flows {
+		t.Errorf("%s: Flows diverged: exact %d vs ff %d", label, exact.Flows, ff.Flows)
+	}
+	if len(exact.Runs) != len(ff.Runs) {
+		t.Fatalf("%s: run counts diverged: exact %d vs ff %d", label, len(exact.Runs), len(ff.Runs))
+	}
+	for i := range exact.Runs {
+		if exact.Runs[i] != ff.Runs[i] {
+			t.Errorf("%s: run %d diverged:\n  exact %+v\n  ff    %+v", label, i, exact.Runs[i], ff.Runs[i])
+		}
+	}
+}
+
+// TestFFEquivalentFailureFree is the pure closed-form case: with no pulses
+// the engine absorbs every task timer and the DES queue sees almost nothing.
+func TestFFEquivalentFailureFree(t *testing.T) {
+	ffCompare(t, "failure-free", 16, nil)
+}
+
+// TestFFPulseOffsetSweep injects a pulse at offsets swept across the first
+// run — reducer startup, map phase, shuffle, output write — so the
+// perturbation lands inside every window the engine would otherwise skip,
+// including mid-drain boundaries. Each offset must fall back to exact
+// processing at the pulse and stay byte-identical afterwards.
+func TestFFPulseOffsetSweep(t *testing.T) {
+	for _, after := range []float64{0.1, 0.25, 1, 2.5, 5, 10, 20, 40, 60} {
+		ffCompare(t, "pulse", 16, []Injection{{AtRun: 1, After: des.Time(after), Node: 3}})
+	}
+}
+
+// TestFFMultiPulse covers the shapes trace schedules produce: a two-node
+// simultaneous outage, and pulses in two different runs of the chain —
+// the engine must re-enter closed form between perturbations and exit
+// again for the second one.
+func TestFFMultiPulse(t *testing.T) {
+	ffCompare(t, "double", 16, []Injection{{AtRun: 1, After: 10, Node: 3, Count: 2}})
+	ffCompare(t, "two-runs", 16, []Injection{
+		{AtRun: 0, After: 5, Node: 7},
+		{AtRun: 1, After: 15, Node: 3},
+	})
+}
+
+// TestFFAbsorbsEvents pins the perf mechanism itself: in a failure-free
+// chain the engine must keep the overwhelming share of semantic events out
+// of the DES queue. The bar is a >=5x reduction in processed (queue-fired)
+// events versus exact mode at the same workload, checked at 64 nodes and
+// at the 4096-node scaling-benchmark size (the workload shape aggChain
+// builds is the weak-scaling one: 2 blocks and 1 reducer per node).
+func TestFFAbsorbsEvents(t *testing.T) {
+	for _, nodes := range []int{64, 4096} {
+		ccfg, cfg := aggChain(nodes, nil)
+
+		cfg.FastForward = FastForwardOff
+		exactCtx := NewContext(ccfg)
+		if _, err := exactCtx.RunChain(cfg); err != nil {
+			t.Fatal(err)
+		}
+		exactProcessed := exactCtx.sim.Processed
+
+		cfg.FastForward = FastForwardOn
+		ffCtx := NewContext(ccfg)
+		if _, err := ffCtx.RunChain(cfg); err != nil {
+			t.Fatal(err)
+		}
+		ffProcessed := ffCtx.sim.Processed
+
+		if ffCtx.sim.Absorbed == 0 {
+			t.Fatalf("%d nodes: fast-forward run absorbed no events", nodes)
+		}
+		if ffProcessed*5 > exactProcessed {
+			t.Fatalf("%d nodes: fast-forward queue fired %d events vs %d exact: want >=5x reduction",
+				nodes, ffProcessed, exactProcessed)
+		}
+		t.Logf("%d nodes: queue events %d (exact) -> %d (ff), %.1fx fewer; %d absorbed",
+			nodes, exactProcessed, ffProcessed,
+			float64(exactProcessed)/float64(ffProcessed), ffCtx.sim.Absorbed)
+	}
+}

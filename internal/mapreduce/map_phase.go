@@ -15,15 +15,19 @@ import (
 
 // assignOneMap launches at most one mapper, preferring data-local placement.
 func (r *jobRun) assignOneMap() bool {
-	if len(r.pendingMaps) == 0 || r.mapSlotsFree <= 0 {
+	if len(r.pendingMaps)-r.pendingMapNils == 0 || r.mapSlotsFree <= 0 {
 		return false
 	}
 	// Pass 1: a node with a free slot holding a pending task's input block.
 	// The scan resumes at the pump's watermark: everything before it was
 	// rejected earlier in this pump and nothing since has freed a slot.
+	// Nil entries are launch tombstones (see dropPendingMap).
 	if !r.cfg().DisableLocality {
 		for qi := r.pumpScanFrom; qi < len(r.pendingMaps); qi++ {
 			mt := r.pendingMaps[qi]
+			if mt == nil {
+				continue
+			}
 			for _, n := range r.inputLocations(mt) {
 				if r.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
 					r.pumpScanFrom = qi
@@ -41,6 +45,9 @@ func (r *jobRun) assignOneMap() bool {
 			continue
 		}
 		for qi, mt := range r.pendingMaps {
+			if mt == nil {
+				continue
+			}
 			if mt.dupOf != nil && mt.dupOf.state == taskRunning && mt.dupOf.node == n {
 				continue
 			}
@@ -61,16 +68,13 @@ func (r *jobRun) inputLocations(mt *mapTask) []int {
 }
 
 func (r *jobRun) launchMap(mt *mapTask, node int, queueIdx int) {
-	r.pendingMaps = append(r.pendingMaps[:queueIdx], r.pendingMaps[queueIdx+1:]...)
-	if queueIdx < r.pumpScanFrom {
-		r.pumpScanFrom--
-	}
+	r.dropPendingMap(queueIdx)
 	r.takeMapSlot(node)
 	mt.to(taskRunning)
 	mt.node = node
 	mt.start = r.sim().Now()
 	mt.step = mtStepStartup
-	mt.ev = r.sim().AfterTimer(r.ccfg().TaskStartup, mt)
+	mt.ev = r.schedTimer(r.ccfg().TaskStartup, mt, &mt.ffSlot)
 }
 
 func (r *jobRun) mapRead(mt *mapTask) {
@@ -119,7 +123,7 @@ func (r *jobRun) mapCompute(mt *mapTask) {
 		d = des.Time(float64(mt.inputBytes) / cpu)
 	}
 	mt.step = mtStepCPU
-	mt.ev = r.sim().AfterTimer(d, mt)
+	mt.ev = r.schedTimer(d, mt, &mt.ffSlot)
 }
 
 func (r *jobRun) mapWrite(mt *mapTask) {
@@ -205,7 +209,7 @@ func (r *jobRun) killSpeculative(loser *mapTask) {
 	case taskPending, taskBlocked:
 		for i, p := range r.pendingMaps {
 			if p == loser {
-				r.pendingMaps = append(r.pendingMaps[:i], r.pendingMaps[i+1:]...)
+				r.dropPendingMap(i)
 				break
 			}
 		}

@@ -85,10 +85,8 @@ func (r *jobRun) abortMapWork(mt *mapTask) {
 		r.net().Abort(mt.fl)
 		mt.fl = nil
 	}
-	if mt.ev != nil {
-		r.sim().Cancel(mt.ev)
-		mt.ev = nil
-	}
+	r.cancelTimer(mt.ev, &mt.ffSlot)
+	mt.ev = nil
 }
 
 func (r *jobRun) abortReduceWork(rt *reduceTask) {
@@ -102,10 +100,8 @@ func (r *jobRun) abortReduceWork(rt *reduceTask) {
 			rt.inflight--
 		}
 	}
-	if rt.ev != nil {
-		r.sim().Cancel(rt.ev)
-		rt.ev = nil
-	}
+	r.cancelTimer(rt.ev, &rt.ffSlot)
+	rt.ev = nil
 	for _, of := range rt.outFlows {
 		if of.fl != nil {
 			r.net().Abort(of.fl)

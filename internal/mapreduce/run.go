@@ -54,11 +54,15 @@ type mapTask struct {
 	inputBytes int64
 	outBytes   int64
 
-	node  int
-	fl    *flow.Flow
-	ev    *des.Event
-	rerun bool // re-executed after its first output was lost (Hadoop recovery)
-	start des.Time
+	node int
+	fl   *flow.Flow
+	ev   *des.Event
+	// ffSlot is the 1-based micro-heap position of the task's pending
+	// fast-forward timer (0 = none) — the engine-side counterpart of ev,
+	// kept current by the heap. At most one of ev/ffSlot is live.
+	ffSlot int
+	rerun  bool // re-executed after its first output was lost (Hadoop recovery)
+	start  des.Time
 
 	// Speculative execution: a straggling original holds a pointer to its
 	// duplicate and vice versa. Only one of the pair ever completes.
@@ -129,6 +133,9 @@ type reduceTask struct {
 	fetched      float64
 	shuffling    bool
 	ev           *des.Event
+	// ffSlot mirrors mapTask.ffSlot: the pending fast-forward timer's
+	// 1-based micro-heap position, 0 when none.
+	ffSlot int
 	// outFlows tracks in-progress output writes and their target nodes in
 	// start order — a slice, not a map, so abort/retarget sweeps touch the
 	// flow network in a deterministic order.
@@ -198,10 +205,18 @@ type jobRun struct {
 
 	mapsRemaining int
 	redRemaining  int
-	pendingMaps   []*mapTask
-	pendingReds   []*reduceTask
-	mapFree       []int // free mapper slots, indexed by node ID
-	redFree       []int // free reducer slots, indexed by node ID
+	// pendingMaps is the FIFO assignment queue. Launched (or killed)
+	// entries become nil tombstones instead of being spliced out: a splice
+	// memmoves the whole tail, which at thousands of nodes turned the map
+	// phase quadratic (the profiled 4096-node tail was ~35% memmove).
+	// Tombstones keep indices stable — so pumpScanFrom stays valid across
+	// launches — and dropPendingMap compacts them away amortized O(1) once
+	// they outnumber live entries. pendingMapNils counts them.
+	pendingMaps    []*mapTask
+	pendingMapNils int
+	pendingReds    []*reduceTask
+	mapFree        []int // free mapper slots, indexed by node ID
+	redFree        []int // free reducer slots, indexed by node ID
 	// mapSlotsFree/redSlotsFree are the cluster-wide totals of the two
 	// slices, maintained through the take/free helpers below, so the pump
 	// (which runs after every event) can reject an assignment pass in O(1)
@@ -214,7 +229,7 @@ type jobRun struct {
 	// pump (launches only consume slots), so re-scanning the blocked
 	// prefix on every assignment is pure waste — the watermark makes a
 	// pump's total scan O(queue), not O(queue × launches). Reset per
-	// pump; adjusted when a launch splices below it.
+	// pump; remapped when a compaction shifts indices under it.
 	pumpScanFrom int
 
 	commits   []partCommit // indexed by reducer ID, opened when the first split lands
@@ -259,6 +274,30 @@ func (r *jobRun) fs() *dfs.FS            { return r.d.fs }
 func (r *jobRun) cfg() *ChainConfig      { return &r.d.cfg }
 func (r *jobRun) ccfg() *cluster.Config  { return &r.d.clus.Cfg }
 
+// schedTimer schedules a task's single phase timer: through the
+// fast-forward micro-scheduler when the engine is attached (returning nil
+// and recording the heap position in *ffSlot), else through the simulator
+// queue. Phase callbacks clear whichever handle fired, so exactly one of
+// the two is ever live.
+func (r *jobRun) schedTimer(d des.Time, tm des.Timer, ffSlot *int) *des.Event {
+	if r.d.ff != nil {
+		r.d.ff.after(d, tm, ffSlot)
+		return nil
+	}
+	return r.sim().AfterTimer(d, tm)
+}
+
+// cancelTimer cancels a task's pending phase timer, whichever form it
+// took. Safe when neither is pending.
+func (r *jobRun) cancelTimer(ev *des.Event, ffSlot *int) {
+	if ev != nil {
+		r.sim().Cancel(ev)
+	}
+	if *ffSlot != 0 {
+		r.d.ff.cancel(ffSlot)
+	}
+}
+
 // Slot bookkeeping goes through these four helpers so the per-node slices
 // and the cluster-wide totals can never drift apart.
 
@@ -266,6 +305,35 @@ func (r *jobRun) takeMapSlot(n int) { r.mapFree[n]--; r.mapSlotsFree-- }
 func (r *jobRun) freeMapSlot(n int) { r.mapFree[n]++; r.mapSlotsFree++ }
 func (r *jobRun) takeRedSlot(n int) { r.redFree[n]--; r.redSlotsFree-- }
 func (r *jobRun) freeRedSlot(n int) { r.redFree[n]++; r.redSlotsFree++ }
+
+// dropPendingMap tombstones the queue entry at index i (see the
+// pendingMaps field comment) and compacts once tombstones outnumber live
+// entries. Assignment order is untouched: survivors keep their relative
+// order, and the locality watermark is remapped to its compacted position.
+func (r *jobRun) dropPendingMap(i int) {
+	r.pendingMaps[i] = nil
+	r.pendingMapNils++
+	if r.pendingMapNils*2 <= len(r.pendingMaps) || len(r.pendingMaps) < 64 {
+		return
+	}
+	kept := 0
+	scanFrom := r.pumpScanFrom
+	for qi, mt := range r.pendingMaps {
+		if qi == scanFrom {
+			r.pumpScanFrom = kept
+		}
+		if mt != nil {
+			r.pendingMaps[kept] = mt
+			kept++
+		}
+	}
+	if scanFrom >= len(r.pendingMaps) {
+		r.pumpScanFrom = kept
+	}
+	clear(r.pendingMaps[kept:])
+	r.pendingMaps = r.pendingMaps[:kept]
+	r.pendingMapNils = 0
+}
 
 // grow returns s resized to n entries, all zeroed, reusing capacity —
 // the shared shape of every per-node/per-reducer state slice reset.
@@ -303,6 +371,7 @@ func (r *jobRun) begin() {
 	}
 	r.mapsRemaining = len(r.maps)
 	r.redRemaining = len(r.reduces)
+	r.pendingMapNils = 0
 	r.pendingMaps = append(r.pendingMaps, r.maps...)
 	if r.cfg().DisableLocality {
 		// Without the locality preference, index-order assignment would

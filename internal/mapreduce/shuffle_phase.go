@@ -234,7 +234,7 @@ func (r *jobRun) launchReduce(rt *reduceTask, node int) {
 	rt.outBytes = 0
 	rt.outReplicas = rt.outReplicas[:0]
 	rt.step = rtStepStartup
-	rt.ev = r.sim().AfterTimer(r.ccfg().TaskStartup, rt)
+	rt.ev = r.schedTimer(r.ccfg().TaskStartup, rt, &rt.ffSlot)
 }
 
 func (r *jobRun) reduceShuffle(rt *reduceTask) {
@@ -368,7 +368,7 @@ func (r *jobRun) maybeFinishShuffle(rt *reduceTask) {
 		d = des.Time(rt.fetched / cpu)
 	}
 	rt.step = rtStepCPU
-	rt.ev = r.sim().AfterTimer(d, rt)
+	rt.ev = r.schedTimer(d, rt, &rt.ffSlot)
 }
 
 var _ flow.Completion = (*srcBucket)(nil)

@@ -16,8 +16,10 @@
 #      the cached repeat byte-identical again, and SIGTERM must drain
 #      cleanly — plus a small serveload pass (concurrent clients, cache
 #      hit-rate and zero-dropped-jobs checks in-process)
-#   6. golden-digest + lazy-equivalence suites, explicitly, with the
-#      ladder event queue and rate-class flow core on (their defaults)
+#   6. golden-digest + lazy-equivalence + fast-forward-equivalence
+#      suites, explicitly, with the ladder event queue and rate-class
+#      flow core on (their defaults), plus the fast-forward engine's
+#      chain-level property tests forced through -race
 #   7. benchmark smoke pass: every benchmark once at the smoke tier
 #   8. perf-regression gate: re-measure the perf-trajectory benchmarks and
 #      diff against the committed BENCH_flow.json (scripts/benchdiff.sh;
@@ -48,6 +50,9 @@ go test -race ./...
 echo "== race (simulation core + pooled runner + distributed runtime + sweep server, repeated) =="
 go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server
 
+echo "== race (fast-forward mode, repeated) =="
+go test -race -count=2 -run 'TestFF|TestGoldenResultsEquivalentUnderFastForward' ./internal/mapreduce ./internal/experiments
+
 echo "== rcmpsim smoke (failure-schedule engine) =="
 go run ./cmd/rcmpsim -fig double-failure -quick -parallel 2 > /dev/null
 go run ./cmd/rcmpsim -fig trace-replay -quick -parallel 2 -json > /dev/null
@@ -56,6 +61,10 @@ go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
 echo "== rcmpsim smoke (scaling tier: weak-scaling + -nodes override) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick > /dev/null
 go run ./cmd/rcmpsim -fig 8b -quick -nodes 16 > /dev/null
+
+echo "== rcmpsim smoke (fast-forward forced on at every size) =="
+go run ./cmd/rcmpsim -fig weak-scaling -quick -ff > /dev/null
+go run ./cmd/rcmpsim -fig trace-replay -quick -ff -parallel 2 -json > /dev/null
 
 echo "== rcmpserve smoke (sweep server end to end: HTTP vs CLI byte-identity, cache, SIGTERM drain) =="
 tmp="${TMPDIR:-/tmp}/rcmp-verify-$$"
@@ -89,8 +98,8 @@ wait "$serve_pid"
 echo "== serveload smoke (concurrent clients, cache hit rate, zero dropped jobs) =="
 go run ./cmd/serveload -requests 200 -grids 16 -out "$tmp/BENCH_serve_smoke.json" > /dev/null
 
-echo "== golden digests + lazy equivalence (ladder queue + rate-class flow core on) =="
-go test -count=1 -run 'TestGoldenDigests|TestGoldenResultsEquivalentUnderLazyBanking' ./internal/experiments
+echo "== golden digests + lazy + fast-forward equivalence (ladder queue + rate-class flow core on) =="
+go test -count=1 -run 'TestGoldenDigests|TestGoldenResultsEquivalentUnderLazyBanking|TestGoldenResultsEquivalentUnderFastForward' ./internal/experiments
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
