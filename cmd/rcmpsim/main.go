@@ -42,6 +42,8 @@ func main() {
 	seeds := flag.String("seeds", "", "comma-separated seed sweep, overrides -seed (e.g. '0,1,2')")
 	failAt := flag.Int("failure-at", 0, "override the single-failure injection run (0 = figure default)")
 	nodesOverride := flag.Int("nodes", 0, "override the simulated cluster size for any experiment (0 = figure default; Fig11 ignores it, weak-scaling runs just that size)")
+	tenants := flag.Int("tenants", 0, "tenant count for multi-tenant experiments (0 = figure's own sweep; >1 is an error on single-tenant figures)")
+	speculation := flag.Bool("speculation", false, "enable speculative task execution in every simulated run and report launched/wasted counters")
 	schedule := flag.String("schedule", "", "failure schedule for schedule-aware figures: pulses 'RUN[@SEC][xNODES],...' (e.g. '2@15,4@5x2'), or 'stic[:SEED]'/'sugar[:SEED]' to sample one from the paper's traces")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the experiment runner")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text figures")
@@ -99,13 +101,23 @@ func main() {
 	if *nodesOverride > 0 {
 		nodesDim = []int{*nodesOverride}
 	}
+	var tenantsDim []int
+	if *tenants > 0 {
+		tenantsDim = []int{*tenants}
+	}
+	var speclDim []bool
+	if *speculation {
+		speclDim = []bool{true}
+	}
 	jobs := runner.Grid{
-		Specs:      specs,
-		Scales:     []experiments.Scale{scale},
-		Seeds:      seedList,
-		FailureAts: []int{*failAt},
-		Schedules:  scheds,
-		Nodes:      nodesDim,
+		Specs:       specs,
+		Scales:      []experiments.Scale{scale},
+		Seeds:       seedList,
+		FailureAts:  []int{*failAt},
+		Schedules:   scheds,
+		Nodes:       nodesDim,
+		Tenants:     tenantsDim,
+		Speculation: speclDim,
 	}.Jobs()
 
 	// Profiling covers exactly the simulation work (the pool run), not

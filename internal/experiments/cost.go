@@ -30,6 +30,8 @@ var relativeCosts = map[string]map[Scale]float64{
 	"double-failure":       {ScalePaper: 32, ScaleQuick: 1.8},
 	"trace-replay":         {ScalePaper: 133, ScaleQuick: 5.8},
 	"weak-scaling":         {ScalePaper: 400, ScaleQuick: 1.5},
+	"dag-recovery":         {ScalePaper: 30, ScaleQuick: 1.5},
+	"multi-tenant":         {ScalePaper: 600, ScaleQuick: 8},
 	"ablation-scatter":     {ScalePaper: 35, ScaleQuick: 1.5},
 	"ablation-ratio":       {ScalePaper: 50, ScaleQuick: 1.7},
 	"ablation-reuse":       {ScalePaper: 27, ScaleQuick: 1.1},

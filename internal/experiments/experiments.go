@@ -87,6 +87,18 @@ type Config struct {
 	// Fig11 ignores the override: its x-axis IS the cluster size. For
 	// WeakScaling a positive Nodes selects that single sweep point.
 	Nodes int
+	// Tenants, when positive, selects the tenant count of a multi-tenant
+	// experiment's shared-cluster session (0 keeps the figure's own tenant
+	// sweep). Values above 1 are only meaningful for specs registered as
+	// MultiTenant; the registry turns a tenant sweep over any other figure
+	// into a per-job config error, mirroring the Nodes guard.
+	Tenants int
+	// Speculation enables speculative task execution (the Section III-A
+	// mechanism) in every simulated run the experiment performs, and adds
+	// "speculative launched"/"speculative wasted" counters to the figure's
+	// Values. Off by default, so default outputs — and their golden
+	// digests — are unchanged.
+	Speculation bool
 }
 
 // Cluster-size override bounds: below minNodesOverride the fixed failure
@@ -107,6 +119,20 @@ const (
 func (c Config) validateNodes() error {
 	if c.Nodes != 0 && (c.Nodes < minNodesOverride || c.Nodes > maxNodesOverride) {
 		return fmt.Errorf("experiments: Nodes=%d out of range [%d, %d]", c.Nodes, minNodesOverride, maxNodesOverride)
+	}
+	return nil
+}
+
+// maxTenants bounds the Config.Tenants override: every tenant is a full
+// graph execution sharing one simulated cluster, so the session cost grows
+// linearly and a runaway sweep point should fail fast, not crawl.
+const maxTenants = 64
+
+// validateTenants checks the Config.Tenants override range, the same
+// per-job convention validateNodes follows.
+func (c Config) validateTenants() error {
+	if c.Tenants < 0 || c.Tenants > maxTenants {
+		return fmt.Errorf("experiments: Tenants=%d out of range [0, %d]", c.Tenants, maxTenants)
 	}
 	return nil
 }
@@ -145,6 +171,7 @@ func sticSetup(c Config, mapSlots, redSlots int) setup {
 		NumReducers:  ccfg.Nodes * redSlots,
 		InputPerNode: 4 * cluster.GB,
 		Seed:         c.Seed,
+		Speculation:  c.Speculation,
 	}
 	if c.Scale == ScaleQuick {
 		ccfg.Nodes = 5
@@ -174,6 +201,7 @@ func dcoSetup(c Config, nodes int) setup {
 		InputPerNode: 2 * cluster.GB,
 		BlockSize:    256 * cluster.MB,
 		Seed:         c.Seed,
+		Speculation:  c.Speculation,
 	}
 	if c.Scale == ScaleQuick {
 		ccfg.Nodes = 8
@@ -302,6 +330,17 @@ func run(st setup) *mapreduce.Result {
 		panic(fmt.Sprintf("experiment %s: %v", st.name, err))
 	}
 	return res
+}
+
+// addSpeculationValues surfaces the speculative-execution counters of one
+// measured run in the figure's Values — only under the Speculation
+// dimension, so default outputs (and golden digests) carry no new keys.
+func addSpeculationValues(r *Result, c Config, label string, res *mapreduce.Result) {
+	if !c.Speculation || res == nil {
+		return
+	}
+	r.Values[label+" speculative launched"] = float64(res.SpeculativeLaunched)
+	r.Values[label+" speculative wasted"] = float64(res.SpeculativeWasted)
 }
 
 // ---- Figure 2 ----
@@ -447,6 +486,7 @@ func fig8(name string, c Config, failures func(setup) ([]mapreduce.Injection, er
 			slow := metrics.Slowdown(sr.total, best)
 			totals[label] = append(totals[label], slow)
 			r.Values[label+" @ "+st.name] = slow
+			addSpeculationValues(r, c, label+" @ "+st.name, sr.res)
 		}
 	}
 	var rows [][]string

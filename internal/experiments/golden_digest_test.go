@@ -34,6 +34,8 @@ var goldenDigests = map[string]string{
 	"double-failure":       "5d0559b4664ae88c86eecb15801c1a1e6e5f98e6faef13882747fdf5a1a8994b", // new in PR 3: schedule engine
 	"trace-replay":         "bd5a8028e978bc27a0bc3deb672e85c2308c3791137b3a5d63f78ea06d9790d2", // new in PR 3: schedule engine
 	"weak-scaling":         "0a30eaa77f06d44d68ead33fdf61ae69cdc12d84cd5d2eeb1e80d1de09eeddd5", // new in PR 5: scaling benchmark tier
+	"dag-recovery":         "7bb641d855961f70f4dbfe4229bb4ded7cd82715c9629ee430880e87f9833924", // new in PR 8: DAG job graphs
+	"multi-tenant":         "a982155cb2e99671617e78380a540755e914ae4bfe409f04716917af408add80", // new in PR 8: shared-cluster sessions
 	"ablation-scatter":     "19620a0141b6101b6d236ee386fe4a25173126204908dfa4a2d1994d7177b3a9",
 	"ablation-ratio":       "60e1310feca48e568327211feceb2bdcaac91807f0b7de133da758d0ebf97ea2",
 	"ablation-reuse":       "9ce612f882fb1a2df8592e409be5d6481340ebf02725e3029d0b85912213a692",

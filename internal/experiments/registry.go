@@ -26,6 +26,9 @@ type Spec struct {
 	// FailureAt or Schedule beyond the chain length), never that the
 	// simulation misbehaved — simulator bugs still panic.
 	Run func(Config) (*Result, error)
+	// MultiTenant marks experiments that interpret Config.Tenants: a
+	// tenant sweep over any other spec is a per-job config error.
+	MultiTenant bool
 }
 
 // Exec runs the experiment with the cross-cutting Config checks applied
@@ -37,6 +40,13 @@ type Spec struct {
 func (sp Spec) Exec(c Config) (*Result, error) {
 	if err := c.validateNodes(); err != nil {
 		return nil, err
+	}
+	if err := c.validateTenants(); err != nil {
+		return nil, err
+	}
+	if c.Tenants > 1 && !sp.MultiTenant {
+		return nil, fmt.Errorf("experiments: %s is single-tenant; Tenants=%d only applies to multi-tenant experiments",
+			sp.Name, c.Tenants)
 	}
 	return sp.Run(c)
 }
@@ -59,6 +69,8 @@ func Registry() []Spec {
 		{Key: "double-failure", Name: "DoubleFailure", Desc: "second failure lands mid-recomputation (schedule engine)", Run: DoubleFailure},
 		{Key: "trace-replay", Name: "TraceReplay", Desc: "recomputation work per day under STIC/SUG@R trace schedules", Run: TraceReplay},
 		{Key: "weak-scaling", Name: "WeakScaling", Desc: "fixed per-node work, cluster size swept 64→4096 (aggregated shuffle)", Run: WeakScaling},
+		{Key: "dag-recovery", Name: "DAGRecovery", Desc: "diamond DAG fan-in cascade: surviving-branch reuse vs replication", Run: DAGRecovery},
+		{Key: "multi-tenant", Name: "MultiTenant", Desc: "shared-cluster tenants: recovery time vs utilization, SPLIT vs NO-SPLIT", Run: MultiTenant, MultiTenant: true},
 		{Key: "ablation-scatter", Name: "AblationScatterVsSplit", Desc: "split vs scatter-only vs none", Run: AblationScatterVsSplit},
 		{Key: "ablation-ratio", Name: "AblationSplitRatio", Desc: "split ratio sweep", Run: AblationSplitRatio},
 		{Key: "ablation-reuse", Name: "AblationMapReuse", Desc: "map-output reuse on/off", Run: AblationMapReuse},

@@ -14,7 +14,8 @@ import "fmt"
 // MapperMeta describes one mapper task of a job and its persisted output.
 type MapperMeta struct {
 	Index          int
-	InputPartition int   // partition of the job's input file the mapper reads
+	InFile         int   // index into the job's InputFiles (0 for single-input jobs)
+	InputPartition int   // partition of that input file the mapper reads
 	InputBlock     int   // block within that partition
 	InputBytes     int64 // bytes read
 	OutputBytes    int64 // bytes of persisted map output
@@ -32,9 +33,13 @@ type ReducerMeta struct {
 
 // JobRecord is the lineage of one job in the chain.
 type JobRecord struct {
-	ID         int // 1-based position in the chain
-	Name       string
-	InputFile  string
+	ID        int // 1-based position in the chain (topological position for DAGs)
+	Name      string
+	InputFile string
+	// InputFiles lists every input file of a multi-input (DAG fan-in) job,
+	// indexed by MapperMeta.InFile. Empty for single-input jobs, whose input
+	// is InputFile; InputFile always equals the first input either way.
+	InputFiles []string
 	OutputFile string
 	// Splittable reports whether the job's reducers may be split during
 	// recomputation (false for order-sensitive logic such as top-k).
@@ -47,6 +52,15 @@ type JobRecord struct {
 
 // NumReducers returns the reducer count of the job.
 func (j *JobRecord) NumReducers() int { return len(j.Reducers) }
+
+// InputFileAt returns the i-th input file of the job. Single-input records
+// (no InputFiles set) hold their one input in InputFile.
+func (j *JobRecord) InputFileAt(i int) string {
+	if len(j.InputFiles) > 0 {
+		return j.InputFiles[i]
+	}
+	return j.InputFile
+}
 
 // LostMappers returns the indices of mappers whose persisted outputs are on
 // failed nodes, ascending.
@@ -108,6 +122,26 @@ func (c *Chain) Append(j *JobRecord) error {
 	}
 	c.jobs = append(c.jobs, j)
 	return nil
+}
+
+// AppendRecord adds the next job record without the linear input-equals-
+// previous-output check: DAG jobs read arbitrary earlier outputs (and
+// several of them). IDs must still arrive in submission (topological)
+// order. The graph validation in internal/middleware is the DAG-shaped
+// counterpart of Append's linkage check.
+func (c *Chain) AppendRecord(j *JobRecord) error {
+	if j.ID != len(c.jobs)+1 {
+		return fmt.Errorf("lineage: job ID %d out of order (have %d jobs)", j.ID, len(c.jobs))
+	}
+	c.jobs = append(c.jobs, j)
+	return nil
+}
+
+// InvalidateMapperOutput marks one mapper's persisted output as unusable
+// (Node -1) while keeping its size metadata, e.g. when a split
+// recomputation regenerated the partition it was computed from.
+func (c *Chain) InvalidateMapperOutput(job, mapper int) {
+	c.Job(job).Mappers[mapper].Node = -1
 }
 
 // Len returns the number of recorded jobs.

@@ -60,6 +60,11 @@ type Context struct {
 	freeMaps []*mapTask
 	freeReds []*reduceTask
 
+	// slots is the context's slot table, reset by every single-tenant run's
+	// begin (multi-tenant sessions bring their own shared table). It lives
+	// here so the per-node slices survive run and chain boundaries.
+	slots slotTable
+
 	// ff is the chain-scoped fast-forward engine. RunChain attaches it (and
 	// points Driver.ff at it) only for chains that resolve the mode on;
 	// otherwise the field is dormant — nothing reads it, and the simulator
@@ -289,8 +294,6 @@ func (ctx *Context) recycleRun(r *jobRun) {
 	persisted := r.persistedSeen[:0]
 	pendingMaps := r.pendingMaps[:0]
 	pendingReds := r.pendingReds[:0]
-	mapFree := r.mapFree[:0]
-	redFree := r.redFree[:0]
 	commits := r.commits[:0]
 	specDups := r.specDups[:0]
 	locBuf := r.locBuf[:0]
@@ -301,8 +304,6 @@ func (ctx *Context) recycleRun(r *jobRun) {
 	r.persistedSeen = persisted
 	r.pendingMaps = pendingMaps
 	r.pendingReds = pendingReds
-	r.mapFree = mapFree
-	r.redFree = redFree
 	r.commits = commits
 	r.specDups = specDups
 	r.locBuf = locBuf

@@ -12,8 +12,18 @@ import (
 	"rcmp/internal/metrics"
 )
 
-// Driver executes one multi-job chain on a simulated cluster under a chosen
+// graphJob is one job of the executing graph, in topological position
+// order: the driver submits jobs[0], jobs[1], ... and the 1-based frontier
+// indexes into this slice.
+type graphJob struct {
+	name   string
+	inputs []string
+	output string
+}
+
+// Driver executes one job graph on a simulated cluster under a chosen
 // failure-resilience strategy (the paper's middleware + master together).
+// Chains run through the same driver as the linear degenerate case.
 type Driver struct {
 	ctx  *Context
 	sim  *des.Simulator
@@ -22,11 +32,17 @@ type Driver struct {
 	ch   *lineage.Chain
 	rec  *metrics.Recorder
 	cfg  ChainConfig
+	topo *core.Topology
+	jobs []graphJob
 	rng  *rand.Rand
 	agg  bool          // aggregated shuffle tier resolved for this chain
 	ff   *ffController // fast-forward engine, nil when off for this chain
 
-	frontier    int // 1-based chain job currently being computed
+	// session is the multi-tenant coordinator when this driver shares the
+	// context (and its slot table) with other tenants; nil single-tenant.
+	session *session
+
+	frontier    int // 1-based topological position currently being computed
 	runCounter  int
 	failedNodes map[int]bool
 	current     *jobRun
@@ -63,22 +79,22 @@ func RunChain(ccfg cluster.Config, cfg ChainConfig) (*Result, error) {
 	return res, err
 }
 
-// RunChain executes one chain on the context. The config must already be
-// validated and defaulted when coming through the package-level RunChain;
-// direct callers get the same treatment here.
+// RunChain executes one chain on the context: the linear special case of
+// RunGraph, lowered with the historical chain file names.
 func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ctx.reset(cfg.BlockSize)
-	if cfg.aggregatedShuffle(ctx.clus.NumNodes()) {
-		// The aggregated tier rides the flow network's class accounting:
-		// per-trunk shared rates and heap-backed completion candidates, so
-		// per-event cost tracks rate classes, not in-flight transfers.
-		// (Reset clears the mode, so pooled contexts flip per chain.)
-		ctx.clus.Net.EnableClassAccounting()
-	}
+	return ctx.RunGraph(GraphConfig{ChainConfig: cfg, Jobs: linearJobs(cfg.NumJobs)})
+}
+
+// newDriver assembles a driver on a freshly reset context. The config must
+// be defaulted and validated, with NumJobs equal to the topology's job
+// count. attachEngines resolves the aggregated-shuffle and fast-forward
+// modes; a multi-tenant session passes false and arbitrates those modes
+// itself.
+func newDriver(ctx *Context, cfg ChainConfig, topo *core.Topology, attachEngines bool) *Driver {
 	d := &Driver{
 		ctx:         ctx,
 		sim:         ctx.sim,
@@ -87,32 +103,50 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		ch:          lineage.NewChain(),
 		rec:         &metrics.Recorder{},
 		cfg:         cfg,
+		topo:        topo,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		agg:         cfg.aggregatedShuffle(ctx.clus.NumNodes()),
 		frontier:    1,
 		failedNodes: make(map[int]bool),
 	}
-	if cfg.fastForwarded(ctx.clus.NumNodes()) {
-		// The engine attaches to the freshly reset context before any flow
-		// or event exists, mirroring the accounting-mode switch above; a
-		// pooled context runs exact again next chain unless re-attached.
-		ctx.ff.attach(ctx.sim, ctx.clus.Net, ctx.clus)
-		d.ff = &ctx.ff
+	jobs := make([]graphJob, topo.NumJobs())
+	for j := 1; j <= topo.NumJobs(); j++ {
+		jobs[j-1] = graphJob{name: topo.Name(j), inputs: topo.Inputs(j), output: topo.Output(j)}
 	}
-	if err := d.createInput(); err != nil {
-		return nil, err
+	d.jobs = jobs
+	if attachEngines {
+		if cfg.aggregatedShuffle(ctx.clus.NumNodes()) {
+			// The aggregated tier rides the flow network's class accounting:
+			// per-trunk shared rates and heap-backed completion candidates, so
+			// per-event cost tracks rate classes, not in-flight transfers.
+			// (Reset clears the mode, so pooled contexts flip per chain.)
+			ctx.clus.Net.EnableClassAccounting()
+			d.agg = true
+		}
+		if cfg.fastForwarded(ctx.clus.NumNodes()) {
+			// The engine attaches to the freshly reset context before any flow
+			// or event exists, mirroring the accounting-mode switch above; a
+			// pooled context runs exact again next chain unless re-attached.
+			ctx.ff.attach(ctx.sim, ctx.clus.Net, ctx.clus)
+			d.ff = &ctx.ff
+		}
 	}
-	// Pre-size the recorder for the failure-free sample volume (failure
-	// chains grow past it once, harmlessly): one sample per map block and
-	// reducer per job, one run stat per job.
+	return d
+}
+
+// reserveRecorder pre-sizes the recorder for the failure-free sample
+// volume (failure chains grow past it once, harmlessly): one sample per
+// map block and reducer per job, one run stat per job.
+func (d *Driver) reserveRecorder() {
 	taskCap := 0
-	if !cfg.NoTaskSamples {
-		blocksPerPart := int((cfg.InputPerNode + cfg.BlockSize - 1) / cfg.BlockSize)
-		taskCap = cfg.NumJobs * (ctx.clus.NumNodes()*blocksPerPart + cfg.NumReducers)
+	if !d.cfg.NoTaskSamples {
+		blocksPerPart := int((d.cfg.InputPerNode + d.cfg.BlockSize - 1) / d.cfg.BlockSize)
+		taskCap = d.cfg.NumJobs * (d.clus.NumNodes()*blocksPerPart + d.cfg.NumReducers)
 	}
-	d.rec.Reserve(taskCap, cfg.NumJobs+4)
-	d.startInitial(1)
-	ctx.sim.Run()
+	d.rec.Reserve(taskCap, d.cfg.NumJobs+4)
+}
+
+// finish folds the drained simulation into a Result.
+func (d *Driver) finish() (*Result, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -120,7 +154,7 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		return nil, fmt.Errorf("mapreduce: simulation drained before chain completed (job %d)", d.frontier)
 	}
 	if d.current != nil {
-		ctx.recycleRun(d.current)
+		d.ctx.recycleRun(d.current)
 		d.current = nil
 	}
 	// Semantic event count: queue events plus absorbed micro-events, minus
@@ -128,7 +162,7 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 	// Events identical between an exact and a fast-forwarded run of the
 	// same chain — every absorbed micro-event replaces exactly one queue
 	// event — so scaling diagnostics stay comparable across modes.
-	events := ctx.sim.Processed + ctx.sim.Absorbed
+	events := d.sim.Processed + d.sim.Absorbed
 	if d.ff != nil {
 		events -= d.ff.wakes
 	}
@@ -140,17 +174,15 @@ func (ctx *Context) RunChain(cfg ChainConfig) (*Result, error) {
 		SpeculativeLaunched: d.specLaunched,
 		SpeculativeWasted:   d.specWasted,
 		Events:              events,
-		Flows:               ctx.clus.Net.Completed,
+		Flows:               d.clus.Net.Completed,
 	}, nil
 }
 
-// createInput lays out the original input: one partition per node of
-// InputPerNode bytes, InputRepl replicas (paper: triple-replicated).
+// createInput lays out every external input file of the graph: one
+// partition per node of InputPerNode bytes, InputRepl replicas (paper:
+// triple-replicated). A chain has exactly one, the original input.
 func (d *Driver) createInput() error {
 	n := d.clus.NumNodes()
-	if _, err := d.fs.Create(inputFileName, n); err != nil {
-		return err
-	}
 	all := d.clus.Alive()
 	repl := d.cfg.InputRepl
 	if repl > n {
@@ -160,11 +192,21 @@ func (d *Driver) createInput() error {
 	// blocks, so the loop plans n partitions with a single allocation.
 	var buf []int
 	sets := [][]int{nil}
-	for p := 0; p < n; p++ {
-		buf = d.fs.PlanReplicasInto(buf[:0], p, repl, all)
-		sets[0] = buf
-		if _, err := d.fs.SetPartition(inputFileName, p, d.cfg.InputPerNode, sets); err != nil {
-			return err
+	for j := range d.jobs {
+		for _, name := range d.jobs[j].inputs {
+			if d.topo.ProducerOf(name) != 0 || d.fs.File(name) != nil {
+				continue // produced by a job, or already laid out
+			}
+			if _, err := d.fs.Create(name, n); err != nil {
+				return err
+			}
+			for p := 0; p < n; p++ {
+				buf = d.fs.PlanReplicasInto(buf[:0], p, repl, all)
+				sets[0] = buf
+				if _, err := d.fs.SetPartition(name, p, d.cfg.InputPerNode, sets); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil
@@ -180,7 +222,7 @@ func (d *Driver) unrecoverable(err error) {
 	d.sim.Stop()
 }
 
-// outputRepl returns the DFS replication for a chain job's output under the
+// outputRepl returns the DFS replication for a job's output under the
 // configured strategy.
 func (d *Driver) outputRepl(job int) int {
 	if d.cfg.Mode == ModeRCMP {
@@ -190,13 +232,6 @@ func (d *Driver) outputRepl(job int) int {
 		return 1
 	}
 	return d.cfg.OutputRepl
-}
-
-func (d *Driver) inputFileOf(job int) string {
-	if job == 1 {
-		return inputFileName
-	}
-	return outputFileName(job - 1)
 }
 
 // newRun assembles the shared parts of any job run and registers
@@ -213,63 +248,88 @@ func (d *Driver) newRun(job int, kind metrics.RunKind) *jobRun {
 	r.job = job
 	r.kind = kind
 	r.runIndex = d.runCounter
-	r.inputFile = d.inputFileOf(job)
-	r.outputFile = outputFileName(job)
+	r.inputs = d.jobs[job-1].inputs
+	r.outputFile = d.jobs[job-1].output
 	r.repl = d.outputRepl(job)
 	r.scatter = d.cfg.ScatterOnly && kind == metrics.RunRecompute
+	r.slots = d.slots()
 	r.aggOut = grow(r.aggOut, d.clus.NumNodes())
-	for _, inj := range d.cfg.Failures {
-		if inj.AtRun == d.runCounter {
-			inj := inj
-			d.clus.RegisterPulse(d.sim.Now() + inj.After)
-			d.sim.After(inj.After, func() {
-				// A multi-node injection kills its whole batch at one
-				// simulated instant, the way an outage day loses machines
-				// together; injectFailure itself refuses to take the last
-				// alive node.
-				d.injectFailure(inj.Node)
-				for extra := 1; extra < inj.Count; extra++ {
-					d.injectFailure(-1)
-				}
-			})
+	if d.registersInjections() {
+		for _, inj := range d.cfg.Failures {
+			if inj.AtRun == d.runCounter {
+				inj := inj
+				d.clus.RegisterPulse(d.sim.Now() + inj.After)
+				d.sim.After(inj.After, func() {
+					// A multi-node injection kills its whole batch at one
+					// simulated instant, the way an outage day loses machines
+					// together; injectFailure itself refuses to take the last
+					// alive node.
+					d.injectFailure(inj.Node)
+					for extra := 1; extra < inj.Count; extra++ {
+						d.injectFailure(-1)
+					}
+				})
+			}
 		}
 	}
 	d.current = r
 	return r
 }
 
-// startInitial launches a full run of a chain job: a mapper per input
-// block, every reducer, fresh output file.
+// slots returns the slot table this driver's runs schedule against: the
+// session's shared table when multi-tenant, the context's own otherwise.
+func (d *Driver) slots() *slotTable {
+	if d.session != nil {
+		return &d.session.slots
+	}
+	return &d.ctx.slots
+}
+
+// registersInjections reports whether this driver turns its Failures
+// config into scheduled failures. In a multi-tenant session only tenant 0
+// does — a failure kills a node for everyone, so one tenant's schedule is
+// the cluster's.
+func (d *Driver) registersInjections() bool {
+	return d.session == nil || d.session.drivers[0] == d
+}
+
+// startInitial launches a full run of a graph job: a mapper per input
+// block over every input file, every reducer, fresh output file.
 func (d *Driver) startInitial(job int) {
 	kind := metrics.RunInitial
 	if d.recovering {
 		kind = metrics.RunRestart
 	}
 	// Discard any partial output from an interrupted earlier attempt.
-	d.fs.Delete(outputFileName(job))
-	if _, err := d.fs.Create(outputFileName(job), d.cfg.NumReducers); err != nil {
+	out := d.jobs[job-1].output
+	d.fs.Delete(out)
+	if _, err := d.fs.Create(out, d.cfg.NumReducers); err != nil {
 		d.unrecoverable(err)
 		return
 	}
 	r := d.newRun(job, kind)
-	in := d.fs.File(r.inputFile)
-	if in == nil {
-		d.unrecoverable(fmt.Errorf("job %d input %q missing", job, r.inputFile))
-		return
-	}
 	idx := 0
-	for _, p := range in.Partitions {
-		for b, blk := range p.Blocks {
-			mt := d.ctx.allocMap()
-			mt.run = r
-			mt.index = idx
-			mt.part = p.Index
-			mt.block = b
-			mt.inputBytes = blk.Size
-			mt.outBytes = int64(float64(blk.Size) * d.cfg.MapOutputRatio)
-			mt.node = -1
-			r.maps = append(r.maps, mt)
-			idx++
+	for i, name := range r.inputs {
+		in := d.fs.File(name)
+		if in == nil {
+			d.unrecoverable(fmt.Errorf("job %d input %q missing", job, name))
+			return
+		}
+		for _, p := range in.Partitions {
+			for b, blk := range p.Blocks {
+				mt := d.ctx.allocMap()
+				mt.run = r
+				mt.index = idx
+				mt.in = in
+				mt.inIdx = i
+				mt.part = p.Index
+				mt.block = b
+				mt.inputBytes = blk.Size
+				mt.outBytes = int64(float64(blk.Size) * d.cfg.MapOutputRatio)
+				mt.node = -1
+				r.maps = append(r.maps, mt)
+				idx++
+			}
 		}
 	}
 	for i := 0; i < d.cfg.NumReducers; i++ {
@@ -286,12 +346,15 @@ func (d *Driver) startInitial(job int) {
 }
 
 // initialRunDone records lineage for a completed full run and advances the
-// chain.
+// graph frontier.
 func (d *Driver) initialRunDone(r *jobRun) {
 	rec := d.ctx.allocJobRec()
 	rec.ID = r.job
-	rec.Name = fmt.Sprintf("job%d", r.job)
-	rec.InputFile = r.inputFile
+	rec.Name = d.jobs[r.job-1].name
+	rec.InputFile = r.inputs[0]
+	if len(r.inputs) > 1 {
+		rec.InputFiles = r.inputs
+	}
 	rec.OutputFile = r.outputFile
 	rec.Splittable = true
 	rec.Completed = true
@@ -308,6 +371,7 @@ func (d *Driver) initialRunDone(r *jobRun) {
 		}
 		rec.Mappers = append(rec.Mappers, lineage.MapperMeta{
 			Index:          mt.index,
+			InFile:         mt.inIdx,
 			InputPartition: mt.part,
 			InputBlock:     mt.block,
 			InputBytes:     mt.inputBytes,
@@ -327,14 +391,15 @@ func (d *Driver) initialRunDone(r *jobRun) {
 			Nodes:       nodes[i : i+1 : i+1],
 		})
 	}
-	if err := d.ch.Append(rec); err != nil {
+	if err := d.ch.AppendRecord(rec); err != nil {
 		d.unrecoverable(err)
 		return
 	}
-	// A completed hybrid checkpoint bounds every future cascade; reclaim
-	// the storage the bound makes unreachable (Section IV-C).
+	// A completed hybrid checkpoint bounds every future cascade through its
+	// ancestry; reclaim the storage the bound makes unreachable
+	// (Section IV-C), sparing whatever a surviving branch still reads.
 	if d.cfg.ReclaimAtCheckpoints && d.outputRepl(r.job) > 1 {
-		if rcl, err := core.ReclaimableBefore(d.ch, r.job); err == nil {
+		if rcl, err := core.GraphReclaimableBefore(d.ch, d.topo, r.job); err == nil {
 			core.ApplyReclamation(d.ch, rcl)
 			for _, f := range rcl.Files {
 				d.fs.Delete(f)
@@ -356,6 +421,13 @@ func (d *Driver) startRecompute(step core.JobStep) {
 	r := d.newRun(step.Job, metrics.RunRecompute)
 	rec := d.ch.Job(step.Job)
 
+	// Resolve the job's input-file handles once; mapper tasks index into
+	// them via their lineage InFile.
+	inFiles := make([]*dfs.File, len(r.inputs))
+	for i, name := range r.inputs {
+		inFiles[i] = d.fs.File(name)
+	}
+
 	// Mapper tasks keep their original indices so shuffle accounting (the
 	// seen bitmap) spans recomputed and persisted outputs uniformly.
 	maxIdx := 0
@@ -374,6 +446,8 @@ func (d *Driver) startRecompute(step core.JobStep) {
 			mt := d.ctx.allocMap()
 			mt.run = r
 			mt.index = m.Index
+			mt.in = inFiles[m.InFile]
+			mt.inIdx = m.InFile
 			mt.part = m.InputPartition
 			mt.block = m.InputBlock
 			mt.inputBytes = m.InputBytes
@@ -436,8 +510,13 @@ func (d *Driver) advanceRecovery() {
 }
 
 // injectFailure kills a node: compute and storage are gone immediately; the
-// master reacts after the detection timeout.
+// master reacts after the detection timeout. In a multi-tenant session the
+// session-level broadcast replaces this driver-local path.
 func (d *Driver) injectFailure(node int) {
+	if d.session != nil {
+		d.session.injectFailure(node)
+		return
+	}
 	if d.finished || d.err != nil {
 		return
 	}
@@ -465,14 +544,17 @@ func (d *Driver) onDetect(node int) {
 	}
 	if d.cfg.Mode == ModeHadoop {
 		// Replication permitting, recovery is within-job. Data loss that
-		// touches the running job's input cannot be recovered from.
+		// touches any of the running job's input files cannot be recovered
+		// from.
 		if d.current != nil && !d.current.done {
-			in := d.fs.File(d.current.inputFile)
-			for _, p := range in.Partitions {
-				if p.Written() && !d.fs.PartitionAvailable(d.current.inputFile, p.Index) {
-					d.unrecoverable(fmt.Errorf("hadoop: input %s/p%d lost; replication %d insufficient",
-						d.current.inputFile, p.Index, d.cfg.OutputRepl))
-					return
+			for _, name := range d.current.inputs {
+				in := d.fs.File(name)
+				for _, p := range in.Partitions {
+					if p.Written() && !d.fs.PartitionAvailable(name, p.Index) {
+						d.unrecoverable(fmt.Errorf("hadoop: input %s/p%d lost; replication %d insufficient",
+							name, p.Index, d.cfg.OutputRepl))
+						return
+					}
 				}
 			}
 			d.current.handleDetection(node)
@@ -486,7 +568,7 @@ func (d *Driver) onDetect(node int) {
 	if d.current != nil && !d.current.done {
 		d.current.cancel()
 	}
-	plan, err := core.BuildPlan(d.ch, d.fs, d.frontier, d.failedNodes, core.Options{
+	plan, err := core.BuildGraphPlan(d.ch, d.topo, d.fs, d.frontier, d.failedNodes, core.Options{
 		Split:      d.cfg.Split,
 		SplitRatio: d.cfg.SplitRatio,
 		AliveNodes: d.clus.NumAlive(),
@@ -494,6 +576,13 @@ func (d *Driver) onDetect(node int) {
 	if err != nil {
 		d.unrecoverable(err)
 		return
+	}
+	// Split regenerations crossing into a surviving branch invalidate that
+	// branch's persisted map outputs (Figure 5 across file edges); mark
+	// them so a later recovery re-executes those mappers. Never fires on
+	// chains.
+	for _, ref := range plan.Invalidated {
+		d.ch.InvalidateMapperOutput(ref.Job, ref.Mapper)
 	}
 	if d.cfg.NoMapOutputReuse {
 		for i := range plan.Steps {

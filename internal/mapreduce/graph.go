@@ -1,0 +1,112 @@
+// graph.go makes a job graph — not a chain — the unit of execution. A
+// GraphConfig names jobs and their input/output file edges; the middleware
+// validates the DAG and fixes the deterministic submission order, and the
+// driver executes jobs along it, planning recovery through the graph
+// planner (core.BuildGraphPlan). A linear chain is the degenerate case:
+// RunChain lowers to a linear GraphConfig whose execution is byte-identical
+// to the historical chain engine (pinned by the golden digests and the
+// chain≡graph equivalence test).
+package mapreduce
+
+import (
+	"fmt"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/core"
+	"rcmp/internal/middleware"
+)
+
+// GraphJob declares one job of a graph computation: the files it reads and
+// the single file it produces. Files no job produces are external inputs,
+// laid out like the paper's triple-replicated original input.
+type GraphJob struct {
+	Name   string
+	Inputs []string
+	Output string
+}
+
+// GraphConfig describes a whole DAG computation. The embedded ChainConfig
+// supplies every knob except the job list; NumJobs is derived from Jobs
+// and need not be set.
+type GraphConfig struct {
+	ChainConfig
+	Jobs []GraphJob
+}
+
+// linearJobs lowers an n-job chain to its graph form, with the historical
+// chain file names ("input", "out1", ...) so the DFS layout — and therefore
+// every digest — is unchanged.
+func linearJobs(n int) []GraphJob {
+	jobs := make([]GraphJob, 0, n)
+	for i := 1; i <= n; i++ {
+		in := inputFileName
+		if i > 1 {
+			in = outputFileName(i - 1)
+		}
+		jobs = append(jobs, GraphJob{
+			Name:   fmt.Sprintf("job%d", i),
+			Inputs: []string{in},
+			Output: outputFileName(i),
+		})
+	}
+	return jobs
+}
+
+// buildTopology validates the job list as a DAG and returns its execution
+// topology (1-based topological positions).
+func buildTopology(jobs []GraphJob) (*core.Topology, error) {
+	mw := make([]middleware.Job, 0, len(jobs))
+	for _, j := range jobs {
+		mw = append(mw, middleware.Job{
+			ID:      middleware.JobID(j.Name),
+			Inputs:  j.Inputs,
+			Outputs: []string{j.Output},
+		})
+	}
+	g, err := middleware.NewGraph(mw)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTopology(g)
+}
+
+// RunGraph executes the graph on a pooled simulation context for ccfg and
+// returns the timing result, exactly like RunChain does for chains.
+func RunGraph(ccfg cluster.Config, cfg GraphConfig) (*Result, error) {
+	cfg.ChainConfig = cfg.ChainConfig.withDefaults()
+	cfg.NumJobs = len(cfg.Jobs)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := acquireContext(ccfg)
+	res, err := ctx.RunGraph(cfg)
+	if err == nil {
+		releaseContext(ctx)
+	}
+	return res, err
+}
+
+// RunGraph executes one graph computation on the context.
+func (ctx *Context) RunGraph(cfg GraphConfig) (*Result, error) {
+	cfg.ChainConfig = cfg.ChainConfig.withDefaults()
+	cfg.NumJobs = len(cfg.Jobs)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := buildTopology(cfg.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	ctx.reset(cfg.BlockSize)
+	d := newDriver(ctx, cfg.ChainConfig, topo, true)
+	if err := d.createInput(); err != nil {
+		return nil, err
+	}
+	d.reserveRecorder()
+	d.startInitial(1)
+	ctx.sim.Run()
+	return d.finish()
+}

@@ -15,7 +15,7 @@ import (
 
 // assignOneMap launches at most one mapper, preferring data-local placement.
 func (r *jobRun) assignOneMap() bool {
-	if len(r.pendingMaps)-r.pendingMapNils == 0 || r.mapSlotsFree <= 0 {
+	if len(r.pendingMaps)-r.pendingMapNils == 0 || r.slots.mapSlotsFree <= 0 {
 		return false
 	}
 	// Pass 1: a node with a free slot holding a pending task's input block.
@@ -29,7 +29,7 @@ func (r *jobRun) assignOneMap() bool {
 				continue
 			}
 			for _, n := range r.inputLocations(mt) {
-				if r.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
+				if r.slots.mapFree[n] > 0 && !r.clus().Node(n).Failed() {
 					r.pumpScanFrom = qi
 					r.launchMap(mt, n, qi)
 					return true
@@ -41,7 +41,7 @@ func (r *jobRun) assignOneMap() bool {
 	// Pass 2: any free slot. A speculative duplicate avoids its original's
 	// node — rerunning a straggler in place defeats the purpose.
 	for _, n := range r.clus().Alive() {
-		if r.mapFree[n] <= 0 {
+		if r.slots.mapFree[n] <= 0 {
 			continue
 		}
 		for qi, mt := range r.pendingMaps {
@@ -63,7 +63,7 @@ func (r *jobRun) assignOneMap() bool {
 // the next call, which is all the scheduler's scan-and-launch loops need,
 // and keeps the per-event scheduling pass allocation-free.
 func (r *jobRun) inputLocations(mt *mapTask) []int {
-	r.locBuf = r.fs().FileBlockReplicas(r.inFile, mt.part, mt.block, r.locBuf[:0])
+	r.locBuf = r.fs().FileBlockReplicas(mt.in, mt.part, mt.block, r.locBuf[:0])
 	return r.locBuf
 }
 
@@ -177,7 +177,7 @@ func (r *jobRun) mapDone(mt *mapTask) {
 	if r.cfg().Speculation {
 		r.speculate()
 	}
-	r.pump()
+	r.wake()
 }
 
 // specLoser returns the other copy of a speculative pair if it is still in
@@ -253,6 +253,8 @@ func (r *jobRun) speculate() {
 		dup := r.d.ctx.allocMap()
 		dup.run = r
 		dup.index = mt.index
+		dup.in = mt.in
+		dup.inIdx = mt.inIdx
 		dup.part = mt.part
 		dup.block = mt.block
 		dup.inputBytes = mt.inputBytes

@@ -146,5 +146,5 @@ func (r *jobRun) reduceDone(rt *reduceTask) {
 			return
 		}
 	}
-	r.pump()
+	r.wake()
 }

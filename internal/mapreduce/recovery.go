@@ -16,10 +16,7 @@ func (r *jobRun) nodeDown(n int) {
 	if r.done {
 		return
 	}
-	r.mapSlotsFree -= r.mapFree[n]
-	r.redSlotsFree -= r.redFree[n]
-	r.mapFree[n] = 0
-	r.redFree[n] = 0
+	r.slots.nodeDown(n)
 	// An aggregated run reverts to exact per-reducer offer accounting the
 	// moment any failure can make outputs disappear.
 	r.aggSlowFallback()
@@ -178,7 +175,7 @@ func (r *jobRun) handleDetection(n int) {
 		rt.owedRewrites = stillOwed
 		r.maybeFinishShuffle(rt)
 	}
-	r.pump()
+	r.wake()
 }
 
 func (r *jobRun) pickReplacementTarget(rt *reduceTask) int {
@@ -210,16 +207,31 @@ func (r *jobRun) cancel() {
 	}
 	for _, mt := range r.maps {
 		if mt.state == taskRunning || mt.state == taskZombie {
+			if mt.state == taskRunning && !r.clus().Node(mt.node).Failed() {
+				// A cancelled task's slot frees: the node is alive and the
+				// work simply stops. (Zombies' slots were already zeroed
+				// wholesale by nodeDown.) Single-tenant this is invisible —
+				// the next run resets the table — but a session's shared
+				// table must get the slots back or they leak for every
+				// other tenant.
+				r.freeMapSlot(mt.node)
+			}
 			r.abortMapWork(mt)
 		}
 	}
 	for _, dup := range r.specDups {
 		if dup.state == taskRunning || dup.state == taskZombie {
+			if dup.state == taskRunning && !r.clus().Node(dup.node).Failed() {
+				r.freeMapSlot(dup.node)
+			}
 			r.abortMapWork(dup)
 		}
 	}
 	for _, rt := range r.reduces {
 		if rt.state == taskRunning || rt.state == taskZombie {
+			if rt.state == taskRunning && !r.clus().Node(rt.node).Failed() {
+				r.freeRedSlot(rt.node)
+			}
 			r.abortReduceWork(rt)
 		}
 	}

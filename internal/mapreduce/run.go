@@ -46,10 +46,15 @@ const (
 // mapTask is one mapper execution within a run.
 type mapTask struct {
 	taskLife
-	run        *jobRun
-	step       uint8
+	run  *jobRun
+	step uint8
+	// in is the resolved input-file handle and inIdx its index into the
+	// job's input list (0 for single-input jobs) — a DAG fan-in job's
+	// mappers read different files.
+	in         *dfs.File
+	inIdx      int
 	index      int
-	part       int // partition of the run's input file
+	part       int // partition of the task's input file
 	block      int // block within the partition
 	inputBytes int64
 	outBytes   int64
@@ -179,21 +184,58 @@ func sortedKeys[V any](m map[int]V) []int {
 	return keys
 }
 
+// slotTable is the cluster-wide free-slot bookkeeping the scheduler pump
+// assigns against: per-node free counts plus their totals, maintained
+// through the jobRun take/free helpers so the two can never drift apart.
+// Single-tenant execution resets the context's table at every run start;
+// a multi-tenant session owns one shared table its tenants contend on.
+type slotTable struct {
+	mapFree []int // free mapper slots, indexed by node ID
+	redFree []int // free reducer slots, indexed by node ID
+	// mapSlotsFree/redSlotsFree are the cluster-wide totals of the two
+	// slices, so the pump (which runs after every event) can reject an
+	// assignment pass in O(1) instead of scanning every node when the
+	// cluster is saturated.
+	mapSlotsFree int
+	redSlotsFree int
+}
+
+// reset restores every alive node's full slot allotment.
+func (s *slotTable) reset(c *cluster.Cluster, mapSlots, redSlots int) {
+	n := c.NumNodes()
+	s.mapFree = grow(s.mapFree, n)
+	s.redFree = grow(s.redFree, n)
+	for _, node := range c.Alive() {
+		s.mapFree[node] = mapSlots
+		s.redFree[node] = redSlots
+	}
+	s.mapSlotsFree = c.NumAlive() * mapSlots
+	s.redSlotsFree = c.NumAlive() * redSlots
+}
+
+// nodeDown zeroes a dead node's slots. Idempotent: a second call (another
+// tenant's run reacting to the same failure) subtracts zero.
+func (s *slotTable) nodeDown(n int) {
+	s.mapSlotsFree -= s.mapFree[n]
+	s.redSlotsFree -= s.redFree[n]
+	s.mapFree[n] = 0
+	s.redFree[n] = 0
+}
+
 // jobRun executes one job run (initial, recompute step, or restart).
 type jobRun struct {
 	d        *Driver
-	job      int // chain job id
+	job      int // 1-based topological position in the graph
 	kind     metrics.RunKind
 	runIndex int
 	start    des.Time
 
-	inputFile  string
+	// inputs lists the job's input files (shared with the driver's job
+	// table; never mutated). Chains have exactly one.
+	inputs     []string
 	outputFile string
-	// inFile is the resolved input-file handle, cached at begin so the
-	// scheduler's per-scan replica lookups skip the DFS name lookup.
-	inFile  *dfs.File
-	repl    int
-	scatter bool // scatter reducer output blocks across alive nodes
+	repl       int
+	scatter    bool // scatter reducer output blocks across alive nodes
 
 	maps    []*mapTask
 	reduces []*reduceTask
@@ -215,15 +257,10 @@ type jobRun struct {
 	pendingMaps    []*mapTask
 	pendingMapNils int
 	pendingReds    []*reduceTask
-	mapFree        []int // free mapper slots, indexed by node ID
-	redFree        []int // free reducer slots, indexed by node ID
-	// mapSlotsFree/redSlotsFree are the cluster-wide totals of the two
-	// slices, maintained through the take/free helpers below, so the pump
-	// (which runs after every event) can reject an assignment pass in O(1)
-	// instead of scanning every node when the cluster is saturated.
-	mapSlotsFree int
-	redSlotsFree int
-	redCursor    int // round-robin start for reducer placement
+	// slots is the table this run schedules against: the context's own
+	// (reset at begin) single-tenant, the session's shared one multi-tenant.
+	slots     *slotTable
+	redCursor int // round-robin start for reducer placement
 	// pumpScanFrom is the locality pass's scan watermark within one pump:
 	// a task rejected by assignOneMap stays rejected for the rest of the
 	// pump (launches only consume slots), so re-scanning the blocked
@@ -264,7 +301,7 @@ type jobRun struct {
 func (r *jobRun) Fire() {
 	r.specEv = nil
 	r.speculate()
-	r.pump()
+	r.wake()
 }
 
 func (r *jobRun) sim() *des.Simulator    { return r.d.sim }
@@ -301,10 +338,10 @@ func (r *jobRun) cancelTimer(ev *des.Event, ffSlot *int) {
 // Slot bookkeeping goes through these four helpers so the per-node slices
 // and the cluster-wide totals can never drift apart.
 
-func (r *jobRun) takeMapSlot(n int) { r.mapFree[n]--; r.mapSlotsFree-- }
-func (r *jobRun) freeMapSlot(n int) { r.mapFree[n]++; r.mapSlotsFree++ }
-func (r *jobRun) takeRedSlot(n int) { r.redFree[n]--; r.redSlotsFree-- }
-func (r *jobRun) freeRedSlot(n int) { r.redFree[n]++; r.redSlotsFree++ }
+func (r *jobRun) takeMapSlot(n int) { r.slots.mapFree[n]--; r.slots.mapSlotsFree-- }
+func (r *jobRun) freeMapSlot(n int) { r.slots.mapFree[n]++; r.slots.mapSlotsFree++ }
+func (r *jobRun) takeRedSlot(n int) { r.slots.redFree[n]--; r.slots.redSlotsFree-- }
+func (r *jobRun) freeRedSlot(n int) { r.slots.redFree[n]++; r.slots.redSlotsFree++ }
 
 // dropPendingMap tombstones the queue entry at index i (see the
 // pendingMaps field comment) and compacts once tombstones outnumber live
@@ -349,16 +386,12 @@ func grow[T any](s []T, n int) []T {
 // begin initializes slot state and starts scheduling.
 func (r *jobRun) begin() {
 	r.start = r.sim().Now()
-	r.inFile = r.fs().File(r.inputFile)
-	n := r.clus().NumNodes()
-	r.mapFree = grow(r.mapFree, n)
-	r.redFree = grow(r.redFree, n)
-	for _, node := range r.clus().Alive() {
-		r.mapFree[node] = r.ccfg().MapSlots
-		r.redFree[node] = r.ccfg().ReduceSlots
+	if r.d.session == nil {
+		// A single-tenant run has the cluster to itself: every alive node's
+		// full allotment is free. A session's shared table carries over —
+		// other tenants' tasks are occupying slots.
+		r.slots.reset(r.clus(), r.ccfg().MapSlots, r.ccfg().ReduceSlots)
 	}
-	r.mapSlotsFree = r.clus().NumAlive() * r.ccfg().MapSlots
-	r.redSlotsFree = r.clus().NumAlive() * r.ccfg().ReduceSlots
 	// Commits are reset in place, not zeroed: each entry keeps its
 	// replicas slice capacity so steady-state commits allocate nothing.
 	if cap(r.commits) < r.cfg().NumReducers {
@@ -403,6 +436,17 @@ func (r *jobRun) begin() {
 	}
 	if len(r.persistedSeen) > r.seenSize {
 		r.seenSize = len(r.persistedSeen)
+	}
+	r.pump()
+}
+
+// wake is the event-context re-pump: freed slots (or new outputs) may
+// unblock assignments. Single-tenant it pumps this run; in a session any
+// tenant's run may be able to use what just freed, so all of them pump.
+func (r *jobRun) wake() {
+	if s := r.d.session; s != nil {
+		s.pumpAll()
+		return
 	}
 	r.pump()
 }

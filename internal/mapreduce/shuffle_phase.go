@@ -175,13 +175,13 @@ func (r *jobRun) aggSlowFallback() {
 // assignOneReduce launches at most one reducer, round-robin across nodes so
 // a handful of recomputed tasks spread over the cluster.
 func (r *jobRun) assignOneReduce() bool {
-	if len(r.pendingReds) == 0 || r.redSlotsFree <= 0 {
+	if len(r.pendingReds) == 0 || r.slots.redSlotsFree <= 0 {
 		return false
 	}
 	alive := r.clus().Alive()
 	for i := 0; i < len(alive); i++ {
 		n := alive[(r.redCursor+i)%len(alive)]
-		if r.redFree[n] > 0 {
+		if r.slots.redFree[n] > 0 {
 			r.redCursor = (r.redCursor + i + 1) % len(alive)
 			rt := r.pendingReds[0]
 			r.pendingReds = r.pendingReds[1:]

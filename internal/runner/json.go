@@ -15,6 +15,11 @@ type ReportResult struct {
 	// Schedule is the canonical pulse syntax of the failure-schedule
 	// override, when one was set (see failure.Schedule.String).
 	Schedule string `json:"schedule,omitempty"`
+	// Tenants echoes the multi-tenant override, when one was set.
+	Tenants int `json:"tenants,omitempty"`
+	// Speculation marks runs executed with speculative tasks enabled;
+	// their Values carry the speculative launched/wasted counters.
+	Speculation bool `json:"speculation,omitempty"`
 	// Error is the job's error message line. Recovered panics carry a
 	// stack trace in Result.Err, but stacks are nondeterministic (frame
 	// addresses, goroutine IDs), so the report keeps the message only —
@@ -43,12 +48,14 @@ func NewReport(results []Result, withTiming bool) Report {
 	rep := Report{Results: make([]ReportResult, 0, len(results))}
 	for _, res := range results {
 		rr := ReportResult{
-			Name:      res.Name,
-			Scale:     res.Config.Scale.String(),
-			Seed:      res.Config.Seed,
-			FailureAt: res.Config.FailureAt,
-			Schedule:  res.Config.Schedule.String(),
-			Error:     res.ErrMessage(),
+			Name:        res.Name,
+			Scale:       res.Config.Scale.String(),
+			Seed:        res.Config.Seed,
+			FailureAt:   res.Config.FailureAt,
+			Schedule:    res.Config.Schedule.String(),
+			Tenants:     res.Config.Tenants,
+			Speculation: res.Config.Speculation,
+			Error:       res.ErrMessage(),
 		}
 		if res.Res != nil {
 			rr.Experiment = res.Res.Name

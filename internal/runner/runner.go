@@ -180,5 +180,11 @@ func jobName(sp experiments.Spec, c experiments.Config) string {
 	if c.Nodes > 0 {
 		name += fmt.Sprintf("/nodes=%d", c.Nodes)
 	}
+	if c.Tenants > 0 {
+		name += fmt.Sprintf("/tenants=%d", c.Tenants)
+	}
+	if c.Speculation {
+		name += "/spec"
+	}
 	return name
 }

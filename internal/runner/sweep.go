@@ -29,12 +29,21 @@ type Grid struct {
 	// An empty Schedule entry means "no override"; combining a non-empty
 	// schedule with a non-zero FailureAt produces per-job config errors.
 	Schedules []failure.Schedule
+	// Tenants overrides the tenant count of multi-tenant experiments (see
+	// experiments.Config.Tenants); 0 keeps each figure's own tenant sweep.
+	// Values above 1 on single-tenant specs are legal grid entries
+	// recorded as per-job errors.
+	Tenants []int
+	// Speculation toggles speculative execution (see
+	// experiments.Config.Speculation) as a sweep dimension.
+	Speculation []bool
 }
 
 // Jobs materializes the grid in deterministic order: specs outermost, then
-// scales, seeds, failure positions, schedules and cluster sizes — the
-// order Run reports results in. Jobs execute through Spec.Exec, so grid
-// points with invalid overrides complete with recorded errors.
+// scales, seeds, failure positions, schedules, cluster sizes, tenant
+// counts and speculation — the order Run reports results in. Jobs execute
+// through Spec.Exec, so grid points with invalid overrides complete with
+// recorded errors.
 func (g Grid) Jobs() []Job {
 	fails := g.FailureAts
 	if len(fails) == 0 {
@@ -47,6 +56,14 @@ func (g Grid) Jobs() []Job {
 	nodes := g.Nodes
 	if len(nodes) == 0 {
 		nodes = []int{0}
+	}
+	tenants := g.Tenants
+	if len(tenants) == 0 {
+		tenants = []int{0}
+	}
+	specl := g.Speculation
+	if len(specl) == 0 {
+		specl = []bool{false}
 	}
 	var out []Job
 	for _, sp := range g.Specs {
@@ -63,14 +80,21 @@ func (g Grid) Jobs() []Job {
 				for _, fa := range fails {
 					for _, sched := range scheds {
 						for _, n := range nodes {
-							c := experiments.Config{Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched, Nodes: n}
-							out = append(out, Job{
-								Name:   jobName(sp, c),
-								Key:    sp.Key,
-								Config: c,
-								Run:    sp.Exec,
-								Cost:   experiments.RelativeCost(sp.Key, sc),
-							})
+							for _, tn := range tenants {
+								for _, spec := range specl {
+									c := experiments.Config{
+										Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched,
+										Nodes: n, Tenants: tn, Speculation: spec,
+									}
+									out = append(out, Job{
+										Name:   jobName(sp, c),
+										Key:    sp.Key,
+										Config: c,
+										Run:    sp.Exec,
+										Cost:   experiments.RelativeCost(sp.Key, sc),
+									})
+								}
+							}
 						}
 					}
 				}

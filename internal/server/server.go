@@ -156,12 +156,16 @@ type SweepRequest struct {
 	Specs []string `json:"specs"`
 	// Scale is "paper", "quick" or "smoke" ("" = per-spec default).
 	Scale string `json:"scale,omitempty"`
-	// Seeds, FailureAts, Schedules and Nodes are sweep dimensions;
-	// schedules use the CLI pulse syntax ("2@15,4@5x2", "stic:1").
-	Seeds      []int64  `json:"seeds,omitempty"`
-	FailureAts []int    `json:"failure_ats,omitempty"`
-	Schedules  []string `json:"schedules,omitempty"`
-	Nodes      []int    `json:"nodes,omitempty"`
+	// Seeds, FailureAts, Schedules, Nodes, Tenants and Speculation are
+	// sweep dimensions; schedules use the CLI pulse syntax ("2@15,4@5x2",
+	// "stic:1"). Tenants>1 applies to multi-tenant specs only; other specs
+	// record it as a per-job error.
+	Seeds       []int64  `json:"seeds,omitempty"`
+	FailureAts  []int    `json:"failure_ats,omitempty"`
+	Schedules   []string `json:"schedules,omitempty"`
+	Nodes       []int    `json:"nodes,omitempty"`
+	Tenants     []int    `json:"tenants,omitempty"`
+	Speculation []bool   `json:"speculation,omitempty"`
 	// Stream selects NDJSON streaming (default true). With false the
 	// response is one deterministic runner.Report JSON document.
 	Stream *bool `json:"stream,omitempty"`
@@ -206,12 +210,14 @@ func buildJobs(req SweepRequest) ([]runner.Job, error) {
 		scheds = append(scheds, sched)
 	}
 	return runner.Grid{
-		Specs:      specs,
-		Scales:     scales,
-		Seeds:      req.Seeds,
-		FailureAts: req.FailureAts,
-		Schedules:  scheds,
-		Nodes:      req.Nodes,
+		Specs:       specs,
+		Scales:      scales,
+		Seeds:       req.Seeds,
+		FailureAts:  req.FailureAts,
+		Schedules:   scheds,
+		Nodes:       req.Nodes,
+		Tenants:     req.Tenants,
+		Speculation: req.Speculation,
 	}.Jobs(), nil
 }
 

@@ -3,14 +3,17 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. static checks: go vet and gofmt -l over the whole module
 #   3. race detector over the full suite, plus a focused -race pass on the
-#      simulation core (internal/flow, internal/mapreduce), the pooled
-#      runner path (internal/runner, internal/experiments — worker
-#      goroutines share the per-config context pool) and the distributed
-#      runtime (internal/dmr) with -count=2 so pool/scratch-state reuse
-#      across runs stays honest
-#   4. rcmpsim smoke: the schedule-engine experiments and the scaling
-#      tier (weak-scaling, -nodes override) end to end through the CLI
-#      and the parallel runner
+#      simulation core (internal/flow, internal/mapreduce — including
+#      the graph/session paths — and the graph planner's
+#      internal/middleware + internal/core), the pooled runner path
+#      (internal/runner, internal/experiments — worker goroutines share
+#      the per-config context pool) and the distributed runtime
+#      (internal/dmr) with -count=2 so pool/scratch-state reuse across
+#      runs stays honest
+#   4. rcmpsim smoke: the schedule-engine experiments, the scaling
+#      tier (weak-scaling, -nodes override) and the graph-driven tier
+#      (dag-recovery, multi-tenant with -tenants/-speculation) end to
+#      end through the CLI and the parallel runner
 #   5. rcmpserve smoke: the sweep server end to end on an ephemeral port —
 #      a sweep over HTTP must be byte-identical to the rcmpsim CLI report,
 #      the cached repeat byte-identical again, and SIGTERM must drain
@@ -48,7 +51,7 @@ echo "== race (full suite) =="
 go test -race ./...
 
 echo "== race (simulation core + pooled runner + distributed runtime + sweep server, repeated) =="
-go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server
+go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/middleware ./internal/core ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server
 
 echo "== race (fast-forward mode, repeated) =="
 go test -race -count=2 -run 'TestFF|TestGoldenResultsEquivalentUnderFastForward' ./internal/mapreduce ./internal/experiments
@@ -61,6 +64,12 @@ go run ./cmd/rcmpsim -fig 12 -quick -schedule '2@15,3@20' > /dev/null
 echo "== rcmpsim smoke (scaling tier: weak-scaling + -nodes override) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick > /dev/null
 go run ./cmd/rcmpsim -fig 8b -quick -nodes 16 > /dev/null
+
+echo "== rcmpsim smoke (graph-driven tier: DAG recovery + multi-tenant sessions) =="
+go run ./cmd/rcmpsim -fig dag-recovery -quick > /dev/null
+go run ./cmd/rcmpsim -fig multi-tenant -quick -parallel 2 -json > /dev/null
+go run ./cmd/rcmpsim -fig multi-tenant -quick -tenants 3 > /dev/null
+go run ./cmd/rcmpsim -fig dag-recovery -quick -speculation > /dev/null
 
 echo "== rcmpsim smoke (fast-forward forced on at every size) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick -ff > /dev/null
