@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"rcmp/internal/dfs"
+	"rcmp/internal/lineage"
+)
+
+// CheckPlan validates a freshly built recovery plan against the lineage and
+// DFS state it was derived from — the cross-run invariants every experiment
+// and the cross-validation harness assert on the planning path, not just in
+// unit tests:
+//
+//   - No needless recompute: every stepped reducer regenerates a partition
+//     that is actually unavailable. A plan that re-executes surviving work
+//     breaks the paper's minimality claim silently — results stay correct,
+//     costs don't.
+//   - No lost-lineage recompute: every re-run mapper is justified, either
+//     because its persisted output is gone (never persisted, or held by a
+//     failed node) or because the split-correctness rule invalidated it.
+//     checkMappers=false skips this when a policy knob (NoMapOutputReuse,
+//     forced recomputation) re-runs mappers by fiat.
+//   - Step ordering: steps ascend in execution order and never reach the
+//     restarted job — a step at or past the frontier would recompute output
+//     of a job that never completed.
+//
+// Call it on the plan exactly as the planner returned it, before any
+// engine-side mutation (padding mapper sets, applying invalidations).
+func CheckPlan(ch *lineage.Chain, fs *dfs.FS, failed map[int]bool, plan *Plan, checkMappers bool) error {
+	prev := 0
+	for _, step := range plan.Steps {
+		if step.Job <= prev {
+			return fmt.Errorf("core: plan steps out of order: job %d after job %d", step.Job, prev)
+		}
+		prev = step.Job
+		if step.Job >= plan.RestartJob {
+			return fmt.Errorf("core: plan step for job %d at or past restart job %d", step.Job, plan.RestartJob)
+		}
+		rec := ch.Job(step.Job)
+		if rec == nil {
+			return fmt.Errorf("core: plan step for job %d outside lineage", step.Job)
+		}
+		for _, rr := range step.Reducers {
+			if rr.Reducer < 0 || rr.Reducer >= len(rec.Reducers) {
+				return fmt.Errorf("core: plan step job %d regenerates unknown partition %d", step.Job, rr.Reducer)
+			}
+			if fs.PartitionAvailable(rec.OutputFile, rr.Reducer) {
+				return fmt.Errorf("core: plan step job %d regenerates partition %d of %q, which is still available",
+					step.Job, rr.Reducer, rec.OutputFile)
+			}
+		}
+		if !checkMappers {
+			continue
+		}
+		splitInv := make(map[int]bool, len(step.SplitInvalidated))
+		for _, mi := range step.SplitInvalidated {
+			splitInv[mi] = true
+		}
+		for _, mi := range step.Mappers {
+			if mi < 0 || mi >= len(rec.Mappers) {
+				return fmt.Errorf("core: plan step job %d re-runs unknown mapper %d", step.Job, mi)
+			}
+			if splitInv[mi] {
+				continue
+			}
+			m := rec.Mappers[mi]
+			if m.Node >= 0 && !failed[m.Node] {
+				return fmt.Errorf("core: plan step job %d re-runs mapper %d whose output survives on node %d",
+					step.Job, mi, m.Node)
+			}
+		}
+	}
+	for _, ref := range plan.Invalidated {
+		rec := ch.Job(ref.Job)
+		if rec == nil || ref.Mapper < 0 || ref.Mapper >= len(rec.Mappers) {
+			return fmt.Errorf("core: plan invalidates unknown mapper %d of job %d", ref.Mapper, ref.Job)
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"rcmp/internal/core"
 	"rcmp/internal/dfs"
@@ -60,6 +61,18 @@ type ChainConfig struct {
 	// after the start of job X" points collapse to job boundaries here; the
 	// interrupted-job path is exercised with asynchronous kills).
 	AfterJob func(job int)
+
+	// PlanObserver, when non-nil, observes every recovery plan immediately
+	// after it is built and invariant-checked, before any of its steps run.
+	// The cross-validation harness captures recovery decisions through it;
+	// the chain is the driver's live lineage and must not be mutated.
+	PlanObserver func(frontier int, plan *core.Plan, ch *lineage.Chain)
+
+	// OnRunStart, when non-nil, fires as each run is submitted, with the
+	// 1-based run counter (matching the simulator's Injection.AtRun
+	// numbering), the job, and the run kind. The cross-validation harness
+	// schedules its failure injections from it.
+	OnRunStart func(run, job int, kind string)
 }
 
 func (c *ChainConfig) withDefaults(aliveWorkers int) ChainConfig {
@@ -109,6 +122,14 @@ type Driver struct {
 
 	// handled tracks worker deaths already folded into a recovery plan.
 	handled map[int]bool
+	// attempted tracks jobs already submitted once, so a re-submission
+	// after data loss is logged as a restart rather than an initial run.
+	attempted map[int]bool
+
+	// RunLog records every submitted run in order with wall-clock spans —
+	// the runtime-side analogue of the simulator's per-run stats, consumed
+	// by the cross-validation harness for phase-time ratios.
+	RunLog []RunSpan
 
 	// Stats observable by tests and examples.
 	StartedRuns         int
@@ -129,7 +150,34 @@ func NewDriver(m *Master, cfg ChainConfig) (*Driver, error) {
 	if alive == 0 {
 		return nil, errors.New("dmr: no live workers")
 	}
-	return &Driver{m: m, cfg: cfg.withDefaults(alive), ch: lineage.NewChain(), handled: make(map[int]bool)}, nil
+	return &Driver{
+		m: m, cfg: cfg.withDefaults(alive), ch: lineage.NewChain(),
+		handled: make(map[int]bool), attempted: make(map[int]bool),
+	}, nil
+}
+
+// RunSpan is one submitted job run in the driver's RunLog.
+type RunSpan struct {
+	Run        int    // 0-based submission index
+	Job        int    // chain job ID
+	Kind       string // "initial", "restart", or "recompute"
+	Start, End time.Time
+	Err        bool // the run ended in an error (typically data loss)
+}
+
+// logRun appends a RunLog entry for a run being submitted and returns the
+// closer that stamps its end.
+func (d *Driver) logRun(job int, kind string) func(err error) {
+	idx := len(d.RunLog)
+	d.RunLog = append(d.RunLog, RunSpan{Run: d.StartedRuns, Job: job, Kind: kind, Start: time.Now()})
+	d.StartedRuns++
+	if d.cfg.OnRunStart != nil {
+		d.cfg.OnRunStart(d.StartedRuns, job, kind)
+	}
+	return func(err error) {
+		d.RunLog[idx].End = time.Now()
+		d.RunLog[idx].Err = err != nil
+	}
 }
 
 // Chain exposes the recorded lineage.
@@ -217,8 +265,13 @@ func (d *Driver) markFailuresHandled() {
 // runFull submits one full job run (initial or restart).
 func (d *Driver) runFull(job int) (*JobReport, error) {
 	in, out := jobFiles(job)
-	d.StartedRuns++
-	return d.m.RunJob(JobSpec{
+	kind := "initial"
+	if d.attempted[job] {
+		kind = "restart"
+	}
+	d.attempted[job] = true
+	done := d.logRun(job, kind)
+	rep, err := d.m.RunJob(JobSpec{
 		ID:                job,
 		InFile:            in,
 		OutFile:           out,
@@ -228,6 +281,8 @@ func (d *Driver) runFull(job int) (*JobReport, error) {
 		Speculation:       d.cfg.Speculation,
 		SpeculationFactor: d.cfg.SpeculationFactor,
 	})
+	done(err)
+	return rep, err
 }
 
 // commitInitial appends the completed job to the lineage.
@@ -257,19 +312,31 @@ func (d *Driver) recover(frontier int) error {
 		if len(alive) == 0 {
 			return errors.New("dmr: all workers dead")
 		}
+		// Read the failed set before entering WithFS: FailedNodes takes the
+		// registry lock, which the monitor holds while it takes fsMu to mark
+		// data lost — taking them in the opposite order here deadlocks.
+		failed := d.m.FailedNodes()
 		var plan *core.Plan
 		err := d.m.WithFS(func(fs *dfs.FS) error {
 			var err error
-			plan, err = core.BuildPlan(d.ch, fs, frontier, d.m.FailedNodes(), core.Options{
+			plan, err = core.BuildPlan(d.ch, fs, frontier, failed, core.Options{
 				Split:            d.cfg.Split,
 				SplitRatio:       d.cfg.SplitRatio,
 				AliveNodes:       len(alive),
 				NoMapOutputReuse: d.cfg.NoMapOutputReuse,
 			})
-			return err
+			if err != nil {
+				return err
+			}
+			// Under NoMapOutputReuse every mapper re-runs by policy, so
+			// mapper justification is not checkable.
+			return core.CheckPlan(d.ch, fs, failed, plan, !d.cfg.NoMapOutputReuse)
 		})
 		if err != nil {
 			return err
+		}
+		if d.cfg.PlanObserver != nil {
+			d.cfg.PlanObserver(frontier, plan, d.ch)
 		}
 		if err := d.runPlanSteps(plan); err != nil {
 			var loss *DataLossError
@@ -319,7 +386,7 @@ func (d *Driver) runPlanSteps(plan *core.Plan) error {
 			}
 		}
 
-		d.StartedRuns++
+		done := d.logRun(step.Job, "recompute")
 		rep, err := d.m.RunJob(JobSpec{
 			ID:                step.Job,
 			InFile:            rec.InputFile,
@@ -336,6 +403,7 @@ func (d *Driver) runPlanSteps(plan *core.Plan) error {
 				Scatter:     d.cfg.ScatterOnly,
 			},
 		})
+		done(err)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,16 @@ type MasterConfig struct {
 	ListenAddr     string // control address ("127.0.0.1:0" for tests)
 	SlotsPerWorker int    // mapper slots and reducer slots per worker (paper's S)
 	Timing         Timing
+
+	// Chaos, when non-nil, routes the control listener and every
+	// master-side dial through the fault injector under the endpoint name
+	// "master".
+	Chaos *wire.Chaos
+	// Retry bounds transport-error re-attempts on master->worker RPCs
+	// (task dispatch, loads, broadcasts). Its budget is distinct from death
+	// detection: a retried task call rides out a flaky link, while the
+	// heartbeat monitor alone declares workers dead. Zero disables.
+	Retry wire.RetryPolicy
 }
 
 // DataLossError reports that a run was cancelled because worker deaths made
@@ -122,6 +132,9 @@ type Master struct {
 // carved into; the paper's 256 MB blocks).
 func StartMaster(cfg MasterConfig, blockRecords int) (*Master, error) {
 	cfg.Timing = cfg.Timing.withDefaults()
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -135,9 +148,14 @@ func StartMaster(cfg MasterConfig, blockRecords int) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dmr: master listen: %w", err)
 	}
+	if cfg.Chaos != nil {
+		ln = cfg.Chaos.WrapListener(ln, "master")
+	}
 	m := &Master{
-		cfg:     cfg,
-		peers:   wire.NewPool(cfg.Timing.DialTimeout),
+		cfg: cfg,
+		peers: wire.NewPoolOpts(cfg.Timing.DialTimeout, wire.PoolOptions{
+			Chaos: cfg.Chaos, Self: "master", Retry: cfg.Retry,
+		}),
 		workers: make(map[int]*workerInfo),
 		failed:  make(map[int]bool),
 		fs:      dfs.New(int64(blockRecords)),
@@ -264,14 +282,7 @@ func (m *Master) register(r RegisterReq) (any, error) {
 // DFS data lost, and cancels any active run — the detection timeout path.
 func (m *Master) monitor() {
 	defer m.monWG.Done()
-	tick := m.cfg.Timing.HeartbeatInterval
-	if tick > m.cfg.Timing.DetectionTimeout/4 {
-		tick = m.cfg.Timing.DetectionTimeout / 4
-	}
-	if tick <= 0 {
-		tick = time.Millisecond
-	}
-	t := time.NewTicker(tick)
+	t := time.NewTicker(m.cfg.Timing.monitorTick())
 	defer t.Stop()
 	for {
 		select {

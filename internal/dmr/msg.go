@@ -20,10 +20,22 @@
 //     tagged with the reducer outputs to regenerate — including reducer
 //     splitting and the Figure 5 split-invalidation rule.
 //
+// The runtime is chaos-hardened: every connection can carry a fault
+// injector (wire.Chaos — deterministic latency, jitter, drops, one-way
+// partitions, mid-stream resets), RPCs retry transport errors with
+// jittered exponential backoff (wire.RetryPolicy), and the worker's
+// heartbeat loop re-dials a poisoned master client instead of letting a
+// transient transport fault masquerade as a death. Only faults that
+// outlive the detection timeout become failures; the chaos regression
+// tests pin that boundary from both sides.
+//
 // The same planner, partitioner, and UDFs drive the simulator and the
 // functional engine, so a chain executed on this runtime with failures
 // injected must produce byte-identical output digests to a failure-free
-// run — which the integration tests assert over real sockets.
+// run — which the integration tests assert over real sockets, and which
+// internal/xval (docs/crossval.md) extends into a cross-engine gate:
+// the recovery decisions this runtime makes must be identical to the
+// simulator's under equivalent injections.
 package dmr
 
 import (

@@ -234,10 +234,7 @@ func (m *Master) runMapPhase(spec JobSpec, descs []lineage.MapperMeta, cancel <-
 	if factor <= 0 {
 		factor = 1.5
 	}
-	tick := m.cfg.Timing.HeartbeatInterval / 2
-	if tick <= 0 {
-		tick = time.Millisecond
-	}
+	tick := m.cfg.Timing.progressTick()
 	stats := &mapPhaseStats{}
 
 	results := make([]mapTaskResult, len(descs))

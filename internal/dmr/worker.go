@@ -66,6 +66,47 @@ func (t Timing) withDefaults() Timing {
 	return t
 }
 
+// Validate rejects timing combinations that break liveness detection. A
+// detection timeout at or below the heartbeat interval declares every
+// worker dead before its second heartbeat can arrive — an aggressively
+// scaled chaos or cross-validation config must fail loudly here rather
+// than kill the whole cluster at startup. Callers validate after
+// withDefaults so partially specified configs are judged on their
+// effective values.
+func (t Timing) Validate() error {
+	if t.DetectionTimeout <= t.HeartbeatInterval {
+		return fmt.Errorf("dmr: DetectionTimeout (%v) must exceed HeartbeatInterval (%v)",
+			t.DetectionTimeout, t.HeartbeatInterval)
+	}
+	return nil
+}
+
+// monitorTick is the master's liveness-scan period: the heartbeat cadence,
+// tightened to a quarter of the detection window so a scan always lands
+// inside it, floored at 1ms so millisecond-scale test timings cannot spin
+// the monitor.
+func (t Timing) monitorTick() time.Duration {
+	tick := t.HeartbeatInterval
+	if limit := t.DetectionTimeout / 4; tick > limit {
+		tick = limit
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	return tick
+}
+
+// progressTick paces the job-runner's speculation progress checks at half
+// the heartbeat cadence (fresher than liveness, since stragglers are judged
+// on task runtimes), with the same 1ms spin floor.
+func (t Timing) progressTick() time.Duration {
+	tick := t.HeartbeatInterval / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	return tick
+}
+
 // WorkerConfig configures one worker process.
 type WorkerConfig struct {
 	ID         int    // dense node ID, 0..N-1
@@ -77,6 +118,13 @@ type WorkerConfig struct {
 	// a straggler knob for tests and demos of speculative execution (a
 	// slow disk or overloaded node in the paper's terms).
 	TaskDelay time.Duration
+
+	// Chaos, when non-nil, routes the worker's listener and every outbound
+	// dial through the fault injector under the endpoint name "w<ID>".
+	Chaos *wire.Chaos
+	// Retry bounds transport-error re-attempts on the worker's peer pool.
+	// The zero value keeps the historical single-shot behavior.
+	Retry wire.RetryPolicy
 }
 
 // Worker is one compute-plus-storage node: it runs tasks, stores blocks and
@@ -86,7 +134,16 @@ type Worker struct {
 	store  *store
 	server *wire.Server
 	peers  *wire.Pool
-	master *wire.Client
+
+	// The master client is a re-dialable slot, not a permanent handle: a
+	// mid-call send fault poisons a wire.Client forever, and a worker whose
+	// heartbeats all land on a poisoned client is silently dead to the
+	// master while perfectly healthy. mcMu guards the slot; a discarded
+	// client is re-dialed with capped exponential backoff.
+	mcMu       sync.Mutex
+	master     *wire.Client
+	hbBackoff  time.Duration
+	nextRedial time.Time
 
 	mu        sync.Mutex
 	killed    bool
@@ -102,6 +159,9 @@ type Worker struct {
 // starts heartbeating. The returned worker runs until Kill or Shutdown.
 func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg.Timing = cfg.Timing.withDefaults()
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -109,15 +169,18 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dmr: worker %d listen: %w", cfg.ID, err)
 	}
+	if cfg.Chaos != nil {
+		ln = cfg.Chaos.WrapListener(ln, fmt.Sprintf("w%d", cfg.ID))
+	}
 	w := &Worker{
 		cfg:    cfg,
 		store:  newStore(),
-		peers:  wire.NewPool(cfg.Timing.DialTimeout),
 		stopHB: make(chan struct{}),
 	}
+	w.peers = wire.NewPoolOpts(cfg.Timing.DialTimeout, w.poolOpts())
 	w.server = wire.NewServer(ln, w.handle)
 
-	w.master, err = wire.Dial(cfg.MasterAddr, cfg.Timing.DialTimeout)
+	w.master, err = wire.DialOpts(cfg.MasterAddr, cfg.Timing.DialTimeout, w.poolOpts())
 	if err != nil {
 		w.server.Close()
 		return nil, fmt.Errorf("dmr: worker %d dial master: %w", cfg.ID, err)
@@ -130,6 +193,14 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	w.hbStopped.Add(1)
 	go w.heartbeatLoop()
 	return w, nil
+}
+
+func (w *Worker) poolOpts() wire.PoolOptions {
+	return wire.PoolOptions{
+		Chaos: w.cfg.Chaos,
+		Self:  fmt.Sprintf("w%d", w.cfg.ID),
+		Retry: w.cfg.Retry,
+	}
 }
 
 // Addr returns the worker's data/task address.
@@ -147,11 +218,75 @@ func (w *Worker) heartbeatLoop() {
 		case <-w.stopHB:
 			return
 		case <-t.C:
-			// A failed heartbeat is not fatal: the master declares us dead
-			// on its own timeout, which is the detection path under test.
-			_, _ = w.master.Call(HeartbeatReq{Worker: w.cfg.ID}, w.cfg.Timing.CallTimeout)
+			w.heartbeat()
 		}
 	}
+}
+
+// heartbeat sends one liveness refresh. A transport failure discards the
+// client (a poisoned gob stream can never carry another call) so a later
+// tick re-dials; an unreachable master is still not fatal — it declares us
+// dead on its own timeout, which is the detection path under test.
+func (w *Worker) heartbeat() {
+	cl := w.masterClient()
+	if cl == nil {
+		return // re-dial backoff in force, or master unreachable
+	}
+	_, err := cl.Call(HeartbeatReq{Worker: w.cfg.ID}, w.cfg.Timing.CallTimeout)
+	if err != nil && wire.IsTransportError(err) {
+		w.discardMaster(cl)
+	}
+}
+
+// masterClient returns the live master client, re-dialing if the slot is
+// empty and the backoff window has passed. Returns nil while backing off.
+func (w *Worker) masterClient() *wire.Client {
+	w.mcMu.Lock()
+	defer w.mcMu.Unlock()
+	if w.master != nil {
+		return w.master
+	}
+	if time.Now().Before(w.nextRedial) {
+		return nil
+	}
+	cl, err := wire.DialOpts(w.cfg.MasterAddr, w.cfg.Timing.DialTimeout, w.poolOpts())
+	if err != nil {
+		w.bumpHBBackoffLocked()
+		return nil
+	}
+	w.master = cl
+	w.hbBackoff = 0
+	return cl
+}
+
+// discardMaster closes a failed client and vacates the slot (unless a
+// newer client already replaced it), arming the re-dial backoff.
+func (w *Worker) discardMaster(cl *wire.Client) {
+	cl.Close()
+	w.mcMu.Lock()
+	if w.master == cl {
+		w.master = nil
+		w.bumpHBBackoffLocked()
+	}
+	w.mcMu.Unlock()
+}
+
+// bumpHBBackoffLocked doubles the re-dial backoff, starting at half a
+// heartbeat interval and capped at half the detection timeout so a worker
+// that can reconnect always does so with detection headroom to spare.
+func (w *Worker) bumpHBBackoffLocked() {
+	if w.hbBackoff <= 0 {
+		w.hbBackoff = w.cfg.Timing.HeartbeatInterval / 2
+		if w.hbBackoff < time.Millisecond {
+			w.hbBackoff = time.Millisecond
+		}
+	} else {
+		w.hbBackoff *= 2
+	}
+	if limit := w.cfg.Timing.DetectionTimeout / 2; w.hbBackoff > limit {
+		w.hbBackoff = limit
+	}
+	w.nextRedial = time.Now().Add(w.hbBackoff)
 }
 
 // Kill simulates node death: heartbeats stop and the data/task server goes
@@ -169,7 +304,11 @@ func (w *Worker) Kill() {
 	w.hbStopped.Wait()
 	w.server.Close()
 	w.peers.Close()
-	w.master.Close()
+	w.mcMu.Lock()
+	if w.master != nil {
+		w.master.Close()
+	}
+	w.mcMu.Unlock()
 }
 
 // Shutdown is a graceful Kill (same teardown; named for intent at call sites).

@@ -45,12 +45,17 @@ type Driver struct {
 	frontier    int // 1-based topological position currently being computed
 	runCounter  int
 	failedNodes map[int]bool
-	current     *jobRun
-	recovering  bool
-	planQueue   []core.JobStep
-	finished    bool
-	err         error
-	endTime     des.Time
+	// pendingDetect counts injected failures whose detection timer has not
+	// fired yet. A chain may legally complete inside that window with lost
+	// partitions nobody noticed, so the completion-time conservation
+	// invariant only applies when it is zero.
+	pendingDetect int
+	current       *jobRun
+	recovering    bool
+	planQueue     []core.JobStep
+	finished      bool
+	err           error
+	endTime       des.Time
 
 	specLaunched int
 	specWasted   int
@@ -153,6 +158,9 @@ func (d *Driver) finish() (*Result, error) {
 	if !d.finished {
 		return nil, fmt.Errorf("mapreduce: simulation drained before chain completed (job %d)", d.frontier)
 	}
+	if err := d.checkInvariants(); err != nil {
+		return nil, err
+	}
 	if d.current != nil {
 		d.ctx.recycleRun(d.current)
 		d.current = nil
@@ -176,6 +184,47 @@ func (d *Driver) finish() (*Result, error) {
 		Events:              events,
 		Flows:               d.clus.Net.Completed,
 	}, nil
+}
+
+// checkInvariants runs the cross-run consistency checks at chain
+// completion, inside every experiment run rather than only in unit tests.
+//
+// Alive-set accounting always holds: the cluster's and the DFS's views of
+// which nodes died, plus the driver's failed set, must agree node by node.
+// Partition conservation — every partition of the final topological job's
+// output available — holds only when every injected failure has been
+// detected and recovered (pendingDetect == 0): a failure still inside its
+// detection window legally leaves the chain complete with partitions the
+// master has not noticed losing. Earlier DAG sinks are exempt: a surviving
+// branch's sink may be legitimately unrecoverable without anyone asking
+// for it. Multi-tenant sessions skip conservation (another tenant's chain
+// may still be mid-recovery on the shared cluster).
+func (d *Driver) checkInvariants() error {
+	aliveSet := make(map[int]bool, d.clus.NumAlive())
+	for _, id := range d.clus.Alive() {
+		aliveSet[id] = true
+	}
+	for id := 0; id < d.clus.NumNodes(); id++ {
+		if aliveSet[id] != d.fs.NodeAlive(id) {
+			return fmt.Errorf("mapreduce: invariant: node %d cluster-alive=%v but dfs-alive=%v",
+				id, aliveSet[id], d.fs.NodeAlive(id))
+		}
+		if d.session == nil && d.failedNodes[id] == aliveSet[id] {
+			return fmt.Errorf("mapreduce: invariant: node %d failed=%v yet alive=%v",
+				id, d.failedNodes[id], aliveSet[id])
+		}
+	}
+	if d.session != nil || d.pendingDetect > 0 {
+		return nil
+	}
+	out := d.topo.Output(d.cfg.NumJobs)
+	for p := 0; p < d.cfg.NumReducers; p++ {
+		if !d.fs.PartitionAvailable(out, p) {
+			return fmt.Errorf("mapreduce: invariant: final output %s/p%d unavailable at completion with all failures detected",
+				out, p)
+		}
+	}
+	return nil
 }
 
 // createInput lays out every external input file of the graph: one
@@ -534,11 +583,15 @@ func (d *Driver) injectFailure(node int) {
 		d.current.nodeDown(node)
 	}
 	d.clus.RegisterPulse(d.sim.Now() + d.clus.Cfg.FailureDetectionTimeout)
+	d.pendingDetect++
 	d.sim.After(d.clus.Cfg.FailureDetectionTimeout, func() { d.onDetect(node) })
 }
 
 // onDetect is the master noticing a dead node.
 func (d *Driver) onDetect(node int) {
+	if d.pendingDetect > 0 {
+		d.pendingDetect--
+	}
 	if d.finished || d.err != nil {
 		return
 	}
@@ -577,6 +630,14 @@ func (d *Driver) onDetect(node int) {
 		d.unrecoverable(err)
 		return
 	}
+	// Invariant check on the pure minimal plan, before the policy knobs
+	// below add mappers by fiat: every stepped partition must actually be
+	// unavailable and every re-run mapper justified by loss or split
+	// invalidation.
+	if err := core.CheckPlan(d.ch, d.fs, d.failedNodes, plan, true); err != nil {
+		d.unrecoverable(err)
+		return
+	}
 	// Split regenerations crossing into a surviving branch invalidate that
 	// branch's persisted map outputs (Figure 5 across file edges); mark
 	// them so a later recovery re-executes those mappers. Never fires on
@@ -598,6 +659,9 @@ func (d *Driver) onDetect(node int) {
 		for i := range plan.Steps {
 			d.padStepMappers(&plan.Steps[i])
 		}
+	}
+	if d.cfg.PlanObserver != nil {
+		d.cfg.PlanObserver(d.frontier, plan, d.ch)
 	}
 	d.recovering = true
 	d.planQueue = plan.Steps

@@ -19,7 +19,9 @@ import (
 	"fmt"
 
 	"rcmp/internal/cluster"
+	"rcmp/internal/core"
 	"rcmp/internal/des"
+	"rcmp/internal/lineage"
 	"rcmp/internal/metrics"
 )
 
@@ -178,6 +180,13 @@ type ChainConfig struct {
 	Failures []Injection
 	// Seed drives deterministic victim selection for Node:-1 injections.
 	Seed int64
+
+	// PlanObserver, when non-nil, observes every recovery plan right after
+	// it is built, invariant-checked, and adjusted by the policy knobs
+	// (NoMapOutputReuse, ForceRecomputeMappers), before any step runs. The
+	// cross-validation harness captures recovery decisions through it. The
+	// chain argument is the driver's live lineage; do not mutate either.
+	PlanObserver func(frontier int, plan *core.Plan, ch *lineage.Chain)
 }
 
 // ShuffleAggregation selects the shuffle modelling tier; see the

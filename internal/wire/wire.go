@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -198,9 +199,29 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, transportf("wire: dial %s: %w", addr, err)
 	}
+	return NewClient(nc), nil
+}
+
+// DialOpts is Dial through an optional chaos transport: with o.Chaos set
+// the connection is dialed via the fault injector under o.Self's endpoint
+// name; otherwise it is a plain Dial.
+func DialOpts(addr string, timeout time.Duration, o PoolOptions) (*Client, error) {
+	if o.Chaos == nil {
+		return Dial(addr, timeout)
+	}
+	nc, err := o.Chaos.Dial(o.Self, addr, timeout)
+	if err != nil {
+		return nil, transportf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection in a Client. The caller hands
+// over ownership; closing the client closes the connection.
+func NewClient(nc net.Conn) *Client {
 	cl := &Client{c: newConn(nc), pending: make(map[uint64]chan *Envelope)}
 	go cl.readLoop()
-	return cl, nil
+	return cl
 }
 
 func (cl *Client) readLoop() {
@@ -220,13 +241,18 @@ func (cl *Client) readLoop() {
 	}
 }
 
-// failAll wakes every pending call with the connection error.
+// failAll wakes every pending call with the connection error and poisons
+// the client: once the read loop is gone nothing can ever deliver a reply,
+// so a later Call that merely buffered its request into the half-closed
+// socket would otherwise sit out its whole deadline instead of failing
+// fast.
 func (cl *Client) failAll(err error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if cl.readErr == nil {
 		cl.readErr = err
 	}
+	cl.closed = true
 	for id, ch := range cl.pending {
 		delete(cl.pending, id)
 		close(ch)
@@ -316,20 +342,89 @@ func (cl *Client) Close() error {
 	return cl.c.c.Close()
 }
 
+// RetryPolicy bounds a Pool's automatic re-attempts after transport
+// failures. Retries apply ONLY to transport-classified errors (failed
+// dials, lost connections, send faults, call timeouts) — an error a remote
+// handler returned by value is the application's answer and is never
+// retried. Each retry re-resolves the client, so a poisoned connection is
+// replaced by a fresh dial. Backoff is exponential with full jitter:
+// attempt k sleeps a uniformly random duration in (0, min(Cap, Base<<k)].
+//
+// The zero value disables retries, preserving the historical single-shot
+// behavior (and the byte-identical golden paths that depend on it).
+type RetryPolicy struct {
+	Max  int           // retries after the first attempt; 0 disables
+	Base time.Duration // first backoff bound (default 2ms when Max > 0)
+	Cap  time.Duration // backoff ceiling (default 250ms)
+	Seed int64         // jitter seed, for deterministic tests
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Max > 0 {
+		if rp.Base <= 0 {
+			rp.Base = 2 * time.Millisecond
+		}
+		if rp.Cap <= 0 {
+			rp.Cap = 250 * time.Millisecond
+		}
+	}
+	return rp
+}
+
+// backoff returns the jittered sleep before retry attempt k (0-based).
+func (rp RetryPolicy) backoff(k int, rng *rand.Rand) time.Duration {
+	d := rp.Base
+	for i := 0; i < k && d < rp.Cap; i++ {
+		d *= 2
+	}
+	if d > rp.Cap {
+		d = rp.Cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(d))) + 1
+}
+
+// PoolOptions configures the optional hardening layers of a Pool.
+type PoolOptions struct {
+	// Chaos, when non-nil, routes every dial through the fault injector.
+	Chaos *Chaos
+	// Self is this endpoint's chaos name (the "from" side of its links).
+	Self string
+	// Retry bounds automatic re-attempts on transport errors.
+	Retry RetryPolicy
+}
+
 // Pool caches one Client per address, dialing lazily. Workers use it for
 // shuffle fetches (every reducer talks to every mapper's node) and replica
 // pushes; the master uses it for task dispatch.
 type Pool struct {
 	timeout time.Duration
+	opts    PoolOptions
 
 	mu      sync.Mutex
 	clients map[string]*Client
 	closed  bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewPool creates a pool whose dials use the given timeout.
 func NewPool(dialTimeout time.Duration) *Pool {
-	return &Pool{timeout: dialTimeout, clients: make(map[string]*Client)}
+	return NewPoolOpts(dialTimeout, PoolOptions{})
+}
+
+// NewPoolOpts creates a pool with chaos and retry options.
+func NewPoolOpts(dialTimeout time.Duration, o PoolOptions) *Pool {
+	o.Retry = o.Retry.withDefaults()
+	return &Pool{
+		timeout: dialTimeout,
+		opts:    o,
+		clients: make(map[string]*Client),
+		rng:     rand.New(rand.NewSource(o.Retry.Seed)),
+	}
 }
 
 // Get returns the cached client for addr, dialing if needed.
@@ -345,7 +440,7 @@ func (p *Pool) Get(addr string) (*Client, error) {
 	}
 	p.mu.Unlock()
 
-	cl, err := Dial(addr, p.timeout)
+	cl, err := DialOpts(addr, p.timeout, p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -376,8 +471,24 @@ func (p *Pool) Drop(addr string) {
 }
 
 // Call is Get followed by Client.Call, dropping the connection on transport
-// errors so a recovered peer gets a fresh dial.
+// errors so a recovered peer gets a fresh dial. With a RetryPolicy set it
+// re-attempts transport failures with jittered exponential backoff — each
+// attempt on a freshly resolved client — and never retries an error the
+// remote handler returned by value.
 func (p *Pool) Call(addr string, req any, timeout time.Duration) (any, error) {
+	resp, err := p.callOnce(addr, req, timeout)
+	max := p.opts.Retry.Max
+	for attempt := 0; attempt < max && err != nil && IsTransportError(err); attempt++ {
+		if p.closedNow() {
+			break // pool torn down: ErrClosed is final, not a flaky link
+		}
+		p.sleepBackoff(attempt)
+		resp, err = p.callOnce(addr, req, timeout)
+	}
+	return resp, err
+}
+
+func (p *Pool) callOnce(addr string, req any, timeout time.Duration) (any, error) {
 	cl, err := p.Get(addr)
 	if err != nil {
 		return nil, err
@@ -387,6 +498,33 @@ func (p *Pool) Call(addr string, req any, timeout time.Duration) (any, error) {
 		p.Drop(addr)
 	}
 	return resp, err
+}
+
+func (p *Pool) closedNow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// sleepBackoff sleeps the jittered exponential backoff for retry `attempt`.
+// The jitter PRNG is shared by every concurrent Call, so it is drawn under
+// its own lock (never held across the sleep).
+func (p *Pool) sleepBackoff(attempt int) {
+	p.rngMu.Lock()
+	d := p.opts.Retry.backoff(attempt, p.rng)
+	p.rngMu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// IsTransportError reports whether err was raised by the transport layer —
+// a failed dial, send, lost connection or call timeout — rather than
+// returned by a remote handler by value. Retry and re-dial decisions must
+// use this classification, never message text: only transport failures mean
+// the request may not have been the problem.
+func IsTransportError(err error) bool {
+	return err != nil && !isAppError(err)
 }
 
 // isAppError reports whether err came from the remote handler (the

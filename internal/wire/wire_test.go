@@ -512,3 +512,53 @@ func TestPoolRedialsAfterPoisonedClient(t *testing.T) {
 		t.Fatalf("pool did not recover with a fresh dial: %v", err)
 	}
 }
+
+// TestCallFailsFastAfterReadLoopDeath pins the poisoning contract of
+// failAll. The peer half-closes the connection (FIN): the client's read
+// loop exits — no reply can ever be delivered again — but the socket still
+// accepts writes. A Call in that state must fail immediately with a
+// transport error; before the fix its request buffered into the
+// half-closed socket and the call sat out its entire deadline.
+func TestCallFailsFastAfterReadLoopDeath(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// FIN the write side, keep draining the read side: the client's
+		// read loop dies while its writes keep succeeding.
+		nc.(*net.TCPConn).CloseWrite()
+		io.Copy(io.Discard, nc)
+		nc.Close()
+	}()
+
+	cl, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Wait for the read loop to observe the FIN.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.connErr() == ErrClosed && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err = cl.Call(echoReq{N: 1}, 5*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call succeeded on a half-closed connection")
+	}
+	if !IsTransportError(err) {
+		t.Fatalf("error not transport-classified: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("call took %v to fail; want fast failure, not a deadline wait", elapsed)
+	}
+}

@@ -1,0 +1,227 @@
+// Package xval cross-validates the two RCMP execution engines against each
+// other: one shared job spec runs through the real distributed runtime
+// (internal/dmr, in-process workers over loopback TCP) and through the
+// flow-level simulator (internal/mapreduce over internal/cluster), and the
+// harness compares the recovery *decisions* both engines make — which jobs
+// recompute, which output partitions regenerate with how many splits, which
+// surviving map outputs are reused — for exact equality, plus wall-clock
+// slowdown ratios for agreement within a tolerance band.
+//
+// The two engines measure incomparable clocks (simulated DCO seconds vs.
+// loopback wall time), so the harness first runs the spec failure-free in
+// both to obtain per-run baseline durations, then maps every failure offset
+// and the detection timeout as *fractions* of those baselines. A pulse "run
+// 2 at 0.25" kills the same pre-computed victim a quarter of the way into
+// run 2 of either engine, and both detect it the same fraction later —
+// which pins the recovery frontier, and therefore the plan, to the same
+// point of the computation on both sides. See docs/crossval.md.
+package xval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rcmp/internal/failure"
+)
+
+// Spec is the shared job description both engines execute. The zero value
+// is completed by withDefaults; Validate reports inconsistencies.
+type Spec struct {
+	Nodes int // cluster size / worker count (default 4)
+	Jobs  int // chain length (default 3)
+
+	// Reducers per job. The default (0) means one per node, which keeps
+	// initial reducer placement identical across engines: both assign
+	// reducer r to alive[r mod N].
+	Reducers int
+
+	// BlocksPerPartition is the number of input blocks per input partition;
+	// one block is one map task in both engines (default 2). BlockRecords
+	// sizes a dmr block in records; the simulator sizes its block in bytes,
+	// one record corresponding to one fixed-size unit (default 40).
+	BlocksPerPartition int
+	BlockRecords       int
+
+	Slots     int // task slots per node, map and reduce alike (default 4)
+	InputRepl int // replication of the original input (default 3)
+
+	// Recovery-policy knobs, forwarded verbatim to both engines.
+	Split            bool
+	SplitRatio       int
+	ScatterOnly      bool
+	NoMapOutputReuse bool
+
+	// Schedule lists the failure pulses. Pulse.After is interpreted as a
+	// FRACTION in [0, 0.9] of the failure-free duration of run Pulse.AtRun
+	// (not as seconds), so one schedule is meaningful on both clocks.
+	Schedule failure.Schedule
+
+	// Seed drives victim pre-selection (and the dmr workload payloads).
+	Seed int64
+
+	// TaskDelay makes every dmr map/reduce task sleep first, so loopback
+	// runs are sleep-dominated and their durations stay stable on noisy
+	// hosts (default 150ms).
+	TaskDelay time.Duration
+
+	// DetectFrac is the failure-detection timeout as a fraction of the
+	// shortest failure-free run (default 0.3). Both engines use the same
+	// effective fraction; the dmr side additionally clamps the timeout to
+	// minDMRDetect so heartbeat cadences stay schedulable.
+	DetectFrac float64
+
+	// Band is the slowdown-ratio tolerance: the case passes when
+	// |ln(slowdownDMR / slowdownSim)| <= ln(Band) (default 4).
+	Band float64
+
+	// Chaos routes the dmr side's transport through wire.Chaos with the
+	// knobs below; off by default. Retries sets the RPC retry budget on
+	// both master and worker pools (only meaningful with Chaos).
+	Chaos     bool
+	ChaosSeed int64
+	Latency   time.Duration // default 200µs when Chaos
+	Jitter    time.Duration // default 300µs when Chaos
+	DropProb  float64       // no default: drops are opt-in even under Chaos
+	Retries   int           // default 3 when Chaos
+}
+
+// minDMRDetect is the floor for the dmr detection timeout. Below it the
+// derived heartbeat interval (timeout/5) gets close to scheduler jitter on
+// a loaded single-CPU host and workers get declared dead spuriously.
+const minDMRDetect = 100 * time.Millisecond
+
+// maxOffsetFrac caps how late into a run a pulse may fire. Case runs track
+// their baselines only approximately, so offsets near the end of a run
+// risk landing in different runs on the two sides.
+const maxOffsetFrac = 0.9
+
+func (s Spec) withDefaults() Spec {
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.Jobs == 0 {
+		s.Jobs = 3
+	}
+	if s.Reducers == 0 {
+		s.Reducers = s.Nodes
+	}
+	if s.BlocksPerPartition == 0 {
+		s.BlocksPerPartition = 2
+	}
+	if s.BlockRecords == 0 {
+		s.BlockRecords = 40
+	}
+	if s.Slots == 0 {
+		s.Slots = 4
+	}
+	if s.InputRepl == 0 {
+		s.InputRepl = 3
+	}
+	if s.TaskDelay == 0 {
+		s.TaskDelay = 150 * time.Millisecond
+	}
+	if s.DetectFrac == 0 {
+		s.DetectFrac = 0.3
+	}
+	if s.Band == 0 {
+		s.Band = 4
+	}
+	if s.Chaos {
+		if s.Latency == 0 {
+			s.Latency = 200 * time.Microsecond
+		}
+		if s.Jitter == 0 {
+			s.Jitter = 300 * time.Microsecond
+		}
+		if s.Retries == 0 {
+			s.Retries = 3
+		}
+	}
+	return s
+}
+
+// Validate reports spec errors. It expects a defaulted spec (Run and Sweep
+// default before validating).
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes < 2:
+		return fmt.Errorf("xval: Nodes=%d, need at least 2", s.Nodes)
+	case s.Jobs < 1:
+		return fmt.Errorf("xval: Jobs=%d", s.Jobs)
+	case s.Reducers < 1:
+		return fmt.Errorf("xval: Reducers=%d", s.Reducers)
+	case s.Split && s.ScatterOnly:
+		return fmt.Errorf("xval: Split and ScatterOnly are mutually exclusive")
+	case s.DetectFrac <= 0 || s.DetectFrac > 1:
+		return fmt.Errorf("xval: DetectFrac=%v outside (0, 1]", s.DetectFrac)
+	case s.Band < 1:
+		return fmt.Errorf("xval: Band=%v, need >= 1", s.Band)
+	case s.DropProb < 0 || s.DropProb >= 1:
+		return fmt.Errorf("xval: DropProb=%v outside [0, 1)", s.DropProb)
+	}
+	return s.validateSchedule(s.Schedule)
+}
+
+// validateSchedule checks one schedule against the spec's shape: run
+// indices inside the chain, offsets inside the safe fraction window, and
+// at least one node left alive after every pulse.
+func (s Spec) validateSchedule(sched failure.Schedule) error {
+	if err := sched.Validate(); err != nil {
+		return fmt.Errorf("xval: %w", err)
+	}
+	total := 0
+	for _, p := range sched.Pulses {
+		if p.AtRun < 1 || p.AtRun > s.Jobs {
+			return fmt.Errorf("xval: pulse at run %d outside chain of %d jobs", p.AtRun, s.Jobs)
+		}
+		if p.After < 0 || p.After > maxOffsetFrac {
+			return fmt.Errorf("xval: pulse offset fraction %v outside [0, %v]", p.After, maxOffsetFrac)
+		}
+		total += pulseNodes(p)
+	}
+	if total >= s.Nodes {
+		return fmt.Errorf("xval: schedule kills %d of %d nodes", total, s.Nodes)
+	}
+	return nil
+}
+
+func pulseNodes(p failure.Pulse) int {
+	if p.Nodes <= 1 {
+		return 1
+	}
+	return p.Nodes
+}
+
+// victims pre-selects the victim node of every pulse kill, deterministically
+// from the spec seed over the sorted alive set, so both engines can be told
+// explicitly whom to kill. Returns one slice of node IDs per pulse.
+func (s Spec) victims(sched failure.Schedule) [][]int {
+	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 97))
+	alive := make([]int, s.Nodes)
+	for i := range alive {
+		alive[i] = i
+	}
+	out := make([][]int, len(sched.Pulses))
+	for i, p := range sched.Pulses {
+		for j := 0; j < pulseNodes(p); j++ {
+			k := rng.Intn(len(alive))
+			out[i] = append(out[i], alive[k])
+			alive = append(alive[:k], alive[k+1:]...)
+		}
+	}
+	return out
+}
+
+// OffsetSweep builds one single-pulse, single-victim schedule per offset
+// fraction, all pinned to the same run — the harness's standard sweep shape.
+func OffsetSweep(atRun int, fracs []float64) []failure.Schedule {
+	out := make([]failure.Schedule, len(fracs))
+	for i, f := range fracs {
+		out[i] = failure.Schedule{
+			Name:   fmt.Sprintf("r%d@%.2f", atRun, f),
+			Pulses: []failure.Pulse{{AtRun: atRun, After: f, Nodes: 1}},
+		}
+	}
+	return out
+}

@@ -9,12 +9,16 @@
 #      (internal/runner, internal/experiments — worker goroutines share
 #      the per-config context pool) and the distributed runtime
 #      (internal/dmr) with -count=2 so pool/scratch-state reuse across
-#      runs stays honest
+#      runs stays honest; the cross-validation harness (internal/xval)
+#      rides in the same repeated -race tier
 #   4. rcmpsim smoke: the schedule-engine experiments, the scaling
 #      tier (weak-scaling, -nodes override) and the graph-driven tier
 #      (dag-recovery, multi-tenant with -tenants/-speculation) end to
 #      end through the CLI and the parallel runner
-#   5. rcmpserve smoke: the sweep server end to end on an ephemeral port —
+#   5. rcmpxval smoke: the sim<->dmr cross-validation harness end to end
+#      through the CLI — one failure offset plain, one under the chaos
+#      transport — failing on any recovery-decision divergence; then
+#      rcmpserve smoke: the sweep server end to end on an ephemeral port —
 #      a sweep over HTTP must be byte-identical to the rcmpsim CLI report,
 #      the cached repeat byte-identical again, and SIGTERM must drain
 #      cleanly — plus a small serveload pass (concurrent clients, cache
@@ -50,8 +54,8 @@ go test ./...
 echo "== race (full suite) =="
 go test -race ./...
 
-echo "== race (simulation core + pooled runner + distributed runtime + sweep server, repeated) =="
-go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/middleware ./internal/core ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server
+echo "== race (simulation core + pooled runner + distributed runtime + sweep server + cross-validation, repeated) =="
+go test -race -count=2 ./internal/flow ./internal/mapreduce ./internal/middleware ./internal/core ./internal/runner ./internal/experiments ./internal/dmr ./internal/wire ./internal/server ./internal/xval
 
 echo "== race (fast-forward mode, repeated) =="
 go test -race -count=2 -run 'TestFF|TestGoldenResultsEquivalentUnderFastForward' ./internal/mapreduce ./internal/experiments
@@ -74,6 +78,10 @@ go run ./cmd/rcmpsim -fig dag-recovery -quick -speculation > /dev/null
 echo "== rcmpsim smoke (fast-forward forced on at every size) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick -ff > /dev/null
 go run ./cmd/rcmpsim -fig trace-replay -quick -ff -parallel 2 -json > /dev/null
+
+echo "== rcmpxval smoke (sim vs dmr cross-validation: one offset, plus one chaos case) =="
+go run ./cmd/rcmpxval -offsets 0.25 -task-delay 60ms > /dev/null
+go run ./cmd/rcmpxval -offsets 0.25 -task-delay 60ms -chaos -chaos-seed 3 > /dev/null
 
 echo "== rcmpserve smoke (sweep server end to end: HTTP vs CLI byte-identity, cache, SIGTERM drain) =="
 tmp="${TMPDIR:-/tmp}/rcmp-verify-$$"
