@@ -194,6 +194,32 @@ func BenchmarkClusterScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticWhatIf measures the analytic twin's headline ability:
+// one weak-scaling what-if answer at 131072 nodes — 8x beyond the DES
+// ceiling — per iteration, reported as ns/answer. The acceptance bar is
+// <1 ms per config point (docs/perf.md records the measured value against
+// the DES's ns/run at its own ceiling); the benchmark is recorded in
+// BENCH_flow.json but not yet gated by benchdiff, per the new-benchmark
+// policy there.
+func BenchmarkAnalyticWhatIf(b *testing.B) {
+	cfg := experiments.Config{Scale: experiments.ScaleQuick, Nodes: 131072, Engine: experiments.EngineAnalytic}
+	sp, ok := experiments.Lookup("weak-scaling")
+	if !ok {
+		b.Fatal("weak-scaling not registered")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sp.Exec(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := res.Values["sim-seconds @ 131072"]; !ok {
+			b.Fatal("missing what-if answer")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/answer")
+}
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkFlowRebalance measures the water-filler under a shuffle-like

@@ -16,6 +16,8 @@
 //	rcmpsim -fig double-failure -schedule '3@15,4@5x2'   # explicit pulses
 //	rcmpsim -fig trace-replay -seeds 0,1                 # trace-driven days
 //	rcmpsim -fig 12 -schedule stic:1     # schedule sampled from the STIC trace
+//	rcmpsim -fig weak-scaling -quick -engine analytic -nodes 131072
+//	rcmpsim -fig 8b -quick -seed-set 5 -json   # 5-seed dispersion, mean/CI95
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile after the experiment run to this file (go tool pprof)")
 	ff := flag.Bool("ff", false, "force the fast-forward engine on at every cluster size (normally automatic at >=1024 nodes); results are equivalent, only wall-clock changes")
+	engine := flag.String("engine", "", "execution engine: 'des' (default, the simulator) or 'analytic' (calibrated closed-form twin; instant answers, -nodes up to 1048576)")
+	seedSet := flag.Int("seed-set", 0, "expand every seed into N consecutive seeds and add mean/CI95 aggregates to -json output (0 or 1 = off)")
 	flag.Parse()
 
 	if *ff {
@@ -109,6 +113,15 @@ func main() {
 	if *speculation {
 		speclDim = []bool{true}
 	}
+	eng, err := experiments.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcmpsim: %v\n", err)
+		os.Exit(2)
+	}
+	var engineDim []experiments.Engine
+	if eng != experiments.EngineDES {
+		engineDim = []experiments.Engine{eng}
+	}
 	jobs := runner.Grid{
 		Specs:       specs,
 		Scales:      []experiments.Scale{scale},
@@ -118,6 +131,8 @@ func main() {
 		Nodes:       nodesDim,
 		Tenants:     tenantsDim,
 		Speculation: speclDim,
+		Engines:     engineDim,
+		SeedSet:     *seedSet,
 	}.Jobs()
 
 	// Profiling covers exactly the simulation work (the pool run), not

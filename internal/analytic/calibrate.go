@@ -1,0 +1,139 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"rcmp/internal/cluster"
+	"rcmp/internal/mapreduce"
+)
+
+// Measurements are mean DES totals for the three probe configurations
+// Calibrate fits against. They are plain numbers, not Results, so they can
+// come from anywhere — a direct MeasureDES call, or the mean columns of a
+// runner seed-set sweep (Grid.SeedSet), which averages the probes across
+// seeds before the fit.
+type Measurements struct {
+	// OneJob is the mean DES total of the base chain truncated to one job,
+	// failure-free.
+	OneJob float64
+	// TwoJob is the same chain at two jobs, failure-free.
+	TwoJob float64
+	// Recovery is the mean DES total of the base chain with its failure
+	// schedule applied. Zero means "no recovery probe": RecoveryStretch
+	// keeps its default of 1.
+	Recovery float64
+}
+
+// MeasureDES runs the three probe configurations on the discrete-event
+// simulator and returns their totals. It is the single-seed convenience
+// path; sweeping the probes over a seed set and averaging gives Calibrate
+// a steadier target.
+func MeasureDES(ccfg cluster.Config, cfg mapreduce.ChainConfig) (Measurements, error) {
+	var meas Measurements
+	one, two, rec := probeConfigs(cfg)
+	r1, err := mapreduce.RunChain(ccfg, one)
+	if err != nil {
+		return meas, err
+	}
+	r2, err := mapreduce.RunChain(ccfg, two)
+	if err != nil {
+		return meas, err
+	}
+	meas.OneJob, meas.TwoJob = float64(r1.Total), float64(r2.Total)
+	if len(cfg.Failures) > 0 {
+		rr, err := mapreduce.RunChain(ccfg, rec)
+		if err != nil {
+			return meas, err
+		}
+		meas.Recovery = float64(rr.Total)
+	}
+	return meas, nil
+}
+
+// probeConfigs derives the three calibration probes from a base chain: the
+// failure-free one- and two-job truncations, and the chain as given
+// (failure schedule included).
+func probeConfigs(cfg mapreduce.ChainConfig) (one, two, rec mapreduce.ChainConfig) {
+	one = cfg
+	one.NumJobs = 1
+	one.Failures = nil
+	two = cfg
+	two.NumJobs = 2
+	two.Failures = nil
+	return one, two, cfg
+}
+
+// Calibrate fits the model constants for one cluster shape from measured
+// DES totals of the probe configurations.
+//
+// The failure-free model is total(n) = TimeStretch·A(n) + n·RunOverhead,
+// where A(n) is the raw closed form (Model{1, 0, 1}) at n jobs. Two probes
+// pin both constants:
+//
+//	TimeStretch = (T2 − 2·T1) / (A2 − 2·A1)
+//	RunOverhead = T1 − TimeStretch·A1
+//
+// The n-weighting is why the two-job probe must be exactly double the
+// one-job chain: subtracting 2·T1 cancels the per-run overhead and leaves
+// the bandwidth term alone. RecoveryStretch is then the ratio of measured
+// to modeled recovery delta (failure total minus failure-free total) under
+// the already-fitted stretch, so it absorbs only degraded-cluster effects,
+// not the global bias TimeStretch already captured.
+//
+// Fits are clamped to sane ranges (stretch in [0.5, 2], overhead ≥ 0,
+// recovery stretch in [0.5, 3]); a degenerate probe pair (A2 ≈ 2·A1)
+// keeps the defaults rather than dividing by noise.
+func Calibrate(ccfg cluster.Config, cfg mapreduce.ChainConfig, meas Measurements) (Model, error) {
+	if meas.OneJob <= 0 || meas.TwoJob <= 0 {
+		return Model{}, fmt.Errorf("analytic: calibration needs positive one- and two-job measurements, got %.3f/%.3f", meas.OneJob, meas.TwoJob)
+	}
+	raw := Model{TimeStretch: 1, RunOverhead: 0, RecoveryStretch: 1}
+	one, two, rec := probeConfigs(cfg)
+	a1, err := raw.RunChain(ccfg, one)
+	if err != nil {
+		return Model{}, err
+	}
+	a2, err := raw.RunChain(ccfg, two)
+	if err != nil {
+		return Model{}, err
+	}
+	A1, A2 := float64(a1.Total), float64(a2.Total)
+
+	m := DefaultModel()
+	if denom := A2 - 2*A1; math.Abs(denom) > 1e-6*A1 {
+		m.TimeStretch = clamp((meas.TwoJob-2*meas.OneJob)/denom, 0.5, 2)
+	}
+	m.RunOverhead = math.Max(0, meas.OneJob-m.TimeStretch*A1)
+
+	if meas.Recovery > 0 && len(cfg.Failures) > 0 {
+		recFree := rec
+		recFree.Failures = nil
+		base := Model{TimeStretch: m.TimeStretch, RunOverhead: m.RunOverhead, RecoveryStretch: 1}
+		af, err := base.RunChain(ccfg, rec)
+		if err != nil {
+			return Model{}, err
+		}
+		afree, err := base.RunChain(ccfg, recFree)
+		if err != nil {
+			return Model{}, err
+		}
+		modeled := float64(af.Total) - float64(afree.Total)
+		measured := meas.Recovery - float64(afree.Total)
+		if modeled > 1e-9 && measured > 0 {
+			m.RecoveryStretch = clamp(measured/modeled, 0.5, 3)
+		}
+	}
+	return m, nil
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -8,7 +8,7 @@ import (
 
 // ConfigDigest returns a stable cache key for one experiment execution:
 // the hex SHA-256 of a canonical encoding of (spec key, scale, seed,
-// failure-at, schedule, nodes, tenants, speculation).
+// failure-at, schedule, nodes, tenants, speculation, engine).
 //
 // Keying results by this digest is sound because every registered
 // experiment is a pure function of its Config (the package contract the
@@ -17,8 +17,10 @@ import (
 // a simulation:
 //
 //   - the spec key selects the experiment function;
-//   - Scale, Seed, FailureAt, Nodes, Tenants and Speculation are threaded
-//     into the setup and RNGs verbatim;
+//   - Scale, Seed, FailureAt, Nodes, Tenants, Speculation and Engine are
+//     threaded into the setup and RNGs verbatim (the engine decides which
+//     evaluator produces the numbers, so DES and analytic answers to the
+//     same question must not share a cache slot);
 //   - the schedule enters twice: Schedule.String(), the canonical
 //     run@secondsxnodes pulse syntax that fully determines the injected
 //     failures, and Schedule.Label(), because figure titles (failureNote)
@@ -32,7 +34,7 @@ import (
 // concatenation.
 func ConfigDigest(specKey string, c Config) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "spec=%s\nscale=%d\nseed=%d\nfailure-at=%d\nschedule=%s\nnodes=%d\ntenants=%d\nspeculation=%t\nschedule-label=%s",
-		specKey, int(c.Scale), c.Seed, c.FailureAt, c.Schedule.String(), c.Nodes, c.Tenants, c.Speculation, c.Schedule.Label())
+	fmt.Fprintf(h, "spec=%s\nscale=%d\nseed=%d\nfailure-at=%d\nschedule=%s\nnodes=%d\ntenants=%d\nspeculation=%t\nengine=%s\nschedule-label=%s",
+		specKey, int(c.Scale), c.Seed, c.FailureAt, c.Schedule.String(), c.Nodes, c.Tenants, c.Speculation, c.Engine, c.Schedule.Label())
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rcmp/internal/analytic"
+	"rcmp/internal/cluster"
+	"rcmp/internal/mapreduce"
+)
+
+// Engine selects how an experiment's simulated runs are executed: by the
+// discrete-event simulator (the default, and the source of every golden
+// digest) or by the calibrated closed-form analytic twin, which answers
+// the same questions with no event loop and therefore sweeps cluster
+// sizes the DES refuses.
+type Engine int
+
+const (
+	// EngineDES runs the discrete-event simulator.
+	EngineDES Engine = iota
+	// EngineAnalytic runs the closed-form analytic model
+	// (internal/analytic), calibrated against the DES; see docs/perf.md
+	// for the tolerance methodology.
+	EngineAnalytic
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineDES:
+		return "des"
+	case EngineAnalytic:
+		return "analytic"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps the CLI/HTTP spelling onto an Engine. The empty string
+// is the DES, so absent flags and fields keep their historical meaning.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "des":
+		return EngineDES, nil
+	case "analytic":
+		return EngineAnalytic, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown engine %q (want des or analytic)", s)
+	}
+}
+
+// validateEngine rejects Engine values outside the enum, the same per-job
+// convention validateNodes follows.
+func (c Config) validateEngine() error {
+	if c.Engine != EngineDES && c.Engine != EngineAnalytic {
+		return fmt.Errorf("experiments: Engine=%d out of range", int(c.Engine))
+	}
+	return nil
+}
+
+// runChainEngine dispatches one chain execution to the configured engine.
+func runChainEngine(e Engine, ccfg cluster.Config, cfg mapreduce.ChainConfig) (*mapreduce.Result, error) {
+	if e == EngineAnalytic {
+		return analytic.Default.RunChain(ccfg, cfg)
+	}
+	return mapreduce.RunChain(ccfg, cfg)
+}
+
+// runGraphEngine dispatches one graph execution to the configured engine.
+func runGraphEngine(e Engine, ccfg cluster.Config, cfg mapreduce.GraphConfig) (*mapreduce.Result, error) {
+	if e == EngineAnalytic {
+		return analytic.Default.RunGraph(ccfg, cfg)
+	}
+	return mapreduce.RunGraph(ccfg, cfg)
+}
+
+// runMultiTenantEngine dispatches one shared-cluster session to the
+// configured engine.
+func runMultiTenantEngine(e Engine, ccfg cluster.Config, cfg mapreduce.GraphConfig, tenants int) (*mapreduce.MultiResult, error) {
+	if e == EngineAnalytic {
+		return analytic.Default.RunMultiTenant(ccfg, cfg, tenants)
+	}
+	return mapreduce.RunMultiTenant(ccfg, cfg, tenants)
+}

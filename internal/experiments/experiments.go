@@ -99,6 +99,14 @@ type Config struct {
 	// Values. Off by default, so default outputs — and their golden
 	// digests — are unchanged.
 	Speculation bool
+	// Engine selects the execution engine for every simulated run the
+	// experiment performs: EngineDES (the zero value, so default outputs
+	// and their golden digests are unchanged) runs the discrete-event
+	// simulator; EngineAnalytic evaluates the calibrated closed-form model
+	// in internal/analytic, which answers the same what-if questions in
+	// microseconds and therefore accepts Nodes overrides far beyond the
+	// DES ceiling (see validateNodes).
+	Engine Engine
 }
 
 // Cluster-size override bounds: below minNodesOverride the fixed failure
@@ -113,12 +121,25 @@ const (
 	maxNodesOverride = 16384
 )
 
-// validateNodes checks the Config.Nodes override range. The registry
-// wraps every experiment with this check so a sweep grid containing an
-// out-of-range point records a per-job error instead of panicking.
+// maxAnalyticNodes is the Nodes ceiling under EngineAnalytic. The
+// closed-form model costs O(jobs) per answer regardless of cluster size,
+// so the bound exists only to keep counters and byte totals comfortably
+// inside float64/int64 precision; 2^20 nodes covers the 10^5–10^6 range
+// the capacity-planning endpoint advertises.
+const maxAnalyticNodes = 1 << 20
+
+// validateNodes checks the Config.Nodes override range for the selected
+// engine. The registry wraps every experiment with this check so a sweep
+// grid containing an out-of-range point records a per-job error instead
+// of panicking. The DES ceiling stays at maxNodesOverride; the analytic
+// engine, with no event loop to grow, accepts up to maxAnalyticNodes.
 func (c Config) validateNodes() error {
-	if c.Nodes != 0 && (c.Nodes < minNodesOverride || c.Nodes > maxNodesOverride) {
-		return fmt.Errorf("experiments: Nodes=%d out of range [%d, %d]", c.Nodes, minNodesOverride, maxNodesOverride)
+	max := maxNodesOverride
+	if c.Engine == EngineAnalytic {
+		max = maxAnalyticNodes
+	}
+	if c.Nodes != 0 && (c.Nodes < minNodesOverride || c.Nodes > max) {
+		return fmt.Errorf("experiments: Nodes=%d out of range [%d, %d] for engine %s", c.Nodes, minNodesOverride, max, c.Engine)
 	}
 	return nil
 }
@@ -154,11 +175,13 @@ func newResult(name string) *Result {
 	return &Result{Name: name, Values: make(map[string]float64)}
 }
 
-// setup bundles a cluster and chain configuration under a display name.
+// setup bundles a cluster and chain configuration under a display name,
+// plus the engine every run of the experiment dispatches to.
 type setup struct {
-	name string
-	ccfg cluster.Config
-	cfg  mapreduce.ChainConfig
+	name   string
+	ccfg   cluster.Config
+	cfg    mapreduce.ChainConfig
+	engine Engine
 }
 
 // sticSetup builds the paper's STIC configuration: 10 nodes, 4 GB/node
@@ -186,7 +209,7 @@ func sticSetup(c Config, mapSlots, redSlots int) setup {
 		cfg.NumReducers = ccfg.Nodes * redSlots
 		name = fmt.Sprintf("%s @%d nodes", name, c.Nodes)
 	}
-	return setup{name: name, ccfg: ccfg, cfg: cfg}
+	return setup{name: name, ccfg: ccfg, cfg: cfg, engine: c.Engine}
 }
 
 // dcoSetup builds the DCO configuration: 60 nodes, one reducer wave.
@@ -216,7 +239,7 @@ func dcoSetup(c Config, nodes int) setup {
 		cfg.NumReducers = ccfg.Nodes
 		name = fmt.Sprintf("%s @%d nodes", name, c.Nodes)
 	}
-	return setup{name: name, ccfg: ccfg, cfg: cfg}
+	return setup{name: name, ccfg: ccfg, cfg: cfg, engine: c.Engine}
 }
 
 // splitRatioFor returns the paper's reducer split ratios: 8 on STIC, N-1 on
@@ -322,10 +345,10 @@ func failureNote(c Config, name string) string {
 	return name
 }
 
-// run executes one chain, panicking on configuration errors (experiment
-// definitions are code, not input).
+// run executes one chain on the setup's engine, panicking on configuration
+// errors (experiment definitions are code, not input).
 func run(st setup) *mapreduce.Result {
-	res, err := mapreduce.RunChain(st.ccfg, st.cfg)
+	res, err := runChainEngine(st.engine, st.ccfg, st.cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiment %s: %v", st.name, err))
 	}

@@ -38,6 +38,9 @@ type Spec struct {
 // through Exec; Run stays the raw registered function so tooling can
 // resolve it back to its experiment.
 func (sp Spec) Exec(c Config) (*Result, error) {
+	if err := c.validateEngine(); err != nil {
+		return nil, err
+	}
 	if err := c.validateNodes(); err != nil {
 		return nil, err
 	}

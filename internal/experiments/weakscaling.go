@@ -68,7 +68,7 @@ func WeakScaling(c Config) (*Result, error) {
 	var rows [][]string
 	for _, n := range sizes {
 		ccfg, cfg := WeakScalingSetup(c, n)
-		res, err := mapreduce.RunChain(ccfg, cfg)
+		res, err := runChainEngine(c.Engine, ccfg, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: weak-scaling @%d nodes: %w", n, err)
 		}

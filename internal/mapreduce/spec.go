@@ -284,6 +284,14 @@ func (c *ChainConfig) withDefaults() ChainConfig {
 	return out
 }
 
+// WithDefaults returns a copy of the config with every defaultable field
+// resolved — the exact rules the engine applies before running a chain.
+// The analytic twin (internal/analytic) evaluates its closed-form model on
+// the defaulted config so both engines see identical job shapes.
+func (c ChainConfig) WithDefaults() ChainConfig {
+	return c.withDefaults()
+}
+
 // Validate reports chain configuration errors.
 func (c *ChainConfig) Validate() error {
 	switch {

@@ -186,5 +186,8 @@ func jobName(sp experiments.Spec, c experiments.Config) string {
 	if c.Speculation {
 		name += "/spec"
 	}
+	if c.Engine != experiments.EngineDES {
+		name += "/engine=" + c.Engine.String()
+	}
 	return name
 }

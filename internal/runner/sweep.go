@@ -37,13 +37,24 @@ type Grid struct {
 	// Speculation toggles speculative execution (see
 	// experiments.Config.Speculation) as a sweep dimension.
 	Speculation []bool
+	// Engines selects the execution engine per grid point (see
+	// experiments.Config.Engine): the DES, the analytic twin, or both
+	// side by side. Empty means DES only, keeping default grids unchanged.
+	Engines []experiments.Engine
+	// SeedSet, when > 1, expands every seed in the grid into that many
+	// consecutive seeds (base, base+1, ...). The JSON report aggregates
+	// each such dispersion set into mean and CI95 columns (see
+	// Report.Aggregates) — the input the analytic engine's calibration
+	// consumes, and the cheap way to tell signal from seed noise in any
+	// sweep. 0 and 1 mean no expansion.
+	SeedSet int
 }
 
 // Jobs materializes the grid in deterministic order: specs outermost, then
-// scales, seeds, failure positions, schedules, cluster sizes, tenant
-// counts and speculation — the order Run reports results in. Jobs execute
-// through Spec.Exec, so grid points with invalid overrides complete with
-// recorded errors.
+// scales, seeds (each expanded SeedSet-fold), failure positions,
+// schedules, cluster sizes, tenant counts, speculation and engines — the
+// order Run reports results in. Jobs execute through Spec.Exec, so grid
+// points with invalid overrides complete with recorded errors.
 func (g Grid) Jobs() []Job {
 	fails := g.FailureAts
 	if len(fails) == 0 {
@@ -65,6 +76,10 @@ func (g Grid) Jobs() []Job {
 	if len(specl) == 0 {
 		specl = []bool{false}
 	}
+	engines := g.Engines
+	if len(engines) == 0 {
+		engines = []experiments.Engine{experiments.EngineDES}
+	}
 	var out []Job
 	for _, sp := range g.Specs {
 		scales := g.Scales
@@ -75,6 +90,7 @@ func (g Grid) Jobs() []Job {
 		if len(seeds) == 0 {
 			seeds = []int64{sp.Seed}
 		}
+		seeds = expandSeedSet(seeds, g.SeedSet)
 		for _, sc := range scales {
 			for _, seed := range seeds {
 				for _, fa := range fails {
@@ -82,17 +98,19 @@ func (g Grid) Jobs() []Job {
 						for _, n := range nodes {
 							for _, tn := range tenants {
 								for _, spec := range specl {
-									c := experiments.Config{
-										Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched,
-										Nodes: n, Tenants: tn, Speculation: spec,
+									for _, eng := range engines {
+										c := experiments.Config{
+											Scale: sc, Seed: seed, FailureAt: fa, Schedule: sched,
+											Nodes: n, Tenants: tn, Speculation: spec, Engine: eng,
+										}
+										out = append(out, Job{
+											Name:   jobName(sp, c),
+											Key:    sp.Key,
+											Config: c,
+											Run:    sp.Exec,
+											Cost:   relativeCost(sp.Key, c),
+										})
 									}
-									out = append(out, Job{
-										Name:   jobName(sp, c),
-										Key:    sp.Key,
-										Config: c,
-										Run:    sp.Exec,
-										Cost:   experiments.RelativeCost(sp.Key, sc),
-									})
 								}
 							}
 						}
@@ -102,4 +120,31 @@ func (g Grid) Jobs() []Job {
 		}
 	}
 	return out
+}
+
+// expandSeedSet widens each base seed into `set` consecutive seeds, in
+// base order. Duplicates from overlapping bases are kept: the grid is a
+// literal cross product and the report's aggregation groups by value, so
+// repeats are harmless (and visible).
+func expandSeedSet(seeds []int64, set int) []int64 {
+	if set <= 1 {
+		return seeds
+	}
+	out := make([]int64, 0, len(seeds)*set)
+	for _, base := range seeds {
+		for i := 0; i < set; i++ {
+			out = append(out, base+int64(i))
+		}
+	}
+	return out
+}
+
+// relativeCost is the per-job scheduling weight. Analytic jobs are
+// closed-form evaluations — microseconds regardless of the spec — so they
+// get zero weight and fill pool gaps after every DES job has started.
+func relativeCost(key string, c experiments.Config) float64 {
+	if c.Engine == experiments.EngineAnalytic {
+		return 0
+	}
+	return experiments.RelativeCost(key, c.Scale)
 }

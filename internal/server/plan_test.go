@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postPlan(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestPlanEndpoint exercises /v1/plan end to end: an analytic answer at a
+// cluster size far beyond the DES ceiling, deadline verdicts, and the
+// digest-keyed cache (repeat = hit, byte-identical result).
+func TestPlanEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	body := `{"nodes":131072,"tenants":4,"deadline_sec":700}`
+
+	resp, b := postPlan(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %s", resp.StatusCode, b)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(b, &pr); err != nil {
+		t.Fatalf("bad plan response: %v\n%s", err, b)
+	}
+	if pr.Cache != "miss" {
+		t.Errorf("cold plan cache=%q, want miss", pr.Cache)
+	}
+	if pr.Result.Engine != "analytic" {
+		t.Errorf("plan engine=%q, want analytic", pr.Result.Engine)
+	}
+	if pr.SplitMeetsDeadline == nil || pr.NoSplitMeetsDeadline == nil {
+		t.Fatalf("deadline verdicts missing: %s", b)
+	}
+	for _, key := range []string{"SPLIT makespan", "NO-SPLIT makespan", "utilization", "free makespan"} {
+		v, ok := pr.Result.Values[key].(float64)
+		if !ok || v < 0 {
+			t.Errorf("plan values missing %q: %v", key, pr.Result.Values[key])
+		}
+	}
+
+	// Repeat: served from the cache, identical payload.
+	executed := s.statsNow().ExecutedJobs
+	resp2, b2 := postPlan(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: %d %s", resp2.StatusCode, b2)
+	}
+	var pr2 PlanResponse
+	if err := json.Unmarshal(b2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Cache != "hit" {
+		t.Errorf("repeat cache=%q, want hit", pr2.Cache)
+	}
+	if s.statsNow().ExecutedJobs != executed {
+		t.Error("repeat re-ran the plan")
+	}
+	pr.Cache, pr2.Cache = "", ""
+	j1, _ := json.Marshal(pr)
+	j2, _ := json.Marshal(pr2)
+	if string(j1) != string(j2) {
+		t.Errorf("cached plan differs:\n%s\n----\n%s", j1, j2)
+	}
+
+	// A different deadline is a different answer: must miss, and the
+	// verdict can flip.
+	resp3, b3 := postPlan(t, ts.URL, `{"nodes":131072,"tenants":4,"deadline_sec":1}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("tight deadline: %d %s", resp3.StatusCode, b3)
+	}
+	var pr3 PlanResponse
+	if err := json.Unmarshal(b3, &pr3); err != nil {
+		t.Fatal(err)
+	}
+	if pr3.Cache != "miss" {
+		t.Errorf("deadline change did not miss the cache: %q", pr3.Cache)
+	}
+	if pr3.SplitMeetsDeadline == nil || *pr3.SplitMeetsDeadline {
+		t.Error("a 1-second deadline should be missed")
+	}
+}
+
+// TestPlanRejectsBadRequests: out-of-range nodes (even for the analytic
+// engine) and malformed bodies are client errors.
+func TestPlanRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	if resp, b := postPlan(t, ts.URL, `{"nodes":2097152}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nodes beyond analytic ceiling: %d %s", resp.StatusCode, b)
+	}
+	if resp, _ := postPlan(t, ts.URL, `{"deadline_sec":-1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative deadline accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := postPlan(t, ts.URL, `{bad json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body accepted: %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/plan", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET allowed: %d", resp.StatusCode)
+	}
+}
+
+// TestSweepEngineDimension: a sweep can run the analytic engine at node
+// counts the DES refuses, and the engine is part of the cache key.
+func TestSweepEngineDimension(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	body := `{"specs":["weak-scaling"],"scale":"quick","nodes":[131072],"engines":["analytic"],"stream":false}`
+	resp, b := postSweep(t, ts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analytic sweep: %d %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), `"engine": "analytic"`) {
+		t.Errorf("report rows not tagged with the engine:\n%s", b)
+	}
+	if strings.Contains(string(b), "out of range") {
+		t.Errorf("analytic sweep rejected in-range nodes:\n%s", b)
+	}
+
+	// The same grid on the DES must be a different cache entry — and an
+	// error row, since 131072 exceeds the DES ceiling.
+	misses := s.statsNow().Cache.Misses
+	desBody := `{"specs":["weak-scaling"],"scale":"quick","nodes":[131072],"stream":false}`
+	if resp, b := postSweep(t, ts.URL, desBody, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("des sweep: %d %s", resp.StatusCode, b)
+	} else if !strings.Contains(string(b), "out of range") {
+		t.Errorf("DES at 131072 nodes did not error:\n%s", b)
+	}
+	if st := s.statsNow(); st.Cache.Misses != misses+1 {
+		t.Errorf("engine not part of cache key: misses %d -> %d", misses, st.Cache.Misses)
+	}
+}
+
+// TestSweepSeedSetAggregates: seed_set expands the grid and the final
+// report carries mean/CI95 aggregates.
+func TestSweepSeedSetAggregates(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	body := `{"specs":["cost"],"scale":"quick","seed_set":3,"stream":false}`
+	resp, b := postSweep(t, ts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed-set sweep: %d %s", resp.StatusCode, b)
+	}
+	var rep struct {
+		Results    []json.RawMessage `json:"results"`
+		Aggregates []struct {
+			Name  string  `json:"name"`
+			Seeds []int64 `json:"seeds"`
+		} `json:"aggregates"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, b)
+	}
+	if len(rep.Results) != 3 {
+		t.Errorf("%d results, want 3", len(rep.Results))
+	}
+	if len(rep.Aggregates) != 1 || len(rep.Aggregates[0].Seeds) != 3 {
+		t.Errorf("aggregates: %+v", rep.Aggregates)
+	}
+	if resp, b := postSweep(t, ts.URL, `{"specs":["cost"],"seed_set":-1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative seed_set accepted: %d %s", resp.StatusCode, b)
+	}
+}

@@ -108,6 +108,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	return s
 }
 
@@ -166,6 +167,13 @@ type SweepRequest struct {
 	Nodes       []int    `json:"nodes,omitempty"`
 	Tenants     []int    `json:"tenants,omitempty"`
 	Speculation []bool   `json:"speculation,omitempty"`
+	// Engines selects execution engines per grid point: "des" and/or
+	// "analytic" (empty = DES only). The analytic engine accepts nodes up
+	// to 1048576 where the DES caps at 16384.
+	Engines []string `json:"engines,omitempty"`
+	// SeedSet expands every seed into that many consecutive seeds and adds
+	// mean/CI95 aggregates to the final report (see runner.Grid.SeedSet).
+	SeedSet int `json:"seed_set,omitempty"`
 	// Stream selects NDJSON streaming (default true). With false the
 	// response is one deterministic runner.Report JSON document.
 	Stream *bool `json:"stream,omitempty"`
@@ -209,6 +217,17 @@ func buildJobs(req SweepRequest) ([]runner.Job, error) {
 		}
 		scheds = append(scheds, sched)
 	}
+	var engines []experiments.Engine
+	for _, name := range req.Engines {
+		eng, err := experiments.ParseEngine(strings.ToLower(strings.TrimSpace(name)))
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+	if req.SeedSet < 0 || req.SeedSet > 1024 {
+		return nil, fmt.Errorf("seed_set=%d out of range [0, 1024]", req.SeedSet)
+	}
 	return runner.Grid{
 		Specs:       specs,
 		Scales:      scales,
@@ -218,6 +237,8 @@ func buildJobs(req SweepRequest) ([]runner.Job, error) {
 		Nodes:       req.Nodes,
 		Tenants:     req.Tenants,
 		Speculation: req.Speculation,
+		Engines:     engines,
+		SeedSet:     req.SeedSet,
 	}.Jobs(), nil
 }
 

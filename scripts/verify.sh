@@ -12,21 +12,25 @@
 #      runs stays honest; the cross-validation harness (internal/xval)
 #      rides in the same repeated -race tier
 #   4. rcmpsim smoke: the schedule-engine experiments, the scaling
-#      tier (weak-scaling, -nodes override) and the graph-driven tier
-#      (dag-recovery, multi-tenant with -tenants/-speculation) end to
-#      end through the CLI and the parallel runner
+#      tier (weak-scaling, -nodes override), the analytic twin
+#      (-engine analytic at 131072 nodes, -seed-set dispersion) and the
+#      graph-driven tier (dag-recovery, multi-tenant with
+#      -tenants/-speculation) end to end through the CLI and the
+#      parallel runner
 #   5. rcmpxval smoke: the sim<->dmr cross-validation harness end to end
 #      through the CLI — one failure offset plain, one under the chaos
 #      transport — failing on any recovery-decision divergence; then
 #      rcmpserve smoke: the sweep server end to end on an ephemeral port —
 #      a sweep over HTTP must be byte-identical to the rcmpsim CLI report,
-#      the cached repeat byte-identical again, and SIGTERM must drain
+#      the cached repeat byte-identical again, a /v1/plan capacity answer
+#      must miss then hit the result cache, and SIGTERM must drain
 #      cleanly — plus a small serveload pass (concurrent clients, cache
 #      hit-rate and zero-dropped-jobs checks in-process)
 #   6. golden-digest + lazy-equivalence + fast-forward-equivalence
 #      suites, explicitly, with the ladder event queue and rate-class
 #      flow core on (their defaults), plus the fast-forward engine's
-#      chain-level property tests forced through -race
+#      chain-level property tests forced through -race; then the
+#      analytic-vs-DES tolerance suite over the whole registry
 #   7. benchmark smoke pass: every benchmark once at the smoke tier
 #   8. perf-regression gate: re-measure the perf-trajectory benchmarks and
 #      diff against the committed BENCH_flow.json (scripts/benchdiff.sh;
@@ -69,6 +73,10 @@ echo "== rcmpsim smoke (scaling tier: weak-scaling + -nodes override) =="
 go run ./cmd/rcmpsim -fig weak-scaling -quick > /dev/null
 go run ./cmd/rcmpsim -fig 8b -quick -nodes 16 > /dev/null
 
+echo "== rcmpsim smoke (analytic twin: 131072 nodes beyond the DES ceiling, seed-set dispersion) =="
+go run ./cmd/rcmpsim -fig weak-scaling -quick -engine analytic -nodes 131072 > /dev/null
+go run ./cmd/rcmpsim -fig 8b -quick -engine analytic -seed-set 3 -json > /dev/null
+
 echo "== rcmpsim smoke (graph-driven tier: DAG recovery + multi-tenant sessions) =="
 go run ./cmd/rcmpsim -fig dag-recovery -quick > /dev/null
 go run ./cmd/rcmpsim -fig multi-tenant -quick -parallel 2 -json > /dev/null
@@ -109,6 +117,10 @@ curl -sf -X POST -d "$sweep" "$base/v1/sweep" > "$tmp/http_report.json"
 go run ./cmd/rcmpsim -fig cost -quick -seed 1 -json > "$tmp/cli_report.json"
 cmp "$tmp/http_report.json" "$tmp/cli_report.json"
 curl -sf -X POST -d "$sweep" "$base/v1/sweep" | cmp - "$tmp/http_report.json"
+plan='{"nodes":131072,"tenants":4,"deadline_sec":700}'
+curl -sf -X POST -d "$plan" "$base/v1/plan" > "$tmp/plan.json"
+grep -q '"cache": *"miss"' "$tmp/plan.json"
+curl -sf -X POST -d "$plan" "$base/v1/plan" | grep -q '"cache": *"hit"'
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 
@@ -117,6 +129,9 @@ go run ./cmd/serveload -requests 200 -grids 16 -out "$tmp/BENCH_serve_smoke.json
 
 echo "== golden digests + lazy + fast-forward equivalence (ladder queue + rate-class flow core on) =="
 go test -count=1 -run 'TestGoldenDigests|TestGoldenResultsEquivalentUnderLazyBanking|TestGoldenResultsEquivalentUnderFastForward' ./internal/experiments
+
+echo "== analytic-vs-DES tolerance suite (registry-wide, 2 seeds per spec) =="
+go test -count=1 -run 'TestAnalyticEngineToleranceRegistryWide' ./internal/experiments
 
 echo "== bench-smoke =="
 RCMP_BENCH_SCALE=smoke go test -run xxx -bench . -benchtime 1x ./...
